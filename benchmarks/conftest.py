@@ -1,0 +1,8 @@
+"""Make bench_common importable when pytest runs from the repo root."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

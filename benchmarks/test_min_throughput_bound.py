@@ -1,0 +1,55 @@
+"""Section III analytic bound — MIN throughput caps under ADV+1 and ADVc.
+
+Verifies the closed-form limits the paper derives: ``1/(a*p)`` under
+ADV+1 and ``h/(a*p)`` under ADVc, at two network shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import bench_config, write_result
+from repro.analysis.paper_reference import min_throughput_bound
+from repro.config import medium_config
+from repro.core.simulation import run_simulation
+from repro.utils.tables import format_table
+
+
+def _measure(cfg):
+    return run_simulation(cfg).accepted_load
+
+
+@pytest.mark.parametrize("pattern", ["adversarial", "advc"])
+def test_min_bound_small(benchmark, pattern):
+    cfg = bench_config(routing="min").with_traffic(pattern=pattern, load=0.9)
+    accepted = benchmark.pedantic(_measure, args=(cfg,), rounds=1, iterations=1)
+    bound = min_throughput_bound(cfg.network, pattern)
+    write_result(
+        f"min_bound_{pattern}_h2",
+        format_table(
+            ["pattern", "analytic bound", "measured (offered 0.9)"],
+            [[pattern, bound, accepted]],
+            title="Section III — MIN throughput cap (h=2)",
+        ),
+    )
+    # Saturates at the bound: within 15% below, never above.
+    assert accepted <= bound * 1.1
+    assert accepted >= bound * 0.7
+
+
+def test_min_bound_medium_advc(benchmark):
+    cfg = medium_config(
+        routing="min", warmup_cycles=700, measure_cycles=1200
+    ).with_traffic(pattern="advc", load=0.9)
+    accepted = benchmark.pedantic(_measure, args=(cfg,), rounds=1, iterations=1)
+    bound = min_throughput_bound(cfg.network, "advc")
+    write_result(
+        "min_bound_advc_h3",
+        format_table(
+            ["pattern", "analytic bound", "measured"],
+            [["advc", bound, accepted]],
+            title="Section III — MIN throughput cap (h=3)",
+        ),
+    )
+    assert accepted <= bound * 1.1
+    assert accepted >= bound * 0.65

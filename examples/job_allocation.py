@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The ADVc origin story: consecutive job placement (paper Section III).
+
+A job scheduler allocates an application to h+1 *consecutive* groups of a
+Dragonfly — the simplest allocation policy.  The application itself
+communicates *uniformly*; nothing is adversarial.  Yet, seen from the
+first group of the job, all inter-group traffic targets the next h groups
+— whose global links all hang off one bottleneck router under the
+palmtree arrangement.
+
+This example runs (a) the explicit synthetic ADVc pattern, and (b) the
+job-placement pattern (uniform traffic inside a job on h+1 consecutive
+groups), and shows they produce the same bottleneck-router signature.
+
+Run:  python examples/job_allocation.py
+"""
+
+from __future__ import annotations
+
+from repro import run_simulation, small_config
+
+
+def describe(label: str, result) -> None:
+    a = result.config.network.a
+    g0 = result.group_injections(0)
+    print(f"--- {label} ---")
+    print(f"accepted load : {result.accepted_load:.3f}")
+    print(f"avg latency   : {result.avg_latency:.1f} cycles")
+    print(f"group 0 injections per router: {g0}")
+    bottleneck = g0[a - 1]
+    peers = sum(g0[: a - 1]) / (a - 1)
+    print(
+        f"bottleneck router R{a-1}: {bottleneck:.0f} injections vs "
+        f"{peers:.0f} mean of its peers "
+        f"({bottleneck / peers:.2f}x)" if peers else ""
+    )
+    print()
+
+
+def main() -> None:
+    base = small_config(routing="src-crg")
+    h = base.network.h
+    print(base.network.describe())
+    print(
+        f"Job scenario: an application on the {h + 1} consecutive groups "
+        f"0..{h}, uniform traffic between its processes.\n"
+    )
+
+    advc = run_simulation(base.with_traffic(pattern="advc", load=0.5))
+    describe("synthetic ADVc (all groups loaded)", advc)
+
+    job = run_simulation(base.with_traffic(pattern="job", load=0.7))
+    describe(f"job placement (groups 0..{h}, uniform inside)", job)
+
+    print(
+        "Both runs depress the same router: the one owning the global\n"
+        "links towards the next h groups.  A benign scheduling decision\n"
+        "reproduces the adversarial pattern — the paper's argument for\n"
+        "why ADVc is a *realistic* traffic pattern."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Transit-over-injection priority ablation (paper Figures 4 vs 6).
+
+Runs in-transit adaptive (MM) and source-adaptive (CRG) routing under
+ADVc with and without the allocator priority, showing the paper's two
+headline effects:
+
+* with the priority, the bottleneck router is starved (it cannot win
+  allocation against in-transit traffic on its overlapping global links);
+* without it, in-transit fairness recovers substantially, while Src-CRG
+  flips pathology — the bottleneck router starts *over*-injecting because
+  it senses its own links' saturation instantly and grabs every free slot.
+
+Run:  python examples/priority_ablation.py
+"""
+
+from __future__ import annotations
+
+from repro import run_simulation, small_config
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    base = small_config().with_traffic(pattern="advc", load=0.4)
+    a = base.network.a
+    print(base.network.describe())
+    print(f"ADVc @ 0.4 — bottleneck router is R{a-1}\n")
+
+    rows = []
+    profiles = []
+    for mech in ("in-trns-mm", "in-trns-crg", "src-crg"):
+        for priority in (True, False):
+            cfg = base.with_(routing=mech).with_router(
+                transit_priority=priority
+            )
+            r = run_simulation(cfg)
+            f = r.fairness
+            rows.append(
+                [
+                    mech,
+                    "on" if priority else "off",
+                    r.accepted_load,
+                    f.min_injected,
+                    f.max_min_ratio,
+                    f.cov,
+                ]
+            )
+            profiles.append(
+                [mech, "on" if priority else "off"]
+                + list(r.group_injections(0))
+            )
+
+    print(
+        format_table(
+            ["mechanism", "priority", "accepted", "min-inj", "max/min", "CoV"],
+            rows,
+            title="Fairness with vs without transit-over-injection priority",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["mechanism", "priority"] + [f"R{i}" for i in range(a)],
+            profiles,
+            title="Group 0 per-router injections (cf. paper Fig. 4 vs Fig. 6)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build. This shim
+lets ``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+fall back to the setuptools legacy path. Configuration lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — reproduction of "Throughput Unfairness in Dragonfly Networks
+under Realistic Traffic Patterns" (Fuentes et al., IEEE CLUSTER 2015).
+
+A packet-level discrete-event simulator of canonical Dragonfly networks
+with oblivious, source-adaptive (PiggyBack) and in-transit adaptive
+(PAR+OLM) routing, the RRG/CRG/NRG/MM global misrouting policies, the
+UN / ADV+k / ADVc synthetic traffic patterns, and the throughput-fairness
+instrumentation the paper builds its analysis on.
+
+Quickstart
+----------
+>>> from repro import small_config, run_simulation
+>>> cfg = small_config(routing="in-trns-mm").with_traffic(
+...     pattern="advc", load=0.4)
+>>> result = run_simulation(cfg)
+>>> result.accepted_load           # doctest: +SKIP
+>>> result.fairness.max_min_ratio  # doctest: +SKIP
+
+See README.md for the full tour and benchmarks/ for the per-figure
+reproduction harness.
+"""
+
+from repro.config import (
+    NetworkConfig,
+    RouterConfig,
+    SimulationConfig,
+    TrafficConfig,
+    medium_config,
+    paper_config,
+    small_config,
+    tiny_config,
+)
+from repro.core import (
+    LoadSweepResult,
+    Simulation,
+    SimulationResult,
+    SweepPoint,
+    run_load_sweep,
+    run_point,
+    run_simulation,
+)
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    FlowControlError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+)
+from repro.metrics import FairnessMetrics, fairness_from_counts
+from repro.routing import ROUTING_NAMES
+from repro.topology import DragonflyTopology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "ConfigurationError",
+    "DragonflyTopology",
+    "FairnessMetrics",
+    "FlowControlError",
+    "LoadSweepResult",
+    "NetworkConfig",
+    "ROUTING_NAMES",
+    "ReproError",
+    "RouterConfig",
+    "RoutingError",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "SweepPoint",
+    "TopologyError",
+    "TrafficConfig",
+    "fairness_from_counts",
+    "medium_config",
+    "paper_config",
+    "run_load_sweep",
+    "run_point",
+    "run_simulation",
+    "small_config",
+    "tiny_config",
+]

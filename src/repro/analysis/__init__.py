@@ -1,0 +1,30 @@
+"""Reproduction of the paper's figures and tables from simulation results."""
+
+from repro.analysis.paper_reference import (
+    PAPER_TABLE_II,
+    PAPER_TABLE_III,
+    min_throughput_bound,
+)
+from repro.analysis.figures import (
+    figure2_sweeps,
+    figure3_breakdown,
+    figure4_injections,
+    format_figure2,
+    format_figure3,
+    format_figure4,
+)
+from repro.analysis.tables import fairness_table, format_fairness_table
+
+__all__ = [
+    "PAPER_TABLE_II",
+    "PAPER_TABLE_III",
+    "fairness_table",
+    "figure2_sweeps",
+    "figure3_breakdown",
+    "figure4_injections",
+    "format_fairness_table",
+    "format_figure2",
+    "format_figure3",
+    "format_figure4",
+    "min_throughput_bound",
+]

@@ -1,0 +1,190 @@
+"""Generators for the paper's figure data (2/3/4 and their 5/6 twins).
+
+Each ``figureN_*`` function runs the simulations and returns plain data;
+each ``format_figureN`` renders that data as text (numeric series plus an
+ASCII plot) the way the benchmark harness prints it.  Figures 5 and 6 are
+Figures 2 and 4 with ``transit_priority=False``, so the same generators
+serve both (the caller flips the config).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.config import SimulationConfig
+from repro.core.experiment import LoadSweepResult, run_load_sweep, run_point
+from repro.utils.ascii_plot import ascii_plot
+from repro.utils.tables import format_table
+
+__all__ = [
+    "figure2_sweeps",
+    "figure3_breakdown",
+    "figure4_injections",
+    "format_figure2",
+    "format_figure3",
+    "format_figure4",
+]
+
+#: the mechanisms plotted in Figures 2/5, in legend order
+FIGURE2_MECHANISMS = (
+    "min",
+    "obl-crg",
+    "src-rrg",
+    "src-crg",
+    "in-trns-rrg",
+    "in-trns-crg",
+    "in-trns-mm",
+)
+
+
+def figure2_sweeps(
+    base: SimulationConfig,
+    loads: Sequence[float],
+    *,
+    mechanisms: Sequence[str] = FIGURE2_MECHANISMS,
+    seeds: int = 1,
+) -> dict[str, LoadSweepResult]:
+    """One latency/throughput curve per mechanism for one traffic pattern.
+
+    ``base`` carries the pattern and priority setting; pass
+    ``base.with_router(transit_priority=False)`` for Figure 5.
+    """
+    out: dict[str, LoadSweepResult] = {}
+    for mech in mechanisms:
+        out[mech] = run_load_sweep(
+            base.with_(routing=mech), loads, seeds=seeds
+        )
+    return out
+
+
+def format_figure2(
+    sweeps: dict[str, LoadSweepResult], *, title: str
+) -> str:
+    """Render a Figure-2 panel pair (latency + throughput) as text."""
+    lat_rows = []
+    thr_rows = []
+    for mech, sweep in sweeps.items():
+        for pt in sweep.points:
+            lat_rows.append([mech, f"{pt.offered_load:.2f}", pt.avg_latency])
+            thr_rows.append(
+                [mech, f"{pt.offered_load:.2f}", pt.accepted_load]
+            )
+    parts = [
+        format_table(
+            ["mechanism", "offered", "latency(cyc)"],
+            lat_rows,
+            title=f"{title} — average packet latency",
+        ),
+        "",
+        format_table(
+            ["mechanism", "offered", "accepted"],
+            thr_rows,
+            title=f"{title} — accepted load",
+        ),
+        "",
+        ascii_plot(
+            {m: s.latency_series() for m, s in sweeps.items()},
+            title=f"{title}: latency vs offered load",
+            xlabel="offered load (phits/node/cycle)",
+        ),
+        "",
+        ascii_plot(
+            {m: s.throughput_series() for m, s in sweeps.items()},
+            title=f"{title}: accepted vs offered load",
+            xlabel="offered load (phits/node/cycle)",
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def figure3_breakdown(
+    base: SimulationConfig,
+    loads: Sequence[float],
+    *,
+    seeds: int = 1,
+) -> list[tuple[float, dict[str, float]]]:
+    """Latency components vs injection rate for in-transit-MM under ADVc."""
+    cfg = base.with_(routing="in-trns-mm").with_traffic(pattern="advc")
+    out = []
+    for load in loads:
+        pt = run_point(cfg.with_traffic(load=load), seeds=seeds)
+        out.append((pt.offered_load, dict(pt.latency_breakdown)))
+    return out
+
+
+def format_figure3(
+    breakdown: list[tuple[float, dict[str, float]]]
+) -> str:
+    """Render the Figure-3 stacked components as a table + plot."""
+    comp_order = ["base", "misroute", "local", "global", "injection"]
+    rows = [
+        [f"{load:.2f}"] + [comps[c] for c in comp_order] + [sum(comps.values())]
+        for load, comps in breakdown
+    ]
+    table = format_table(
+        ["load", "base", "misroute", "cong-local", "cong-global",
+         "inj-queue", "total"],
+        rows,
+        title="Figure 3 — latency breakdown, In-Transit-MM under ADVc",
+    )
+    series = {
+        c: [(load, comps[c]) for load, comps in breakdown]
+        for c in comp_order
+    }
+    return table + "\n\n" + ascii_plot(
+        series,
+        title="Figure 3: latency components vs injection rate",
+        xlabel="offered load (phits/node/cycle)",
+    )
+
+
+def figure4_injections(
+    base: SimulationConfig,
+    *,
+    mechanisms: Sequence[str] = FIGURE2_MECHANISMS[1:],
+    load: float = 0.4,
+    group: int = 0,
+    seeds: int = 1,
+) -> dict[str, list[float]]:
+    """Injected packets per router of one group under ADVc at *load*.
+
+    Returns mechanism -> per-router (R0..R{a-1}) injection counts.
+    For Figure 6, pass a ``base`` with ``transit_priority=False``.
+    """
+    a = base.network.a
+    out: dict[str, list[float]] = {}
+    for mech in mechanisms:
+        cfg = base.with_(routing=mech).with_traffic(pattern="advc", load=load)
+        per_router = _per_router_from_point(cfg, seeds)
+        out[mech] = per_router[group * a : (group + 1) * a]
+    return out
+
+
+def _per_router_from_point(cfg: SimulationConfig, seeds: int) -> list[float]:
+    """Seed-averaged per-router injection counts for one config."""
+    from repro.core.simulation import run_simulation
+    from repro.utils.rng import split_seed
+
+    results = [
+        run_simulation(cfg.with_(seed=split_seed(cfg.seed, 100 + s)))
+        for s in range(seeds)
+    ]
+    n = len(results)
+    return [
+        sum(r.injected_per_router[i] for r in results) / n
+        for i in range(len(results[0].injected_per_router))
+    ]
+
+
+def format_figure4(
+    injections: dict[str, list[float]], *, title: str
+) -> str:
+    """Render the per-router injection bars as a table."""
+    a = len(next(iter(injections.values())))
+    headers = ["mechanism"] + [f"R{i}" for i in range(a)]
+    rows = [[mech] + list(counts) for mech, counts in injections.items()]
+    note = (
+        f"(R{a-1} is the ADVc bottleneck router under the palmtree "
+        "arrangement; R0 receives the minimal traffic from other groups)"
+    )
+    return format_table(headers, rows, title=title, ndigits=1) + "\n" + note

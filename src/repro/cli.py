@@ -1,0 +1,176 @@
+"""Command-line interface: run simulations and sweeps without writing code.
+
+Examples
+--------
+Run one simulation and print the summary::
+
+    python -m repro.cli run --routing in-trns-mm --pattern advc --load 0.4
+
+Sweep offered load and print a latency/throughput table::
+
+    python -m repro.cli sweep --routing min --pattern adversarial \
+        --loads 0.1 0.2 0.3 0.4 --seeds 2
+
+Show the fairness profile of one group (paper Figure 4 style)::
+
+    python -m repro.cli fairness --pattern advc --load 0.4 --no-priority
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.config import (
+    SimulationConfig,
+    medium_config,
+    paper_config,
+    small_config,
+    tiny_config,
+)
+from repro.core.experiment import run_load_sweep
+from repro.core.simulation import run_simulation
+from repro.routing.factory import ROUTING_NAMES
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS = {
+    "tiny": tiny_config,
+    "small": small_config,
+    "medium": medium_config,
+    "paper": paper_config,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Dragonfly throughput-unfairness simulator "
+        "(Fuentes et al., CLUSTER 2015 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--preset",
+            choices=sorted(_PRESETS),
+            default="small",
+            help="network scale preset (default: small = h=2, 72 nodes)",
+        )
+        sp.add_argument(
+            "--routing",
+            choices=ROUTING_NAMES,
+            default="min",
+            help="routing mechanism (paper legend name)",
+        )
+        sp.add_argument(
+            "--pattern",
+            default="uniform",
+            choices=[
+                "uniform",
+                "adversarial",
+                "advc",
+                "permutation",
+                "hotspot",
+                "job",
+            ],
+        )
+        sp.add_argument("--seed", type=int, default=1)
+        sp.add_argument(
+            "--no-priority",
+            action="store_true",
+            help="disable transit-over-injection priority (Figures 5/6)",
+        )
+        sp.add_argument("--warmup", type=int, default=None)
+        sp.add_argument("--measure", type=int, default=None)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    common(run_p)
+    run_p.add_argument("--load", type=float, default=0.4)
+
+    sweep_p = sub.add_parser("sweep", help="sweep offered load")
+    common(sweep_p)
+    sweep_p.add_argument(
+        "--loads", type=float, nargs="+", required=True
+    )
+    sweep_p.add_argument("--seeds", type=int, default=1)
+
+    fair_p = sub.add_parser(
+        "fairness", help="per-router injection profile of one group"
+    )
+    common(fair_p)
+    fair_p.add_argument("--load", type=float, default=0.4)
+    fair_p.add_argument("--group", type=int, default=0)
+
+    return p
+
+
+def _config(args: argparse.Namespace) -> SimulationConfig:
+    cfg = _PRESETS[args.preset](routing=args.routing, seed=args.seed)
+    cfg = cfg.with_traffic(pattern=args.pattern)
+    if args.no_priority:
+        cfg = cfg.with_router(transit_priority=False)
+    if args.warmup is not None:
+        cfg = cfg.with_(warmup_cycles=args.warmup)
+    if args.measure is not None:
+        cfg = cfg.with_(measure_cycles=args.measure)
+    return cfg
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    cfg = _config(args)
+
+    if args.command == "run":
+        result = run_simulation(cfg.with_traffic(load=args.load))
+        print(result.summary())
+        print("latency breakdown:", {
+            k: round(v, 2) for k, v in result.latency_breakdown.items()
+        })
+        return 0
+
+    if args.command == "sweep":
+        sweep = run_load_sweep(cfg, args.loads, seeds=args.seeds)
+        rows = [
+            [pt.offered_load, pt.accepted_load, pt.avg_latency,
+             pt.fairness.max_min_ratio, pt.fairness.cov]
+            for pt in sweep.points
+        ]
+        print(
+            format_table(
+                ["offered", "accepted", "latency", "max/min", "cov"],
+                rows,
+                title=f"{sweep.routing} under {sweep.pattern}",
+            )
+        )
+        return 0
+
+    if args.command == "fairness":
+        result = run_simulation(cfg.with_traffic(load=args.load))
+        counts = result.group_injections(args.group)
+        print(
+            format_table(
+                ["router", "injected"],
+                [[f"R{i}", c] for i, c in enumerate(counts)],
+                title=(
+                    f"group {args.group} injections "
+                    f"({cfg.routing}, {args.pattern}@{args.load}, "
+                    f"priority={'off' if args.no_priority else 'on'})"
+                ),
+            )
+        )
+        f = result.fairness
+        print(
+            f"network: min={f.min_injected:.0f} max/min="
+            f"{f.max_min_ratio:.3g} cov={f.cov:.4f} jain={f.jain:.4f}"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

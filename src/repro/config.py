@@ -1,0 +1,423 @@
+"""Configuration dataclasses for the Dragonfly simulator.
+
+Everything the paper's Table I parameterises lives here:
+
+* :class:`NetworkConfig`   - topology shape (p, a, h) and arrangement.
+* :class:`RouterConfig`    - buffering, VCs, pipeline, allocator priority.
+* :class:`TrafficConfig`   - pattern, offered load, packet size.
+* :class:`SimulationConfig`- the full bundle plus timing windows and seed.
+
+Presets
+-------
+:func:`paper_config` builds the paper's h=6 / 5,256-node system;
+:func:`small_config` builds the h=2 / 72-node system of the paper's Fig. 1
+(the default for tests and benchmarks — see DESIGN.md for the scaling
+substitution rationale); :func:`tiny_config` is an h=1 / 6-node system for
+fast unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NetworkConfig",
+    "RouterConfig",
+    "TrafficConfig",
+    "SimulationConfig",
+    "paper_config",
+    "small_config",
+    "medium_config",
+    "tiny_config",
+]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Shape of a canonical Dragonfly network.
+
+    Attributes
+    ----------
+    p:
+        Computing nodes attached to every router.
+    a:
+        Routers per group (groups are complete local graphs).
+    h:
+        Global links per router.  A *balanced* Dragonfly has
+        ``a = 2h, p = h``; the constructor accepts any positive values but
+        requires the canonical complete inter-group graph
+        ``groups = a*h + 1``.
+    arrangement:
+        Global link arrangement name: ``"palmtree"`` (paper default),
+        ``"consecutive"`` or ``"random"``.
+    local_link_latency / global_link_latency / node_link_latency:
+        One-way propagation latency of each link class, in router cycles
+        (Table I: 10 local, 100 global; node links are modelled as 1).
+    """
+
+    p: int = 2
+    a: int = 4
+    h: int = 2
+    arrangement: str = "palmtree"
+    local_link_latency: int = 10
+    global_link_latency: int = 100
+    node_link_latency: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("p", "a", "h"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v < 1:
+                raise ConfigurationError(f"{name} must be a positive int, got {v!r}")
+        for name in (
+            "local_link_latency",
+            "global_link_latency",
+            "node_link_latency",
+        ):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v < 1:
+                raise ConfigurationError(
+                    f"{name} must be a positive int number of cycles, got {v!r}"
+                )
+        if self.arrangement not in ("palmtree", "consecutive", "random"):
+            raise ConfigurationError(
+                f"unknown arrangement {self.arrangement!r}; "
+                "expected 'palmtree', 'consecutive' or 'random'"
+            )
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def groups(self) -> int:
+        """Number of groups in the canonical (complete-graph) Dragonfly."""
+        return self.a * self.h + 1
+
+    @property
+    def routers_per_group(self) -> int:
+        """Alias of ``a`` for readability at call sites."""
+        return self.a
+
+    @property
+    def num_routers(self) -> int:
+        """Total routers in the system (``groups * a``)."""
+        return self.groups * self.a
+
+    @property
+    def num_nodes(self) -> int:
+        """Total computing nodes (``groups * a * p``)."""
+        return self.num_routers * self.p
+
+    @property
+    def local_ports(self) -> int:
+        """Local ports per router (``a - 1``, complete group graph)."""
+        return self.a - 1
+
+    @property
+    def router_radix(self) -> int:
+        """Total router ports: p injection + (a-1) local + h global."""
+        return self.p + self.a - 1 + self.h
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the network shape."""
+        return (
+            f"Dragonfly(p={self.p}, a={self.a}, h={self.h}): "
+            f"{self.groups} groups, {self.num_routers} routers, "
+            f"{self.num_nodes} nodes, {self.arrangement} arrangement"
+        )
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Router microarchitecture parameters (paper Table I).
+
+    Attributes
+    ----------
+    pipeline_latency:
+        Cycles from switch-allocation grant to arrival in the output
+        buffer (Table I: 5).
+    speedup:
+        Internal crossbar frequency multiplier.  With ``speedup = 2`` the
+        switch moves 2 phits/cycle, so an 8-phit packet occupies an input
+        or output of the crossbar for 4 cycles while the external link
+        needs 8.
+    local_input_buffer / global_input_buffer:
+        Input buffer capacity per virtual channel, in phits (32 / 256).
+    output_buffer:
+        Output FIFO capacity per port, in phits (32).
+    local_vcs / global_vcs:
+        Virtual channels per local and global port.  4 local VCs cover the
+        longest Valiant-to-node path and our escape-VC scheme (DESIGN.md
+        Section 4 documents the deviation from Table I's 3-VC OLM reuse).
+    transit_priority:
+        When True the allocator strictly prefers in-transit candidates over
+        new injections (the Blue Gene-style priority the paper evaluates in
+        Figures 2-4 / Table II, and removes in Figures 5-6 / Table III).
+    """
+
+    pipeline_latency: int = 5
+    speedup: int = 2
+    local_input_buffer: int = 32
+    global_input_buffer: int = 256
+    output_buffer: int = 32
+    local_vcs: int = 4
+    global_vcs: int = 2
+    transit_priority: bool = True
+
+    def __post_init__(self) -> None:
+        for name in (
+            "pipeline_latency",
+            "speedup",
+            "local_input_buffer",
+            "global_input_buffer",
+            "output_buffer",
+            "local_vcs",
+            "global_vcs",
+        ):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v < 1:
+                raise ConfigurationError(f"{name} must be a positive int, got {v!r}")
+        if self.global_vcs < 2:
+            raise ConfigurationError(
+                "global_vcs must be >= 2: non-minimal paths traverse two "
+                "global hops and the deadlock-avoidance scheme assigns them "
+                "ascending VCs"
+            )
+        if self.local_vcs < 4:
+            raise ConfigurationError(
+                "local_vcs must be >= 4: Valiant-to-node paths take up to 4 "
+                "local hops and the escape scheme reserves the last VC"
+            )
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Traffic workload description.
+
+    Attributes
+    ----------
+    pattern:
+        ``"uniform"`` (UN), ``"adversarial"`` (ADV+k), ``"advc"``
+        (adversarial consecutive), ``"permutation"``, ``"hotspot"`` or
+        ``"job"`` (consecutive job placement, the scenario that motivates
+        ADVc in Section III).
+    load:
+        Offered load in phits/(node*cycle), in ``(0, 1]``.
+    packet_size:
+        Packet length in phits (Table I: 8).
+    adv_offset:
+        Destination-group offset for ADV+k (default +1).
+    job_groups:
+        Number of consecutive groups a ``"job"`` workload spans
+        (default ``h + 1``, the paper's motivating case).
+    hotspot_fraction:
+        For ``"hotspot"``: fraction of traffic aimed at the hot node.
+    """
+
+    pattern: str = "uniform"
+    load: float = 0.5
+    packet_size: int = 8
+    adv_offset: int = 1
+    job_groups: int | None = None
+    hotspot_fraction: float = 0.2
+
+    _PATTERNS = (
+        "uniform",
+        "adversarial",
+        "advc",
+        "permutation",
+        "hotspot",
+        "job",
+    )
+
+    def __post_init__(self) -> None:
+        if self.pattern not in self._PATTERNS:
+            raise ConfigurationError(
+                f"unknown traffic pattern {self.pattern!r}; "
+                f"expected one of {self._PATTERNS}"
+            )
+        if not (0.0 < self.load <= 1.0):
+            raise ConfigurationError(
+                f"load must be in (0, 1] phits/(node*cycle), got {self.load}"
+            )
+        if not isinstance(self.packet_size, int) or self.packet_size < 1:
+            raise ConfigurationError(
+                f"packet_size must be a positive int, got {self.packet_size!r}"
+            )
+        if self.adv_offset == 0:
+            raise ConfigurationError("adv_offset must be nonzero")
+        if not (0.0 < self.hotspot_fraction <= 1.0):
+            raise ConfigurationError(
+                f"hotspot_fraction must be in (0, 1], got {self.hotspot_fraction}"
+            )
+        if self.job_groups is not None and self.job_groups < 2:
+            raise ConfigurationError("job_groups must be >= 2 (or None)")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Full simulation bundle: network + router + traffic + timing + seed.
+
+    Attributes
+    ----------
+    warmup_cycles:
+        Cycles simulated before statistics collection starts.
+    measure_cycles:
+        Length of the measurement window (paper: 15,000).
+    routing:
+        Routing mechanism name, one of
+        ``min``, ``obl-rrg``, ``obl-crg``, ``src-rrg``, ``src-crg``,
+        ``in-trns-rrg``, ``in-trns-crg``, ``in-trns-mm``
+        (matching the paper's figure legends).
+    seed:
+        Master seed; child streams are derived per component.
+    misroute_threshold:
+        In-transit adaptive congestion threshold as a fraction of the
+        minimal port's credit capacity (Table I: 43%).
+    pb_threshold_local / pb_threshold_global:
+        PiggyBack saturation offsets in *packets* (Table I: T=5 local,
+        T=3 global).
+    pb_update_period:
+        Cycles between group-wide saturation-bit snapshots; models the
+        piggybacked-ECN propagation delay.
+    deadlock_cycles:
+        Watchdog: raise :class:`repro.errors.SimulationError` if packets
+        are in flight but nothing is delivered or moved for this many
+        cycles.
+    """
+
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    router: RouterConfig = field(default_factory=RouterConfig)
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+    routing: str = "min"
+    warmup_cycles: int = 2000
+    measure_cycles: int = 15000
+    seed: int = 1
+    misroute_threshold: float = 0.43
+    pb_threshold_local: int = 5
+    pb_threshold_global: int = 3
+    pb_update_period: int = 8
+    deadlock_cycles: int = 50_000
+
+    _ROUTINGS = (
+        "min",
+        "obl-rrg",
+        "obl-crg",
+        "src-rrg",
+        "src-crg",
+        "in-trns-rrg",
+        "in-trns-crg",
+        "in-trns-mm",
+    )
+
+    def __post_init__(self) -> None:
+        if self.routing not in self._ROUTINGS:
+            raise ConfigurationError(
+                f"unknown routing {self.routing!r}; expected one of {self._ROUTINGS}"
+            )
+        if self.warmup_cycles < 0 or self.measure_cycles < 1:
+            raise ConfigurationError(
+                "warmup_cycles must be >= 0 and measure_cycles >= 1"
+            )
+        if not (0.0 < self.misroute_threshold < 1.0):
+            raise ConfigurationError(
+                f"misroute_threshold must be in (0,1), got {self.misroute_threshold}"
+            )
+        for name in ("pb_threshold_local", "pb_threshold_global"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if self.pb_update_period < 1:
+            raise ConfigurationError("pb_update_period must be >= 1 cycle")
+        if self.deadlock_cycles < 1000:
+            raise ConfigurationError("deadlock_cycles must be >= 1000")
+        # Cross-checks: the traffic pattern must fit the topology.
+        if self.traffic.pattern == "adversarial":
+            if abs(self.traffic.adv_offset) >= self.network.groups:
+                raise ConfigurationError(
+                    "adv_offset must be smaller than the number of groups"
+                )
+        if self.traffic.pattern == "job":
+            jg = self.traffic.job_groups or (self.network.h + 1)
+            if jg > self.network.groups:
+                raise ConfigurationError(
+                    f"job_groups={jg} exceeds total groups {self.network.groups}"
+                )
+        if self.network.num_nodes < 2:
+            raise ConfigurationError("network must have at least 2 nodes")
+
+    # -- convenience --------------------------------------------------------
+    @property
+    def total_cycles(self) -> int:
+        """End-of-simulation time (warmup + measurement)."""
+        return self.warmup_cycles + self.measure_cycles
+
+    def with_(self, **kwargs) -> "SimulationConfig":
+        """Return a copy with top-level fields replaced (frozen-safe)."""
+        return replace(self, **kwargs)
+
+    def with_traffic(self, **kwargs) -> "SimulationConfig":
+        """Return a copy with traffic fields replaced."""
+        return replace(self, traffic=replace(self.traffic, **kwargs))
+
+    def with_router(self, **kwargs) -> "SimulationConfig":
+        """Return a copy with router fields replaced."""
+        return replace(self, router=replace(self.router, **kwargs))
+
+    def with_network(self, **kwargs) -> "SimulationConfig":
+        """Return a copy with network fields replaced."""
+        return replace(self, network=replace(self.network, **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+def paper_config(**overrides) -> SimulationConfig:
+    """The paper's full-size system: h=6, a=12, p=6, 73 groups, 5,256 nodes.
+
+    Warning: a load sweep at this scale in pure Python takes hours; it is
+    exercised by one smoke benchmark only.  Keyword overrides are applied
+    with :meth:`SimulationConfig.with_`.
+    """
+    cfg = SimulationConfig(
+        network=NetworkConfig(p=6, a=12, h=6),
+        warmup_cycles=5000,
+        measure_cycles=15000,
+    )
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def medium_config(**overrides) -> SimulationConfig:
+    """A balanced h=3 Dragonfly: a=6, p=3, 19 groups, 342 nodes."""
+    cfg = SimulationConfig(
+        network=NetworkConfig(p=3, a=6, h=3),
+        warmup_cycles=1500,
+        measure_cycles=4000,
+    )
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def small_config(**overrides) -> SimulationConfig:
+    """The paper's Fig. 1 scale: h=2, a=4, p=2, 9 groups, 72 nodes.
+
+    This is the default experiment scale (see DESIGN.md Section 4 for the
+    substitution rationale: every mechanism and the bottleneck-router
+    phenomenon exist identically at h=2).
+    """
+    cfg = SimulationConfig(
+        network=NetworkConfig(p=2, a=4, h=2),
+        warmup_cycles=1500,
+        measure_cycles=4000,
+    )
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def tiny_config(**overrides) -> SimulationConfig:
+    """Minimal h=1 Dragonfly (a=2, p=1, 3 groups, 6 nodes) for unit tests."""
+    cfg = SimulationConfig(
+        network=NetworkConfig(
+            p=1, a=2, h=1, local_link_latency=2, global_link_latency=5
+        ),
+        warmup_cycles=200,
+        measure_cycles=800,
+    )
+    return cfg.with_(**overrides) if overrides else cfg

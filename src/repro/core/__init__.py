@@ -1,0 +1,22 @@
+"""Simulation driver and experiment harness."""
+
+from repro.core.results import SimulationResult
+from repro.core.simulation import Simulation, run_simulation
+from repro.core.experiment import (
+    LoadSweepResult,
+    SweepPoint,
+    average_results,
+    run_load_sweep,
+    run_point,
+)
+
+__all__ = [
+    "LoadSweepResult",
+    "Simulation",
+    "SimulationResult",
+    "SweepPoint",
+    "average_results",
+    "run_load_sweep",
+    "run_point",
+    "run_simulation",
+]

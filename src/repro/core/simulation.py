@@ -1,0 +1,222 @@
+"""The :class:`Simulation`: wiring, traffic generation and the run loop.
+
+A simulation owns one event queue, one topology, one router per topology
+position (wired through their bidirectional ports), one routing mechanism,
+one traffic pattern and one stats collector.  ``run()`` executes
+``warmup + measure`` cycles with a deadlock watchdog and returns a
+:class:`repro.core.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.engine import EventQueue
+from repro.errors import SimulationError
+from repro.hardware.packet import Packet
+from repro.hardware.router import Router
+from repro.metrics.collector import StatsCollector
+from repro.routing.factory import make_routing
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic.patterns import make_traffic
+from repro.utils.rng import geometric_gap, make_rng, split_seed
+
+__all__ = ["Simulation", "run_simulation"]
+
+# RNG sub-stream ids (see repro.utils.rng.split_seed)
+_STREAM_TRAFFIC = 1
+_STREAM_ROUTING = 2
+_STREAM_PATTERN = 3
+
+
+class Simulation:
+    """One fully wired Dragonfly simulation instance."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        check_decomposition: bool = False,
+    ) -> None:
+        self.config = config
+        self.engine = EventQueue()
+        self.topo = DragonflyTopology(
+            config.network, arrangement_seed=split_seed(config.seed, 7)
+        )
+        self.rng_traffic = make_rng(split_seed(config.seed, _STREAM_TRAFFIC))
+        self.rng_routing = make_rng(split_seed(config.seed, _STREAM_ROUTING))
+        self.stats = StatsCollector(
+            config.warmup_cycles,
+            config.total_cycles,
+            self.topo.num_routers,
+            self.topo.num_nodes,
+            check_decomposition=check_decomposition,
+        )
+
+        # Routers and wiring.
+        self.routers = [
+            Router(self, rid) for rid in range(self.topo.num_routers)
+        ]
+        self._wire()
+
+        # Routing mechanism (needs self.routers for PiggyBack state).
+        self.routing = make_routing(config.routing, self)
+        for r in self.routers:
+            r.routing = self.routing
+
+        # Traffic.
+        self.traffic = make_traffic(
+            config.traffic, self.topo, seed=split_seed(config.seed, _STREAM_PATTERN)
+        )
+        self._gen_prob = config.traffic.load / config.traffic.packet_size
+        self._pid = 0
+        self._end_time = config.total_cycles
+
+        # Contention-free hop service costs for the latency ledger.
+        psize = config.traffic.packet_size
+        pipe = config.router.pipeline_latency
+        net = config.network
+        self._c_local = pipe + psize + net.local_link_latency
+        self._c_global = pipe + psize + net.global_link_latency
+        self._c_eject = pipe + psize + net.node_link_latency
+
+        # Deadlock watchdog state.
+        self._watch_delivered = -1
+
+    # ------------------------------------------------------------------
+    def _wire(self) -> None:
+        """Connect every bidirectional local/global port to its peer."""
+        topo = self.topo
+        for rid, router in enumerate(self.routers):
+            g, i = divmod(rid, topo.a)
+            for port in range(topo.first_local_port, topo.first_global_port):
+                j = topo.local_port_target(i, port)
+                peer = self.routers[topo.router_id(g, j)]
+                peer_port = topo.local_port(j, i)
+                router.out_peer[port] = (peer, peer_port)
+                router.upstream[port] = (peer, peer_port)
+            for port in range(topo.first_global_port, topo.radix):
+                pg, pi, pport = topo.global_port_peer(g, i, port)
+                peer = self.routers[topo.router_id(pg, pi)]
+                router.out_peer[port] = (peer, pport)
+                router.upstream[port] = (peer, pport)
+
+    # ------------------------------------------------------------------
+    # traffic generation
+    # ------------------------------------------------------------------
+    def _min_service(self, src_router: int, dst_router: int) -> int:
+        """Contention-free latency of the minimal path (the Fig. 3 base)."""
+        cost = self._c_eject
+        topo = self.topo
+        g, i = divmod(src_router, topo.a)
+        tg, ti = divmod(dst_router, topo.a)
+        if g != tg:
+            gw_pos, _gw_port = topo.gateway(g, tg)
+            if i != gw_pos:
+                cost += self._c_local
+            cost += self._c_global
+            i = topo.landing_router(g, tg)
+            g = tg
+        if i != ti:
+            cost += self._c_local
+        return cost
+
+    def _make_packet(self, src_node: int, dst_node: int, now: int) -> Packet:
+        topo = self.topo
+        p = topo.p
+        src_router = src_node // p
+        dst_router = dst_node // p
+        self._pid += 1
+        return Packet(
+            pid=self._pid,
+            size=self.config.traffic.packet_size,
+            src_node=src_node,
+            src_router=src_router,
+            src_group=src_router // topo.a,
+            dst_node=dst_node,
+            dst_router=dst_router,
+            dst_group=dst_router // topo.a,
+            dst_local_router=dst_router % topo.a,
+            dst_node_port=dst_node % p,
+            gen_time=now,
+            base_latency=self._min_service(src_router, dst_router),
+        )
+
+    def _gen_event(self, node: int) -> None:
+        now = self.engine.now
+        if now >= self._end_time:
+            return
+        dst = self.traffic.dest(node, self.rng_traffic)
+        if dst is not None and dst != node:
+            pkt = self._make_packet(node, dst, now)
+            self.stats.on_generate(now, pkt.size)
+            router = self.routers[node // self.topo.p]
+            router.inject(node % self.topo.p, pkt)
+        gap = geometric_gap(self.rng_traffic, self._gen_prob)
+        self.engine.schedule(gap, self._gen_event, node)
+
+    # ------------------------------------------------------------------
+    def deliver(self, pkt: Packet) -> None:
+        """Sink callback: a packet's tail reached its destination node."""
+        self.stats.on_delivery(pkt, self.engine.now)
+
+    # ------------------------------------------------------------------
+    def _watchdog(self) -> None:
+        delivered = self.stats.total_delivered
+        if (
+            delivered == self._watch_delivered
+            and self.stats.in_flight() > 0
+        ):
+            raise SimulationError(
+                f"deadlock suspected at cycle {self.engine.now}: "
+                f"{self.stats.in_flight()} packets in flight but no delivery "
+                f"for {self.config.deadlock_cycles} cycles "
+                f"(routing={self.config.routing}, "
+                f"pattern={self.config.traffic.pattern}, "
+                f"load={self.config.traffic.load})"
+            )
+        self._watch_delivered = delivered
+        if self.engine.now < self._end_time:
+            self.engine.schedule(self.config.deadlock_cycles, self._watchdog)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the configured warmup + measurement and collect results."""
+        # Desynchronised start: each node's Bernoulli process begins at an
+        # independently drawn geometric offset, as if it had been running
+        # before cycle 0.
+        for node in range(self.topo.num_nodes):
+            if not self.traffic.active(node):
+                continue
+            offset = geometric_gap(self.rng_traffic, self._gen_prob) - 1
+            self.engine.schedule(offset, self._gen_event, node)
+        self.engine.schedule(self.config.deadlock_cycles, self._watchdog)
+        self.engine.run_until(self._end_time)
+
+        stats = self.stats
+        return SimulationResult(
+            config=self.config,
+            routing=self.config.routing,
+            pattern=self.traffic.name,
+            offered_load=stats.offered_load(),
+            accepted_load=stats.accepted_load(),
+            avg_latency=stats.latency.mean,
+            latency_std=stats.latency.std,
+            max_latency=stats.latency.max if stats.latency.n else 0.0,
+            latency_breakdown=stats.breakdown.means(),
+            delivered_packets=stats.delivered_packets,
+            generated_packets=stats.generated_packets,
+            injected_per_router=list(stats.injected_per_router),
+            delivered_per_router=list(stats.delivered_per_router),
+            in_flight_at_end=stats.in_flight(),
+            events_processed=self.engine.processed,
+        )
+
+
+def run_simulation(
+    config: SimulationConfig, *, check_decomposition: bool = False
+) -> SimulationResult:
+    """Build and run one simulation (convenience wrapper)."""
+    return Simulation(
+        config, check_decomposition=check_decomposition
+    ).run()

@@ -1,0 +1,11 @@
+"""Cycle-quantised discrete-event engine.
+
+This replaces FOGSim's global cycle loop: instead of ticking every router
+every cycle, components schedule callbacks at integer cycle times and idle
+components cost nothing.  See DESIGN.md Section 4 for why packet-granular
+events preserve the phenomena under study.
+"""
+
+from repro.engine.events import EventQueue
+
+__all__ = ["EventQueue"]

@@ -1,0 +1,90 @@
+"""A minimal, fast event queue for cycle-quantised simulation.
+
+Design notes (hot path — see the HPC guide's "measure, then make the
+bottleneck cheap" workflow):
+
+* events are plain tuples ``(time, seq, fn, args)`` on a binary heap;
+  the monotonically increasing ``seq`` makes ordering total and FIFO
+  within a cycle without comparing callables;
+* times are integers (cycles).  Scheduling in the past raises, scheduling
+  "now" is allowed and runs within the current cycle after already-queued
+  events of the same cycle (deterministic);
+* no cancellation — components use generation counters / flags instead,
+  which is cheaper than heap surgery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Binary-heap event queue with integer cycle timestamps."""
+
+    __slots__ = ("now", "_heap", "_seq", "_processed")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Callable, tuple]] = []
+        self._seq: int = 0
+        self._processed: int = 0
+
+    def schedule(self, delay: int, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` *delay* cycles from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+
+    def schedule_at(self, time: int, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` at absolute cycle *time* (time >= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, args))
+
+    def run_until(self, t_end: int) -> None:
+        """Process events with ``time <= t_end``; sets ``now = t_end``.
+
+        Events scheduled during processing are honoured if they fall within
+        the horizon.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] <= t_end:
+            time, _seq, fn, args = pop(heap)
+            self.now = time
+            self._processed += 1
+            fn(*args)
+        self.now = t_end
+
+    def run_next(self) -> bool:
+        """Process the single earliest event; False if the queue is empty."""
+        if not self._heap:
+            return False
+        time, _seq, fn, args = heapq.heappop(self._heap)
+        self.now = time
+        self._processed += 1
+        fn(*args)
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Number of queued events."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Total events executed so far (engine health metric)."""
+        return self._processed
+
+    def peek_time(self) -> int | None:
+        """Timestamp of the earliest queued event, or None when empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch everything emitted by the simulator with a single ``except``
+clause while still discriminating the failure class when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid or inconsistent configuration value was supplied.
+
+    Raised during :class:`repro.config.NetworkConfig` /
+    :class:`repro.config.SimulationConfig` validation, e.g. a negative
+    buffer size, a VC count too small for the selected routing mechanism,
+    or a Dragonfly shape whose group graph is not complete.
+    """
+
+
+class TopologyError(ReproError, ValueError):
+    """A topological query was malformed or unsatisfiable.
+
+    Examples: asking for the gateway between a group and itself, an
+    out-of-range router index, or a global-link arrangement that does not
+    form a complete graph between groups.
+    """
+
+
+class RoutingError(ReproError, RuntimeError):
+    """A routing mechanism produced an illegal decision.
+
+    Examples: a VC index beyond the configured VC count for the port class,
+    a third local hop inside one group, or a misroute requested after the
+    packet already consumed its misrouting allowance.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation reached an inconsistent or stuck state.
+
+    The deadlock watchdog raises this when no packet is delivered for an
+    implausibly long window while packets remain in flight.
+    """
+
+
+class FlowControlError(ReproError, RuntimeError):
+    """A credit/buffer invariant was violated (overflow or negative count).
+
+    These indicate internal bugs: the allocator must never grant a packet
+    without sufficient downstream credit and buffer space.
+    """
+
+
+class AnalysisError(ReproError, ValueError):
+    """Raised when experiment post-processing receives unusable inputs."""

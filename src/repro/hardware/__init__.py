@@ -1,0 +1,14 @@
+"""Router microarchitecture substrate.
+
+Implements the paper's Table I router: per-VC input buffers with
+credit-based virtual cut-through flow control, per-port output FIFOs, a
+5-cycle pipeline, a 2x-speedup separable allocator with optional
+transit-over-injection priority, and links with configurable propagation
+latency.
+"""
+
+from repro.hardware.packet import Packet
+from repro.hardware.router import Router
+from repro.hardware.allocator import select_winner
+
+__all__ = ["Packet", "Router", "select_winner"]

@@ -1,0 +1,59 @@
+"""Winner selection for the separable output allocator.
+
+Candidates competing for one output port in one allocation pass are
+``(input_key, packet, decision)`` triples.  Selection implements the two
+rules the paper evaluates:
+
+* **transit-over-injection priority** (Figures 2-4, Tables II): any
+  candidate from a local/global input beats any candidate from an
+  injection port;
+* within a priority class, a **rotating round-robin** over input keys,
+  anchored at the last key granted on this output, provides the baseline
+  (locally fair) arbitration the paper uses when the priority is removed
+  (Figures 5-6, Table III).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["select_winner"]
+
+
+def select_winner(
+    candidates: Sequence[tuple],
+    last_grant: int,
+    nkeys: int,
+    *,
+    transit_priority: bool,
+    injection_boundary: int,
+) -> tuple:
+    """Pick the winning candidate for one output port.
+
+    Parameters
+    ----------
+    candidates:
+        Non-empty sequence of ``(input_key, packet, decision)``; the input
+        key encodes ``port * max_vcs + vc``.
+    last_grant:
+        Input key granted most recently on this output (-1 initially).
+    nkeys:
+        Total key space size (for the modular rotation).
+    transit_priority:
+        When True, candidates whose input port is not an injection port
+        strictly outrank injection candidates.
+    injection_boundary:
+        Keys below ``injection_boundary`` are injection-port keys
+        (node ports occupy the lowest port indices).
+
+    Returns the winning candidate tuple.
+    """
+    if transit_priority:
+        transit = [c for c in candidates if c[0] >= injection_boundary]
+        pool = transit if transit else candidates
+    else:
+        pool = list(candidates)
+    if len(pool) == 1:
+        return pool[0]
+    # Rotating round-robin: smallest positive distance from last_grant wins.
+    return min(pool, key=lambda c: (c[0] - last_grant - 1) % nkeys)

@@ -1,0 +1,500 @@
+"""The :class:`Router`: input-output-buffered switch with VCT flow control.
+
+Model summary (DESIGN.md Sections 4-5):
+
+* **Input side** — one FIFO per (port, VC).  Node (injection) ports have a
+  single unbounded FIFO; local/global ports have per-VC buffers whose
+  capacity is enforced *at the upstream sender* through credits.
+* **Allocation** — an allocation *pass* scans the heads of active input
+  FIFOs, asks the routing mechanism for each head's output decision, and
+  grants at most one packet per input port and per output port, subject to
+  (a) crossbar availability (2x speedup: a packet occupies an input/output
+  of the switch for ``size/speedup`` cycles), (b) output FIFO space, and
+  (c) downstream credit for the selected VC.  Winner selection implements
+  optional transit-over-injection priority (see
+  :mod:`repro.hardware.allocator`).  Passes are self-scheduling: a pass
+  that leaves time-blocked work reschedules itself at the earliest release
+  time; resource-blocked work is re-woken by credit/buffer release events.
+* **Output side** — a FIFO per port drains onto the link at 1 phit/cycle
+  (8 cycles per packet) after the 5-cycle pipeline; propagation latency is
+  added on top.  Ejection (node) ports deliver to the simulation sink.
+* **Credits** — consumed at allocation for the whole packet (VCT), returned
+  to the upstream router one input-transfer time plus one link latency
+  after the packet's tail leaves the downstream input buffer.
+
+The router knows nothing about routing policies: it calls
+``routing.decide(pkt, router)`` for heads and ``routing.commit(...)`` for
+winners, keeping the mechanism/microarchitecture separation of FOGSim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import FlowControlError
+from repro.hardware.allocator import select_winner
+from repro.hardware.packet import Packet
+
+__all__ = ["Router"]
+
+# Toggle for expensive internal invariant checks (enabled in unit tests).
+CHECK_INVARIANTS = False
+
+
+class Router:
+    """One Dragonfly router.  Wired to peers by the Simulation."""
+
+    __slots__ = (
+        "sim",
+        "engine",
+        "topo",
+        "rconf",
+        "router_id",
+        "group",
+        "pos",
+        "radix",
+        "max_vcs",
+        "nkeys",
+        "injection_boundary",
+        "internal_cycles",
+        "in_q",
+        "in_occ",
+        "in_cap",
+        "in_port_free",
+        "active_keys",
+        "out_fifo",
+        "out_occ",
+        "out_cap",
+        "switch_free",
+        "link_free",
+        "out_pumping",
+        "credits_used",
+        "credit_cap",
+        "last_grant",
+        "out_peer",
+        "upstream",
+        "routing",
+        "_arb_time",
+        "vcs_of_port",
+        "_hop_cost",
+        "transit_priority",
+    )
+
+    def __init__(self, sim, router_id: int) -> None:
+        self.sim = sim
+        self.engine = sim.engine
+        self.topo = sim.topo
+        self.rconf = sim.config.router
+        topo = self.topo
+        self.router_id = router_id
+        self.group, self.pos = divmod(router_id, topo.a)
+        self.radix = topo.radix
+        rc = self.rconf
+        self.max_vcs = max(rc.local_vcs, rc.global_vcs, 1)
+        self.nkeys = self.radix * self.max_vcs
+        self.injection_boundary = topo.p * self.max_vcs
+        # A packet crosses the 2x-speedup crossbar in size/speedup cycles.
+        psize = sim.config.traffic.packet_size
+        self.internal_cycles = max(1, -(-psize // rc.speedup))
+
+        # ---- input side ------------------------------------------------
+        self.in_q: list[deque | None] = [None] * self.nkeys
+        self.in_occ = [0] * self.nkeys
+        self.in_cap = [0] * self.nkeys
+        self.vcs_of_port = [0] * self.radix
+        for port in range(self.radix):
+            kind = topo.port_kind[port]
+            if kind == "node":
+                nvc, cap = 1, 0  # unbounded injection FIFO (cap unused)
+            elif kind == "local":
+                nvc, cap = rc.local_vcs, rc.local_input_buffer
+            else:
+                nvc, cap = rc.global_vcs, rc.global_input_buffer
+            self.vcs_of_port[port] = nvc
+            for vc in range(nvc):
+                key = port * self.max_vcs + vc
+                self.in_q[key] = deque()
+                self.in_cap[key] = cap
+        self.in_port_free = [0] * self.radix
+        self.active_keys: set[int] = set()
+
+        # ---- output side -----------------------------------------------
+        self.out_fifo: list[deque] = [deque() for _ in range(self.radix)]
+        self.out_occ = [0] * self.radix
+        self.out_cap = [rc.output_buffer] * self.radix
+        self.switch_free = [0] * self.radix
+        self.link_free = [0] * self.radix
+        self.out_pumping = [False] * self.radix
+        self.last_grant = [-1] * self.radix
+
+        # ---- credits toward downstream input buffers --------------------
+        # credits_used[port][vc]: phits committed into the downstream
+        # buffer reached through `port` (local/global ports only).
+        self.credits_used: list[list[int] | None] = [None] * self.radix
+        self.credit_cap = [0] * self.radix
+        for port in range(self.radix):
+            kind = topo.port_kind[port]
+            if kind == "local":
+                self.credits_used[port] = [0] * rc.local_vcs
+                self.credit_cap[port] = rc.local_input_buffer
+            elif kind == "global":
+                self.credits_used[port] = [0] * rc.global_vcs
+                self.credit_cap[port] = rc.global_input_buffer
+
+        # Wired later by the Simulation:
+        #   out_peer[port] = (peer_router, peer_in_port) or None for nodes
+        #   upstream[port] = (peer_router, peer_out_port) or None for nodes
+        self.out_peer: list[tuple["Router", int] | None] = [None] * self.radix
+        self.upstream: list[tuple["Router", int] | None] = [None] * self.radix
+        self.routing = None  # set by Simulation
+        self.transit_priority = rc.transit_priority
+        self._arb_time: int | None = None
+
+        # Contention-free per-hop service cost by port kind, used for the
+        # packet latency ledger: pipeline + serialisation + propagation.
+        self._hop_cost = [0] * self.radix
+        for port in range(self.radix):
+            self._hop_cost[port] = (
+                rc.pipeline_latency + psize + topo.link_latency(port)
+            )
+
+    # ------------------------------------------------------------------
+    # occupancy queries (used by adaptive routing)
+    # ------------------------------------------------------------------
+    def credit_frac(self, port: int, vc: int) -> float:
+        """Occupied fraction of the downstream input buffer (port, vc).
+
+        This is FOGSim's adaptive-routing congestion signal: the credit
+        count of an output port, i.e. how full the *next* router's input
+        buffer for the chosen VC currently is.  It stays near the
+        bandwidth-delay product while traffic flows freely and only rises
+        towards 1.0 under genuine downstream backpressure — which is what
+        makes adaptive diversion kick in at (not below) the bottleneck's
+        capacity and keeps the bottleneck links fully utilised by transit
+        (the precondition of the paper's starvation effect).
+        """
+        used = self.credits_used[port]
+        if used is None:
+            return 0.0
+        return used[vc] / self.credit_cap[port]
+
+    def output_blocked(self, port: int, vc: int, size: int) -> bool:
+        """True when the downstream credits of (port, vc) cannot take a
+        *size*-phit packet.  This is the *opportunistic* misrouting trigger
+        of OLM: an in-transit packet only diverts when its minimal path is
+        genuinely back-pressured end-to-end (downstream buffer full), not
+        merely when the local output FIFO cycles through its natural
+        fill/drain rhythm — a saturated-but-flowing link keeps its transit
+        parked, which is what starves the ADVc bottleneck router's
+        injections under transit priority.
+        """
+        used = self.credits_used[port]
+        return used is not None and used[vc] + size > self.credit_cap[port]
+
+    def out_frac(self, port: int) -> float:
+        """Occupied fraction of the output FIFO behind *port*.
+
+        The source-router misrouting trigger samples this: an output FIFO
+        only backs up persistently when the downstream credit loop has
+        stalled (the minimal path is saturated end-to-end), so feeders keep
+        pushing minimal traffic until the bottleneck's input buffers are
+        genuinely full — the supply behaviour behind the paper's
+        bottleneck starvation.
+        """
+        return self.out_occ[port] / self.out_cap[port]
+
+    def port_total_occ(self, port: int) -> int:
+        """Phits committed beyond this port: output FIFO + downstream credits.
+
+        Aggregate occupancy (all VCs + output FIFO); used by diagnostics
+        and the PiggyBack saturation estimate.
+        """
+        used = self.credits_used[port]
+        base = self.out_occ[port]
+        return base + sum(used) if used is not None else base
+
+    def port_total_cap(self, port: int) -> int:
+        """Capacity matching :meth:`port_total_occ`."""
+        used = self.credits_used[port]
+        cap = self.out_cap[port]
+        if used is not None:
+            cap += self.credit_cap[port] * len(used)
+        return cap
+
+    def global_port_occupancies(self) -> list[int]:
+        """Occupancy of each global port (used by PiggyBack saturation)."""
+        topo = self.topo
+        return [
+            self.port_total_occ(port)
+            for port in range(topo.first_global_port, topo.radix)
+        ]
+
+    def local_port_occupancies(self) -> list[int]:
+        """Occupancy of each local port (PiggyBack local thresholds)."""
+        topo = self.topo
+        return [
+            self.port_total_occ(port)
+            for port in range(topo.first_local_port, topo.first_global_port)
+        ]
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def inject(self, node_port: int, pkt: Packet) -> None:
+        """Enqueue a freshly generated packet on a node (injection) port."""
+        key = node_port * self.max_vcs
+        pkt.t_enq = self.engine.now
+        self.in_q[key].append(pkt)
+        self.active_keys.add(key)
+        self.schedule_arb(self.engine.now)
+
+    def _in_arrive(self, port: int, vc: int, pkt: Packet) -> None:
+        """A packet's tail reached input buffer (port, vc)."""
+        key = port * self.max_vcs + vc
+        now = self.engine.now
+        q = self.in_q[key]
+        if q is None:
+            raise FlowControlError(
+                f"router {self.router_id}: arrival on invalid VC "
+                f"(port {port}, vc {vc})"
+            )
+        self.in_occ[key] += pkt.size
+        if CHECK_INVARIANTS and self.in_occ[key] > self.in_cap[key]:
+            raise FlowControlError(
+                f"router {self.router_id}: input buffer overflow on port "
+                f"{port} vc {vc}: {self.in_occ[key]} > {self.in_cap[key]}"
+            )
+        pkt.t_enq = now
+        self.routing.on_arrival(pkt, self, port)
+        q.append(pkt)
+        self.active_keys.add(key)
+        self.schedule_arb(max(now, self.in_port_free[port]))
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def schedule_arb(self, time: int) -> None:
+        """Request an allocation pass at cycle *time* (deduplicated)."""
+        t = self._arb_time
+        if t is not None and t <= time:
+            return
+        self._arb_time = time
+        self.engine.schedule_at(time, self._arb_event, time)
+
+    def _arb_event(self, expected: int) -> None:
+        if self._arb_time != expected:
+            return  # superseded by an earlier pass
+        self._arb_time = None
+        self._arb_pass()
+
+    def _arb_pass(self) -> None:
+        """One allocation pass over all active input heads.
+
+        With ``transit_priority`` the priority is *strict* (Blue Gene
+        style): an injection candidate is suppressed whenever any transit
+        head currently demands the same output port, even if that transit
+        head is not grantable this very cycle (input port busy, credits in
+        flight).  This models an allocator in which the injection request
+        line is masked by any pending transit request — the behaviour the
+        paper attributes to its transit-over-injection configuration and
+        the origin of the bottleneck-router starvation (Section V-B).
+        """
+        now = self.engine.now
+        next_time: int | None = None
+        granted = False
+        cand_by_out: dict[int, list] = {}
+        transit_demand: set[int] | None = (
+            set() if self.transit_priority else None
+        )
+        max_vcs = self.max_vcs
+        in_q = self.in_q
+        in_port_free = self.in_port_free
+        boundary = self.injection_boundary
+        routing = self.routing
+
+        for key in list(self.active_keys):
+            q = in_q[key]
+            if not q:
+                self.active_keys.discard(key)
+                continue
+            port = key // max_vcs
+            is_transit = key >= boundary
+            t_free = in_port_free[port]
+            if t_free > now:
+                if next_time is None or t_free < next_time:
+                    next_time = t_free
+                if transit_demand is not None and is_transit:
+                    # Still assert this head's demand for priority masking.
+                    transit_demand.add(routing.decide(q[0], self)[0])
+                continue
+            pkt = q[0]
+            dec = routing.decide(pkt, self)
+            out_port = dec[0]
+            if transit_demand is not None and is_transit:
+                transit_demand.add(out_port)
+            t_sw = self.switch_free[out_port]
+            if t_sw > now:
+                if next_time is None or t_sw < next_time:
+                    next_time = t_sw
+                continue
+            if self.out_occ[out_port] + pkt.size > self.out_cap[out_port]:
+                continue  # woken by _out_release
+            used = self.credits_used[out_port]
+            if used is not None and (
+                used[dec[1]] + pkt.size > self.credit_cap[out_port]
+            ):
+                continue  # woken by _credit_release
+            lst = cand_by_out.get(out_port)
+            if lst is None:
+                cand_by_out[out_port] = [(key, pkt, dec)]
+            else:
+                lst.append((key, pkt, dec))
+
+        for out_port, cands in cand_by_out.items():
+            # A grant earlier in this pass may have consumed the input port.
+            cands = [c for c in cands if in_port_free[c[0] // max_vcs] <= now]
+            if transit_demand is not None and out_port in transit_demand:
+                # Strict priority: pending transit masks injection requests.
+                cands = [c for c in cands if c[0] >= boundary]
+            if not cands:
+                continue
+            winner = select_winner(
+                cands,
+                self.last_grant[out_port],
+                self.nkeys,
+                transit_priority=self.transit_priority,
+                injection_boundary=self.injection_boundary,
+            )
+            self.last_grant[out_port] = winner[0]
+            self._commit(out_port, *winner)
+            granted = True
+
+        if next_time is not None:
+            self.schedule_arb(next_time)
+        elif granted and self.active_keys:
+            # Progress happened this cycle; backlogged heads (arbitration
+            # losers or multi-VC queues) retry next cycle.  Heads blocked on
+            # buffers/credits are re-woken by the release events instead.
+            self.schedule_arb(now + 1)
+
+    def _commit(self, out_port: int, key: int, pkt: Packet, dec: tuple) -> None:
+        """Grant *pkt* from input *key* to *out_port* with decision *dec*."""
+        now = self.engine.now
+        engine = self.engine
+        in_port, in_vc = divmod(key, self.max_vcs)
+        out_vc = dec[1]
+        q = self.in_q[key]
+        q.popleft()
+        if not q:
+            self.active_keys.discard(key)
+        self.in_port_free[in_port] = now + self.internal_cycles
+        self.switch_free[out_port] = now + self.internal_cycles
+        self.out_occ[out_port] += pkt.size
+
+        if in_port < self.topo.p:
+            # Injection: record the moment the packet entered the network.
+            pkt.inject_time = now
+            self.sim.stats.on_injection(self.router_id, now)
+        else:
+            wait = now - pkt.t_enq
+            if wait:
+                if self.topo.port_kind[in_port] == "local":
+                    pkt.wait_local += wait
+                else:
+                    pkt.wait_global += wait
+            self.in_occ[key] -= pkt.size
+            if CHECK_INVARIANTS and self.in_occ[key] < 0:
+                raise FlowControlError(
+                    f"router {self.router_id}: negative input occupancy "
+                    f"port {in_port} vc {in_vc}"
+                )
+            up = self.upstream[in_port]
+            if up is not None:
+                up_router, up_port = up
+                delay = self.internal_cycles + self.topo.link_latency(in_port)
+                engine.schedule(
+                    delay, up_router._credit_release, up_port, in_vc, pkt.size
+                )
+
+        used = self.credits_used[out_port]
+        if used is not None:
+            used[out_vc] += pkt.size
+            if CHECK_INVARIANTS and used[out_vc] > self.credit_cap[out_port]:
+                raise FlowControlError(
+                    f"router {self.router_id}: credit overcommit on port "
+                    f"{out_port} vc {out_vc}"
+                )
+
+        self.routing.commit(pkt, self, dec)
+        pkt.service_sum += self._hop_cost[out_port]
+        engine.schedule(
+            self.rconf.pipeline_latency, self._out_arrive, out_port, pkt, out_vc
+        )
+
+    # ------------------------------------------------------------------
+    # output stage
+    # ------------------------------------------------------------------
+    def _out_arrive(self, port: int, pkt: Packet, vc: int) -> None:
+        self.out_fifo[port].append((pkt, vc, self.engine.now))
+        self._pump_output(port)
+
+    def _pump_output(self, port: int) -> None:
+        if self.out_pumping[port] or not self.out_fifo[port]:
+            return
+        now = self.engine.now
+        dep = self.link_free[port]
+        if dep < now:
+            dep = now
+        self.out_pumping[port] = True
+        self.engine.schedule_at(dep, self._send, port)
+
+    def _send(self, port: int) -> None:
+        """Start transmitting the head of output FIFO *port* onto the link."""
+        self.out_pumping[port] = False
+        pkt, vc, t_arr = self.out_fifo[port].popleft()
+        now = self.engine.now
+        wait = now - t_arr
+        if wait:
+            kind = self.topo.port_kind[port]
+            if kind == "global":
+                pkt.wait_global += wait
+            else:  # local and node (ejection) FIFO waits
+                pkt.wait_local += wait
+        size = pkt.size
+        self.link_free[port] = now + size
+        self.engine.schedule(size, self._out_release, port, size)
+        peer = self.out_peer[port]
+        latency = self.topo.link_latency(port)
+        if peer is None:
+            self.engine.schedule(size + latency, self.sim.deliver, pkt)
+        else:
+            peer_router, peer_port = peer
+            self.engine.schedule(
+                size + latency, peer_router._in_arrive, peer_port, vc, pkt
+            )
+        self._pump_output(port)
+
+    def _out_release(self, port: int, size: int) -> None:
+        self.out_occ[port] -= size
+        if CHECK_INVARIANTS and self.out_occ[port] < 0:
+            raise FlowControlError(
+                f"router {self.router_id}: negative output occupancy port {port}"
+            )
+        self.schedule_arb(self.engine.now)
+
+    def _credit_release(self, port: int, vc: int, size: int) -> None:
+        used = self.credits_used[port]
+        used[vc] -= size
+        if CHECK_INVARIANTS and used[vc] < 0:
+            raise FlowControlError(
+                f"router {self.router_id}: negative credits port {port} vc {vc}"
+            )
+        self.schedule_arb(self.engine.now)
+
+    # ------------------------------------------------------------------
+    def backlog(self) -> int:
+        """Total packets waiting in this router's input queues (debug)."""
+        return sum(len(q) for q in self.in_q if q)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Router({self.router_id}, g{self.group}r{self.pos})"

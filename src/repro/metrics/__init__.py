@@ -1,0 +1,12 @@
+"""Measurement: throughput, latency (with breakdown) and fairness metrics."""
+
+from repro.metrics.collector import StatsCollector
+from repro.metrics.fairness import FairnessMetrics, fairness_from_counts
+from repro.metrics.latency import LatencyBreakdown
+
+__all__ = [
+    "FairnessMetrics",
+    "LatencyBreakdown",
+    "StatsCollector",
+    "fairness_from_counts",
+]

@@ -1,0 +1,131 @@
+"""The :class:`StatsCollector`: measurement-window accounting.
+
+Mirrors FOGSim's methodology (Section IV-A): the network warms up for
+``warmup_cycles``, then statistics are tracked for ``measure_cycles``:
+
+* offered load  = phits *generated* in the window / (nodes x cycles);
+* accepted load = phits *delivered* in the window / (nodes x cycles);
+* latency       = mean over packets delivered in the window (their full
+  life, including time spent before the window opened);
+* per-router injection counts = switch-allocation grants from injection
+  ports during the window (the quantity plotted in Figures 4/6).
+
+All-time counters (independent of the window) feed the deadlock watchdog
+and conservation checks.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.packet import Packet
+from repro.metrics.latency import LatencyBreakdown
+from repro.utils.stats import OnlineStats
+
+__all__ = ["StatsCollector"]
+
+
+class StatsCollector:
+    """Accumulates all simulation statistics for one run."""
+
+    __slots__ = (
+        "window_start",
+        "window_end",
+        "num_routers",
+        "num_nodes",
+        "generated_phits",
+        "generated_packets",
+        "delivered_phits",
+        "delivered_packets",
+        "latency",
+        "breakdown",
+        "injected_per_router",
+        "delivered_per_router",
+        "total_generated",
+        "total_injected",
+        "total_delivered",
+        "check_decomposition",
+    )
+
+    def __init__(
+        self,
+        window_start: int,
+        window_end: int,
+        num_routers: int,
+        num_nodes: int,
+        *,
+        check_decomposition: bool = False,
+    ) -> None:
+        self.window_start = window_start
+        self.window_end = window_end
+        self.num_routers = num_routers
+        self.num_nodes = num_nodes
+        self.generated_phits = 0
+        self.generated_packets = 0
+        self.delivered_phits = 0
+        self.delivered_packets = 0
+        self.latency = OnlineStats()
+        self.breakdown = LatencyBreakdown()
+        self.injected_per_router = [0] * num_routers
+        self.delivered_per_router = [0] * num_routers
+        self.total_generated = 0
+        self.total_injected = 0
+        self.total_delivered = 0
+        self.check_decomposition = check_decomposition
+
+    # ------------------------------------------------------------------
+    def in_window(self, now: int) -> bool:
+        """True when *now* falls inside the measurement window."""
+        return self.window_start <= now < self.window_end
+
+    def on_generate(self, now: int, size: int) -> None:
+        """A node created a packet of *size* phits."""
+        self.total_generated += 1
+        if self.window_start <= now < self.window_end:
+            self.generated_phits += size
+            self.generated_packets += 1
+
+    def on_injection(self, router_id: int, now: int) -> None:
+        """A packet won switch allocation from an injection port."""
+        self.total_injected += 1
+        if self.window_start <= now < self.window_end:
+            self.injected_per_router[router_id] += 1
+
+    def on_delivery(self, pkt: Packet, now: int) -> None:
+        """A packet's tail reached its destination node."""
+        self.total_delivered += 1
+        if not (self.window_start <= now < self.window_end):
+            return
+        self.delivered_phits += pkt.size
+        self.delivered_packets += 1
+        self.delivered_per_router[pkt.dst_router] += 1
+        total = now - pkt.gen_time
+        self.latency.add(total)
+        inj = pkt.inject_time - pkt.gen_time
+        base = pkt.base_latency
+        mis = pkt.service_sum - base
+        self.breakdown.add(inj, pkt.wait_local, pkt.wait_global, base, mis)
+        if self.check_decomposition:
+            parts = inj + pkt.wait_local + pkt.wait_global + base + mis
+            if parts != total:
+                raise AssertionError(
+                    f"latency decomposition broken for packet {pkt.pid}: "
+                    f"{parts} != {total} (inj={inj}, l={pkt.wait_local}, "
+                    f"g={pkt.wait_global}, base={base}, mis={mis})"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def measure_cycles(self) -> int:
+        """Length of the measurement window."""
+        return self.window_end - self.window_start
+
+    def offered_load(self) -> float:
+        """Measured offered load in phits/(node*cycle)."""
+        return self.generated_phits / (self.num_nodes * self.measure_cycles)
+
+    def accepted_load(self) -> float:
+        """Measured accepted load in phits/(node*cycle)."""
+        return self.delivered_phits / (self.num_nodes * self.measure_cycles)
+
+    def in_flight(self) -> int:
+        """Packets injected into the network but not yet delivered."""
+        return self.total_injected - self.total_delivered

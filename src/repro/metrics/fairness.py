@@ -1,0 +1,57 @@
+"""Fairness metrics over per-router injection counts (paper Section IV-B).
+
+The paper's Tables II/III report, over all routers of the network:
+
+* ``min_injected``   - the lowest per-router injection count ("Min inj");
+* ``max_min_ratio``  - busiest over most-starved ("Max/Min");
+* ``cov``            - coefficient of variation sigma/mu ("COV").
+
+:func:`fairness_from_counts` also computes Jain's index (extension) and
+identifies the most-starved router, which the analysis layer cross-checks
+against the topological bottleneck router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.errors import AnalysisError
+from repro.utils.stats import coefficient_of_variation, jain_index, max_min_ratio
+
+__all__ = ["FairnessMetrics", "fairness_from_counts"]
+
+
+@dataclass(frozen=True)
+class FairnessMetrics:
+    """Fairness summary of one simulation run."""
+
+    min_injected: float
+    max_injected: float
+    max_min_ratio: float
+    cov: float
+    jain: float
+    starved_router: int
+    mean_injected: float
+
+    def as_row(self) -> list[float]:
+        """Row in the paper's Table II/III column order."""
+        return [self.min_injected, self.max_min_ratio, self.cov]
+
+
+def fairness_from_counts(counts: Sequence[int]) -> FairnessMetrics:
+    """Compute the fairness summary from per-router injection counts."""
+    if not counts:
+        raise AnalysisError("fairness_from_counts needs at least one router")
+    values = [float(c) for c in counts]
+    lo = min(values)
+    hi = max(values)
+    return FairnessMetrics(
+        min_injected=lo,
+        max_injected=hi,
+        max_min_ratio=max_min_ratio(values),
+        cov=coefficient_of_variation(values),
+        jain=jain_index(values),
+        starved_router=values.index(lo),
+        mean_injected=sum(values) / len(values),
+    )

@@ -1,0 +1,69 @@
+"""Latency decomposition (paper Figure 3).
+
+Every delivered packet's latency splits exactly into five components:
+
+* ``injection``  - wait in the injection queue (generation to first grant);
+* ``local``      - queueing at local input buffers and local/ejection
+  output FIFOs;
+* ``global``     - queueing at global input buffers and global output FIFOs;
+* ``base``       - contention-free service of the *minimal* path
+  (pipeline + serialisation + propagation per hop);
+* ``misroute``   - contention-free service of the path actually taken,
+  minus ``base`` (zero for minimally-routed packets).
+
+``injection + local + global + base + misroute == total`` holds per packet
+by construction (asserted in tests), so the aggregated means decompose the
+aggregate average latency exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LatencyBreakdown"]
+
+
+@dataclass
+class LatencyBreakdown:
+    """Accumulated latency components over delivered packets."""
+
+    packets: int = 0
+    injection: float = 0.0
+    local: float = 0.0
+    global_: float = 0.0
+    base: float = 0.0
+    misroute: float = 0.0
+
+    def add(
+        self,
+        injection: int,
+        local: int,
+        global_: int,
+        base: int,
+        misroute: int,
+    ) -> None:
+        """Accumulate one packet's components (raw cycles)."""
+        self.packets += 1
+        self.injection += injection
+        self.local += local
+        self.global_ += global_
+        self.base += base
+        self.misroute += misroute
+
+    def means(self) -> dict[str, float]:
+        """Per-packet means of each component (empty -> zeros)."""
+        n = self.packets or 1
+        return {
+            "injection": self.injection / n,
+            "local": self.local / n,
+            "global": self.global_ / n,
+            "base": self.base / n,
+            "misroute": self.misroute / n,
+        }
+
+    def total_mean(self) -> float:
+        """Mean total latency implied by the component sums."""
+        n = self.packets or 1
+        return (
+            self.injection + self.local + self.global_ + self.base + self.misroute
+        ) / n

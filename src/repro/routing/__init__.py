@@ -1,0 +1,49 @@
+"""Routing mechanisms and global misrouting policies.
+
+The paper's legend maps to these classes (built via :func:`make_routing`):
+
+=============== ==========================================================
+Name            Mechanism
+=============== ==========================================================
+``min``         Minimal routing (oblivious)
+``obl-rrg``     Oblivious non-minimal, random intermediate (Valiant)
+``obl-crg``     Oblivious non-minimal, intermediate restricted to groups
+                directly connected to the source router
+``src-rrg``     PiggyBack source-adaptive, RRG non-minimal selection
+``src-crg``     PiggyBack source-adaptive, CRG non-minimal selection
+``in-trns-rrg`` In-transit adaptive (PAR + OLM), RRG global misrouting
+``in-trns-crg`` In-transit adaptive, CRG global misrouting
+``in-trns-mm``  In-transit adaptive, Mixed-Mode (CRG at the source router,
+                NRG for in-transit packets)
+=============== ==========================================================
+"""
+
+from repro.routing.base import RoutingMechanism, eject_decision, min_hop_port
+from repro.routing.factory import ROUTING_NAMES, make_routing
+from repro.routing.minimal import MinimalRouting
+from repro.routing.misrouting import (
+    MisroutePolicy,
+    crg_candidates,
+    nrg_candidates,
+    rrg_candidates,
+)
+from repro.routing.oblivious import ObliviousValiantRouting
+from repro.routing.piggyback import PiggybackGroupState, PiggybackRouting
+from repro.routing.intransit import InTransitAdaptiveRouting
+
+__all__ = [
+    "InTransitAdaptiveRouting",
+    "MinimalRouting",
+    "MisroutePolicy",
+    "ObliviousValiantRouting",
+    "PiggybackGroupState",
+    "PiggybackRouting",
+    "ROUTING_NAMES",
+    "RoutingMechanism",
+    "crg_candidates",
+    "eject_decision",
+    "make_routing",
+    "min_hop_port",
+    "nrg_candidates",
+    "rrg_candidates",
+]

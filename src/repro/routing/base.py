@@ -1,0 +1,103 @@
+"""Routing mechanism interface and shared hop helpers.
+
+A *decision* is the tuple ``(out_port, out_vc, action, aux)``:
+
+* ``action = 0`` - plain hop (minimal or already-committed plan);
+* ``action = 1`` - commit a global misroute towards intermediate group
+  ``aux`` (applied to the packet only if the grant goes through);
+* ``action = 2`` - opportunistic local misroute (hop counters record it;
+  no extra state).
+
+Decisions are recomputed on every allocation pass a head packet
+participates in, so adaptive mechanisms naturally re-evaluate while a
+packet waits; state is only mutated in :meth:`RoutingMechanism.commit`
+(called exactly once per granted hop) and in
+:meth:`RoutingMechanism.on_arrival` (once per link traversal).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import RoutingError
+from repro.hardware.packet import Packet
+
+__all__ = ["RoutingMechanism", "min_hop_port", "eject_decision"]
+
+
+def min_hop_port(topo, router, target_router: int) -> int:
+    """Output port for the next minimal hop towards *target_router*.
+
+    Implements hierarchical minimal routing: inside the target group, a
+    local hop to the target; otherwise proceed to (or through) the unique
+    gateway holding the global link towards the target's group.  The
+    caller must handle ``router.router_id == target_router`` (ejection).
+    """
+    tg, ti = divmod(target_router, topo.a)
+    g, i = router.group, router.pos
+    if g == tg:
+        if i == ti:
+            raise RoutingError("min_hop_port called at the target router")
+        return topo.local_port(i, ti)
+    gw_pos, gw_port = topo.gateway(g, tg)
+    if i == gw_pos:
+        return gw_port
+    return topo.local_port(i, gw_pos)
+
+
+def eject_decision(pkt: Packet) -> tuple:
+    """Decision delivering *pkt* to its destination node port."""
+    return (pkt.dst_node_port, 0, 0, 0)
+
+
+class RoutingMechanism(ABC):
+    """Base class for all mechanisms; owns arrival-time bookkeeping."""
+
+    #: mechanism name as it appears in the paper's legends (set by factory)
+    name: str = "?"
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.topo = sim.topo
+        self.n_local_vcs = sim.config.router.local_vcs
+        self.n_global_vcs = sim.config.router.global_vcs
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def decide(self, pkt: Packet, router) -> tuple:
+        """Return the decision tuple for the head packet *pkt* at *router*.
+
+        Must always return a decision (never None): a packet whose chosen
+        output lacks credit simply loses the pass and is re-evaluated when
+        resources free up.
+        """
+
+    # ------------------------------------------------------------------
+    def commit(self, pkt: Packet, router, dec: tuple) -> None:
+        """Apply state changes for a granted hop (called once per grant)."""
+        out_port = dec[0]
+        kind = self.topo.port_kind[out_port]
+        if kind == "local":
+            pkt.local_hops += 1
+            pkt.group_local_hops += 1
+            if pkt.group_local_hops > 2:
+                raise RoutingError(
+                    f"packet {pkt.pid} took a third local hop in group "
+                    f"{router.group}; VC safety would be violated"
+                )
+        elif kind == "global":
+            pkt.global_hops += 1
+        if dec[2] == 1:
+            pkt.inter_group = dec[3]
+
+    # ------------------------------------------------------------------
+    def on_arrival(self, pkt: Packet, router, port: int) -> None:
+        """Per-link-arrival bookkeeping (group transitions, plan updates)."""
+        group = router.group
+        if group != pkt.current_group:
+            pkt.current_group = group
+            pkt.group_local_hops = 0
+            if pkt.inter_group == group:
+                pkt.inter_group = -1  # intermediate group reached
+        if pkt.plan == 2 and router.router_id == pkt.inter_router:
+            pkt.plan = 1  # intermediate router reached; minimal from here

@@ -1,0 +1,47 @@
+"""Routing mechanism factory keyed by the paper's legend names."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.routing.intransit import InTransitAdaptiveRouting
+from repro.routing.minimal import MinimalRouting
+from repro.routing.misrouting import MisroutePolicy
+from repro.routing.oblivious import ObliviousValiantRouting
+from repro.routing.piggyback import PiggybackRouting
+
+__all__ = ["make_routing", "ROUTING_NAMES"]
+
+#: every mechanism evaluated in the paper, in figure-legend order
+ROUTING_NAMES = (
+    "min",
+    "obl-rrg",
+    "obl-crg",
+    "src-rrg",
+    "src-crg",
+    "in-trns-rrg",
+    "in-trns-crg",
+    "in-trns-mm",
+)
+
+
+def make_routing(name: str, sim):
+    """Instantiate the routing mechanism *name* bound to *sim*."""
+    if name == "min":
+        return MinimalRouting(sim)
+    if name == "obl-rrg":
+        return ObliviousValiantRouting(sim, "rrg")
+    if name == "obl-crg":
+        return ObliviousValiantRouting(sim, "crg")
+    if name == "src-rrg":
+        return PiggybackRouting(sim, "rrg")
+    if name == "src-crg":
+        return PiggybackRouting(sim, "crg")
+    if name == "in-trns-rrg":
+        return InTransitAdaptiveRouting(sim, MisroutePolicy.RRG)
+    if name == "in-trns-crg":
+        return InTransitAdaptiveRouting(sim, MisroutePolicy.CRG)
+    if name == "in-trns-mm":
+        return InTransitAdaptiveRouting(sim, MisroutePolicy.MM)
+    raise ConfigurationError(
+        f"unknown routing mechanism {name!r}; expected one of {ROUTING_NAMES}"
+    )

@@ -1,0 +1,232 @@
+"""In-transit adaptive routing (PAR-style global + OLM-style local misrouting).
+
+Decision structure (Section II-C of the paper):
+
+* **Global misrouting** may be chosen at the source router (injection) or
+  after the first local hop in the source group (PAR's second decision
+  point).  The congestion signal is FOGSim's: the *credit count* of an
+  output port — the occupied fraction of the downstream input buffer for
+  the VC the packet would use.  Misrouting triggers when the minimal
+  port's credit occupancy reaches ``misroute_threshold`` (Table I: 43%)
+  and a policy-legal non-minimal candidate is strictly less congested.
+  The candidate set follows the configured global misrouting policy
+  (CRG / RRG / MM = CRG-at-source + NRG-in-transit).
+* **Local misrouting** (OLM): in the intermediate or destination group,
+  when the minimal local hop is backpressured past the same threshold,
+  divert through a third router of the group (two local hops replace one;
+  the second uses the escape VC).  At most one local misroute per group.
+* Decisions are re-evaluated on every allocation pass while the packet
+  waits; a global diversion only binds (``inter_group`` set) when the
+  grant is committed.
+
+Because the credit signal only rises under genuine downstream
+backpressure, diversion begins exactly when the minimal path saturates —
+the minimal flow through the ADVc bottleneck router therefore stays *at*
+link capacity, its global links remain fully occupied by in-transit
+packets, and with transit-over-injection priority its own injections
+starve (the paper's Figures 2c/4 and Table II).  From the bottleneck
+router itself the CRG/MM candidate set coincides with those same
+congested links, so its packets cannot even escape non-minimally
+(Section III).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.hardware.packet import Packet
+from repro.routing.base import RoutingMechanism, eject_decision
+from repro.routing.misrouting import (
+    MisroutePolicy,
+    crg_candidates,
+    nrg_candidates,
+    rrg_candidates,
+)
+from repro.routing.vc import stage_global_vc, stage_local_vc
+
+__all__ = ["InTransitAdaptiveRouting"]
+
+
+class InTransitAdaptiveRouting(RoutingMechanism):
+    """PAR + OLM in-transit adaptive routing with a global misrouting policy."""
+
+    def __init__(self, sim, policy: MisroutePolicy) -> None:
+        super().__init__(sim)
+        self.policy = policy
+        self.name = f"in-trns-{policy.value}"
+        self.rng: random.Random = sim.rng_routing
+        self.threshold = sim.config.misroute_threshold
+        self.enable_local_misroute = True
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _vc_for(self, pkt: Packet, router, port: int) -> int:
+        """VC the packet would use on *port* (stage + escape scheme)."""
+        if self.topo.is_global_port(port):
+            return stage_global_vc(pkt, self.n_global_vcs)
+        return stage_local_vc(pkt, router.group, self.n_local_vcs)
+
+    def _global_candidates(
+        self, pkt: Packet, router, at_source_router: bool
+    ) -> list[tuple[int, int]]:
+        topo = self.topo
+        policy = self.policy
+        if policy is MisroutePolicy.MM:
+            policy = (
+                MisroutePolicy.CRG if at_source_router else MisroutePolicy.NRG
+            )
+        if policy is MisroutePolicy.CRG:
+            return crg_candidates(topo, router, pkt)
+        if policy is MisroutePolicy.NRG:
+            return nrg_candidates(topo, router, pkt, self.rng)
+        return rrg_candidates(topo, router, pkt, self.rng)
+
+    def _try_global_misroute(
+        self, pkt: Packet, router, min_port: int, min_vc: int
+    ) -> tuple | None:
+        """Return a misroute decision, or None to stay minimal.
+
+        Two regimes (see module docstring / DESIGN.md):
+
+        * at the **source router** (injection point) the decision is
+          proactive: divert when the minimal port's credit occupancy is at
+          least ``misroute_threshold`` and a candidate is less congested;
+        * at the **PAR second decision point** (after the first local hop,
+          typically the gateway router) the decision is opportunistic, as
+          in OLM: divert only when the minimal output is actually blocked
+          (no credits / output FIFO full), so moderately congested minimal
+          links keep their in-transit traffic parked on them.
+        """
+        at_source_router = pkt.group_local_hops == 0
+        if at_source_router:
+            # Proactive trigger: the minimal port's *output FIFO* persists
+            # above the threshold only when its credit loop has stalled,
+            # i.e. the minimal path is saturated end to end.
+            frac_min = router.out_frac(min_port)
+            if frac_min < self.threshold:
+                return None
+        else:
+            # PAR second decision point: opportunistic (OLM) — divert only
+            # when the minimal output is credit-blocked outright.
+            if not router.output_blocked(min_port, min_vc, pkt.size):
+                return None
+            frac_min = 1.0
+        best: tuple[int, int, int] | None = None
+        best_frac = frac_min
+        for port, inter_group in self._global_candidates(
+            pkt, router, at_source_router
+        ):
+            # A diversion through a local port is a second local hop when
+            # the packet already moved inside this group; a third is
+            # forbidden by the VC safety rules.
+            if pkt.group_local_hops >= 2 and self.topo.is_local_port(port):
+                continue
+            vc = self._vc_for(pkt, router, port)
+            if router.output_blocked(port, vc, pkt.size):
+                continue
+            frac = router.out_frac(port)
+            if frac < best_frac:
+                best_frac = frac
+                best = (port, vc, inter_group)
+        if best is None:
+            return None
+        port, vc, inter_group = best
+        return (port, vc, 1, inter_group)
+
+    def _try_local_misroute(
+        self, pkt: Packet, router, min_port: int, min_vc: int, avoid_pos: int
+    ) -> tuple | None:
+        """OLM: divert a backpressured minimal local hop via a third router."""
+        if not self.enable_local_misroute:
+            return None
+        if pkt.group_local_hops != 0:
+            return None  # at most one local misroute per group
+        # Opportunistic (OLM): only when the minimal local hop is blocked.
+        if not router.output_blocked(min_port, min_vc, pkt.size):
+            return None
+        topo = self.topo
+        a = topo.a
+        if a < 3:
+            return None
+        best_port = -1
+        best_frac = router.credit_frac(min_port, min_vc)
+        vc = min_vc  # same stage VC; the corrective hop will use the escape
+        for _ in range(3):
+            w = self.rng.randrange(a)
+            if w == router.pos or w == avoid_pos:
+                continue
+            port = topo.local_port(router.pos, w)
+            if router.output_blocked(port, vc, pkt.size):
+                continue
+            frac = router.credit_frac(port, vc)
+            if frac < best_frac:
+                best_frac = frac
+                best_port = port
+        if best_port < 0:
+            return None
+        return (best_port, vc, 2, 0)
+
+    def _min_decision(self, pkt: Packet, router, target_router: int) -> tuple:
+        topo = self.topo
+        tg, ti = divmod(target_router, topo.a)
+        if router.group == tg:
+            port = topo.local_port(router.pos, ti)
+        else:
+            gw_pos, gw_port = topo.gateway(router.group, tg)
+            port = (
+                gw_port
+                if router.pos == gw_pos
+                else topo.local_port(router.pos, gw_pos)
+            )
+        return (port, self._vc_for(pkt, router, port), 0, 0)
+
+    # ------------------------------------------------------------------
+    def decide(self, pkt: Packet, router) -> tuple:
+        topo = self.topo
+
+        # Destination group: minimal local hop (or ejection), with OLM.
+        if router.group == pkt.dst_group:
+            if router.router_id == pkt.dst_router:
+                return eject_decision(pkt)
+            dec = self._min_decision(pkt, router, pkt.dst_router)
+            alt = self._try_local_misroute(
+                pkt, router, dec[0], dec[1], pkt.dst_local_router
+            )
+            return alt if alt is not None else dec
+
+        # Committed diversion: route minimally towards the intermediate
+        # group (cleared by on_arrival when we get there).
+        if pkt.inter_group >= 0:
+            gw_pos, gw_port = topo.gateway(router.group, pkt.inter_group)
+            port = (
+                gw_port
+                if router.pos == gw_pos
+                else topo.local_port(router.pos, gw_pos)
+            )
+            return (port, self._vc_for(pkt, router, port), 0, 0)
+
+        # Minimal phase towards the destination group.
+        gw_pos, gw_port = topo.gateway(router.group, pkt.dst_group)
+        if router.pos == gw_pos:
+            min_port = gw_port
+        else:
+            min_port = topo.local_port(router.pos, gw_pos)
+        min_vc = self._vc_for(pkt, router, min_port)
+        min_dec = (min_port, min_vc, 0, 0)
+
+        in_source_group = router.group == pkt.src_group and pkt.global_hops == 0
+        if in_source_group:
+            # PAR: global misrouting at injection or after one local hop.
+            alt = self._try_global_misroute(pkt, router, min_port, min_vc)
+            if alt is not None:
+                return alt
+        elif topo.is_local_port(min_port):
+            # Intermediate group: OLM local misrouting of the hop towards
+            # the gateway of the destination group.
+            alt = self._try_local_misroute(
+                pkt, router, min_port, min_vc, gw_pos
+            )
+            if alt is not None:
+                return alt
+        return min_dec

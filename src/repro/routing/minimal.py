@@ -1,0 +1,32 @@
+"""Minimal (MIN) oblivious routing.
+
+The reference mechanism for uniform traffic: always take the unique
+shortest path (at most local-global-local plus ejection).  Under ADV+1 it
+saturates at ``1/(a*p)`` phits/node/cycle and under ADVc at ``h/(a*p)``
+(Section III) because all minimal paths share the group's single gateway
+link(s).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.packet import Packet
+from repro.routing.base import RoutingMechanism, eject_decision, min_hop_port
+from repro.routing.vc import position_global_vc, position_local_vc
+
+__all__ = ["MinimalRouting"]
+
+
+class MinimalRouting(RoutingMechanism):
+    """Always-minimal routing with position-based VC assignment."""
+
+    name = "min"
+
+    def decide(self, pkt: Packet, router) -> tuple:
+        if router.router_id == pkt.dst_router:
+            return eject_decision(pkt)
+        out_port = min_hop_port(self.topo, router, pkt.dst_router)
+        if self.topo.is_global_port(out_port):
+            vc = position_global_vc(pkt, self.n_global_vcs)
+        else:
+            vc = position_local_vc(pkt, self.n_local_vcs)
+        return (out_port, vc, 0, 0)

@@ -1,0 +1,100 @@
+"""Global misrouting policies: candidate generation for non-minimal hops.
+
+Definitions from Garcia et al. (INA-OCMC'13), Section II-B of the paper:
+
+* **CRG** (current-router global): the intermediate group must be directly
+  connected to the *current* router — the non-minimal path starts with one
+  of this router's own global links.
+* **NRG** (neighbour-router global): the intermediate group hangs off a
+  *different* router of the current group — the non-minimal path starts
+  with a local hop.
+* **RRG** (random-router global): any group; the first hop is this
+  router's own global link when the group is directly attached, otherwise
+  a local hop towards its gateway.
+* **MM** (mixed mode, in-transit only): CRG when deciding at the source
+  router, NRG for packets already in transit.
+
+Each candidate is ``(first_hop_port, intermediate_group)``.  The in-transit
+mechanism samples a bounded number of candidates per decision and picks
+the least-occupied first hop, which models FOGSim's credit-count
+comparison without scanning every group at every allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.hardware.packet import Packet
+
+__all__ = [
+    "MisroutePolicy",
+    "crg_candidates",
+    "nrg_candidates",
+    "rrg_candidates",
+]
+
+#: candidates sampled per decision by the randomised policies
+SAMPLE_K = 4
+
+
+class MisroutePolicy(enum.Enum):
+    """Global misrouting policy selector."""
+
+    CRG = "crg"
+    NRG = "nrg"
+    RRG = "rrg"
+    MM = "mm"
+
+
+def crg_candidates(topo, router, pkt: Packet) -> list[tuple[int, int]]:
+    """All own-global-port candidates (excluding the destination group).
+
+    From the ADVc bottleneck router this set coincides with the congested
+    minimal links of its neighbours — the structural overlap Section III
+    identifies as the root of the unfairness.
+    """
+    g = router.group
+    out = []
+    for port in range(topo.first_global_port, topo.radix):
+        peer_group, _pi, _pp = topo.global_port_peer(g, router.pos, port)
+        if peer_group != pkt.dst_group and peer_group != pkt.src_group:
+            out.append((port, peer_group))
+    return out
+
+
+def nrg_candidates(
+    topo, router, pkt: Packet, rng: random.Random, k: int = SAMPLE_K
+) -> list[tuple[int, int]]:
+    """Sample candidates reached through *other* routers of this group."""
+    g, i = router.group, router.pos
+    a = topo.a
+    out: list[tuple[int, int]] = []
+    for _ in range(k):
+        w = rng.randrange(a - 1)
+        if w >= i:
+            w += 1
+        j = rng.randrange(topo.h)
+        port = topo.first_global_port + j
+        peer_group, _pi, _pp = topo.global_port_peer(g, w, port)
+        if peer_group == pkt.dst_group or peer_group == pkt.src_group:
+            continue
+        out.append((topo.local_port(i, w), peer_group))
+    return out
+
+
+def rrg_candidates(
+    topo, router, pkt: Packet, rng: random.Random, k: int = SAMPLE_K
+) -> list[tuple[int, int]]:
+    """Sample candidates over all groups (first hop own-global or local)."""
+    g, i = router.group, router.pos
+    groups = topo.groups
+    out: list[tuple[int, int]] = []
+    for _ in range(k):
+        tg = rng.randrange(groups)
+        if tg == g or tg == pkt.dst_group or tg == pkt.src_group:
+            continue
+        gw_pos, gw_port = topo.gateway(g, tg)
+        port = gw_port if gw_pos == i else topo.local_port(i, gw_pos)
+        out.append((port, tg))
+    return out

@@ -1,0 +1,46 @@
+"""Canonical Dragonfly topology: arrangements, gateway tables, paths, graphs.
+
+The topology layer is pure and stateless: given ``(p, a, h)`` and a global
+link arrangement it answers structural queries (which port reaches which
+group, who is the gateway router, what is the minimal path) used by both
+the routers and the routing mechanisms.
+"""
+
+from repro.topology.arrangement import (
+    ConsecutiveArrangement,
+    GlobalLinkArrangement,
+    PalmtreeArrangement,
+    RandomArrangement,
+    make_arrangement,
+)
+from repro.topology.coordinates import NodeCoord, RouterCoord
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.graphs import (
+    router_graph,
+    group_graph,
+    topology_diameter,
+)
+from repro.topology.paths import (
+    Hop,
+    minimal_path,
+    minimal_path_length,
+    valiant_path,
+)
+
+__all__ = [
+    "ConsecutiveArrangement",
+    "DragonflyTopology",
+    "GlobalLinkArrangement",
+    "Hop",
+    "NodeCoord",
+    "PalmtreeArrangement",
+    "RandomArrangement",
+    "RouterCoord",
+    "group_graph",
+    "make_arrangement",
+    "minimal_path",
+    "minimal_path_length",
+    "router_graph",
+    "topology_diameter",
+    "valiant_path",
+]

@@ -1,0 +1,165 @@
+"""Global link arrangements for canonical Dragonfly networks.
+
+An *arrangement* decides which remote group each (router, global-port) pair
+connects to.  In a canonical Dragonfly there are ``G = a*h + 1`` groups and
+every unordered pair of groups is joined by exactly one global link, so an
+arrangement is a bijection between the ``a*h`` (router, port) slots of a
+group and the ``a*h`` other groups, applied uniformly (shift-invariantly in
+the group index) so that the network is vertex-transitive at group level.
+
+The paper uses the **palmtree** arrangement (Camarero et al., TACO 2014),
+under which the global links towards the next ``h`` consecutive groups
+``g+1 .. g+h`` all attach to the *last* router of group ``g`` — the
+bottleneck router of the ADVc pattern (paper Fig. 1, router R11 at a=12).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.errors import TopologyError
+
+__all__ = [
+    "GlobalLinkArrangement",
+    "PalmtreeArrangement",
+    "ConsecutiveArrangement",
+    "RandomArrangement",
+    "make_arrangement",
+]
+
+
+class GlobalLinkArrangement(ABC):
+    """Maps (router-in-group, global-port) slots to group offsets.
+
+    The mapping is expressed in terms of *offsets*: slot ``(i, j)`` of any
+    group ``g`` connects to group ``(g + offset(i, j)) mod G``.  Because the
+    same offset table is used in every group, the resulting group graph is
+    a circulant complete graph and each unordered pair of groups gets
+    exactly one link (validated at construction).
+    """
+
+    def __init__(self, a: int, h: int) -> None:
+        if a < 1 or h < 1:
+            raise TopologyError(f"arrangement needs a,h >= 1, got a={a}, h={h}")
+        self.a = a
+        self.h = h
+        self.groups = a * h + 1
+        # offset table and its inverse (offset -> slot)
+        self._offset = [[0] * h for _ in range(a)]
+        for i in range(a):
+            for j in range(h):
+                off = self._compute_offset(i, j)
+                self._offset[i][j] = off % self.groups
+        self._slot_of_offset: dict[int, tuple[int, int]] = {}
+        for i in range(a):
+            for j in range(h):
+                off = self._offset[i][j]
+                if off == 0:
+                    raise TopologyError(
+                        f"slot ({i},{j}) maps to its own group (offset 0)"
+                    )
+                if off in self._slot_of_offset:
+                    raise TopologyError(
+                        f"offset {off} produced by two slots: "
+                        f"{self._slot_of_offset[off]} and ({i},{j})"
+                    )
+                self._slot_of_offset[off] = (i, j)
+        if len(self._slot_of_offset) != a * h:
+            raise TopologyError(
+                "arrangement does not cover all non-zero offsets: the group "
+                "graph would not be complete"
+            )
+
+    @abstractmethod
+    def _compute_offset(self, i: int, j: int) -> int:
+        """Raw (possibly negative) group offset for slot ``(i, j)``."""
+
+    # -- queries -------------------------------------------------------------
+    def offset(self, i: int, j: int) -> int:
+        """Normalised offset in ``[1, G-1]`` for slot ``(i, j)``."""
+        return self._offset[i][j]
+
+    def peer_group(self, g: int, i: int, j: int) -> int:
+        """Group reached from group *g* through slot ``(i, j)``."""
+        return (g + self._offset[i][j]) % self.groups
+
+    def slot_for_offset(self, off: int) -> tuple[int, int]:
+        """Inverse lookup: which (router, port) slot realises *off*.
+
+        *off* is taken modulo G and must be non-zero.
+        """
+        off %= self.groups
+        if off == 0:
+            raise TopologyError("offset 0 is the group itself; no global link")
+        return self._slot_of_offset[off]
+
+    def peer_slot(self, off: int) -> tuple[int, int]:
+        """Slot on the *remote* side of the link with offset *off*.
+
+        The link realising offset ``off`` from group ``g`` is, seen from the
+        peer group ``g+off``, the link with offset ``G - off``.
+        """
+        return self.slot_for_offset(self.groups - (off % self.groups))
+
+    def describe(self) -> str:
+        """Readable name (used in reports)."""
+        return type(self).__name__
+
+
+class PalmtreeArrangement(GlobalLinkArrangement):
+    """The paper's arrangement: slot ``(i, j)`` -> offset ``-(i*h + j + 1)``.
+
+    Consequences used throughout the paper:
+
+    * the link towards group ``g+delta`` (delta = 1..h) leaves group ``g``
+      from router ``a-1`` (ports ``h-1 .. 0``) — the ADVc bottleneck;
+    * that link lands on router ``0`` of the destination group — the router
+      the paper observes receiving the minimally-routed traffic (R0).
+    """
+
+    def _compute_offset(self, i: int, j: int) -> int:
+        return -(i * self.h + j + 1)
+
+
+class ConsecutiveArrangement(GlobalLinkArrangement):
+    """Mirror image of palmtree: slot ``(i, j)`` -> offset ``+(i*h + j + 1)``.
+
+    Under this arrangement the ADVc-equivalent pattern (Section III,
+    footnote 1) targets the *preceding* h groups; the bottleneck router is
+    router ``a-1`` for destinations ``g-1..g-h``.
+    """
+
+    def _compute_offset(self, i: int, j: int) -> int:
+        return i * self.h + j + 1
+
+
+class RandomArrangement(GlobalLinkArrangement):
+    """A random (but shift-invariant and seed-reproducible) slot permutation.
+
+    Used by the ablation benchmarks to show that an ADVc-equivalent pattern
+    exists for *any* arrangement (pick the h groups wired to one router).
+    """
+
+    def __init__(self, a: int, h: int, seed: int = 0) -> None:
+        rng = random.Random(seed)
+        offsets = list(range(1, a * h + 1))
+        rng.shuffle(offsets)
+        self._table = offsets
+        super().__init__(a, h)
+
+    def _compute_offset(self, i: int, j: int) -> int:
+        return self._table[i * self.h + j]
+
+
+def make_arrangement(
+    name: str, a: int, h: int, *, seed: int = 0
+) -> GlobalLinkArrangement:
+    """Factory keyed by :class:`repro.config.NetworkConfig.arrangement`."""
+    if name == "palmtree":
+        return PalmtreeArrangement(a, h)
+    if name == "consecutive":
+        return ConsecutiveArrangement(a, h)
+    if name == "random":
+        return RandomArrangement(a, h, seed=seed)
+    raise TopologyError(f"unknown arrangement {name!r}")

@@ -1,0 +1,47 @@
+"""Coordinate conversions between flat ids and (group, router, node) tuples.
+
+The simulator uses flat integer ids in hot paths (router id ``r = g*a + i``,
+node id ``n = r*p + k``); these helpers give the named-tuple views used by
+tests, analysis and error messages.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["RouterCoord", "NodeCoord"]
+
+
+class RouterCoord(NamedTuple):
+    """Position of a router: group index and local router index in-group."""
+
+    group: int
+    router: int
+
+    def flat(self, a: int) -> int:
+        """Flat router id for a Dragonfly with *a* routers per group."""
+        return self.group * a + self.router
+
+    @classmethod
+    def from_flat(cls, router_id: int, a: int) -> "RouterCoord":
+        """Inverse of :meth:`flat`."""
+        return cls(router_id // a, router_id % a)
+
+
+class NodeCoord(NamedTuple):
+    """Position of a computing node: group, router-in-group, node-on-router."""
+
+    group: int
+    router: int
+    node: int
+
+    def flat(self, a: int, p: int) -> int:
+        """Flat node id for a Dragonfly with *a* routers/group, *p* nodes/router."""
+        return (self.group * a + self.router) * p + self.node
+
+    @classmethod
+    def from_flat(cls, node_id: int, a: int, p: int) -> "NodeCoord":
+        """Inverse of :meth:`flat`."""
+        router_id, node = divmod(node_id, p)
+        group, router = divmod(router_id, a)
+        return cls(group, router, node)

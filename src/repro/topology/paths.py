@@ -1,0 +1,124 @@
+"""Path computation over a :class:`repro.topology.DragonflyTopology`.
+
+These functions are used by tests and by the analytic latency model (base
+latency and misrouting penalty of Figure 3), *not* by the cycle-by-cycle
+router logic (which takes one hop at a time).  They return explicit hop
+lists so properties like "minimal paths are at most l-g-l" are directly
+checkable.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import TopologyError
+from repro.topology.dragonfly import DragonflyTopology
+
+__all__ = ["Hop", "minimal_path", "minimal_path_length", "valiant_path"]
+
+
+class Hop(NamedTuple):
+    """One link traversal: source router, exit port, and link kind."""
+
+    router_id: int
+    port: int
+    kind: str  # 'local' | 'global' | 'node' (final ejection hop)
+
+
+def minimal_path(
+    topo: DragonflyTopology, src_node: int, dst_node: int
+) -> list[Hop]:
+    """Hop list of the unique minimal path between two nodes.
+
+    Includes the final ejection hop to the destination node, so the length
+    is (router-to-router hops) + 1.  Raises for ``src == dst``.
+    """
+    if src_node == dst_node:
+        raise TopologyError("no path from a node to itself")
+    src = topo.node_coord(src_node)
+    dst = topo.node_coord(dst_node)
+    hops: list[Hop] = []
+    g, i = src.group, src.router
+
+    if g != dst.group:
+        gw_router, gw_port = topo.gateway(g, dst.group)
+        if i != gw_router:
+            hops.append(
+                Hop(topo.router_id(g, i), topo.local_port(i, gw_router), "local")
+            )
+            i = gw_router
+        hops.append(Hop(topo.router_id(g, i), gw_port, "global"))
+        g, i = dst.group, topo.landing_router(src.group, dst.group)
+
+    if i != dst.router:
+        hops.append(
+            Hop(topo.router_id(g, i), topo.local_port(i, dst.router), "local")
+        )
+        i = dst.router
+    hops.append(Hop(topo.router_id(g, i), dst.node, "node"))
+    return hops
+
+
+def minimal_path_length(
+    topo: DragonflyTopology, src_node: int, dst_node: int
+) -> int:
+    """Number of router-to-router hops on the minimal path (0..3)."""
+    return len(minimal_path(topo, src_node, dst_node)) - 1
+
+
+def valiant_path(
+    topo: DragonflyTopology,
+    src_node: int,
+    dst_node: int,
+    intermediate_router: int,
+) -> list[Hop]:
+    """Hop list of a Valiant path through *intermediate_router*.
+
+    The path routes minimally from the source router to the intermediate
+    router, then minimally to the destination node.  When the intermediate
+    router coincides with a router already on the minimal path the
+    composition simply degenerates (no artificial loops are added).
+    """
+    if src_node == dst_node:
+        raise TopologyError("no path from a node to itself")
+    src = topo.node_coord(src_node)
+    dst = topo.node_coord(dst_node)
+    inter = topo.router_coord(intermediate_router)
+    hops: list[Hop] = []
+
+    # Leg 1: source router -> intermediate router (router-level minimal).
+    g, i = src.group, src.router
+    if g != inter.group:
+        gw_router, gw_port = topo.gateway(g, inter.group)
+        if i != gw_router:
+            hops.append(
+                Hop(topo.router_id(g, i), topo.local_port(i, gw_router), "local")
+            )
+            i = gw_router
+        hops.append(Hop(topo.router_id(g, i), gw_port, "global"))
+        i = topo.landing_router(g, inter.group)
+        g = inter.group
+    if i != inter.router:
+        hops.append(
+            Hop(topo.router_id(g, i), topo.local_port(i, inter.router), "local")
+        )
+        i = inter.router
+
+    # Leg 2: intermediate router -> destination node.
+    if g != dst.group:
+        gw_router, gw_port = topo.gateway(g, dst.group)
+        if i != gw_router:
+            hops.append(
+                Hop(topo.router_id(g, i), topo.local_port(i, gw_router), "local")
+            )
+            i = gw_router
+        hops.append(Hop(topo.router_id(g, i), gw_port, "global"))
+        i = topo.landing_router(g, dst.group)
+        g = dst.group
+    if i != dst.router:
+        hops.append(
+            Hop(topo.router_id(g, i), topo.local_port(i, dst.router), "local")
+        )
+        i = dst.router
+    hops.append(Hop(topo.router_id(g, i), dst.node, "node"))
+    return hops

@@ -1,0 +1,42 @@
+"""Synthetic traffic patterns (Section IV-A) plus extensions.
+
+Paper patterns:
+
+* **UN** (:class:`UniformTraffic`) — every packet picks a uniformly random
+  destination node (excluding the source node).
+* **ADV+k** (:class:`AdversarialTraffic`) — all nodes of group ``g`` send
+  to random nodes of group ``g+k``; the single inter-group link saturates.
+* **ADVc** (:class:`AdversarialConsecutiveTraffic`) — nodes of group ``g``
+  send to the ``h`` groups whose global links share the bottleneck router
+  (the consecutive groups ``g+1..g+h`` under palmtree).
+
+Extensions (motivating scenarios and stress tests):
+
+* :class:`PermutationTraffic` — fixed random node permutation.
+* :class:`HotspotTraffic` — a fraction of traffic targets one hot node.
+* :class:`JobTraffic` — an application job placed on consecutive groups
+  with uniform traffic *inside the job*: the real-world allocation that
+  Section III argues induces ADVc at the network level.
+"""
+
+from repro.traffic.base import TrafficPattern
+from repro.traffic.patterns import (
+    AdversarialConsecutiveTraffic,
+    AdversarialTraffic,
+    HotspotTraffic,
+    JobTraffic,
+    PermutationTraffic,
+    UniformTraffic,
+    make_traffic,
+)
+
+__all__ = [
+    "AdversarialConsecutiveTraffic",
+    "AdversarialTraffic",
+    "HotspotTraffic",
+    "JobTraffic",
+    "PermutationTraffic",
+    "TrafficPattern",
+    "UniformTraffic",
+    "make_traffic",
+]

@@ -1,0 +1,40 @@
+"""Traffic pattern interface.
+
+A pattern is a destination chooser: given a source node and an RNG it
+returns the destination node id for one packet, or ``None`` when the
+source generates nothing this time (used by partial-occupancy patterns
+like :class:`repro.traffic.JobTraffic`).  Patterns also expose
+:meth:`active` so the generator can skip scheduling event chains for
+permanently idle nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.topology.dragonfly import DragonflyTopology
+
+__all__ = ["TrafficPattern"]
+
+
+class TrafficPattern(ABC):
+    """Destination chooser bound to a topology."""
+
+    #: pattern name used in reports
+    name: str = "?"
+
+    def __init__(self, topo: DragonflyTopology) -> None:
+        self.topo = topo
+
+    @abstractmethod
+    def dest(self, src_node: int, rng: random.Random) -> int | None:
+        """Destination node for one packet from *src_node* (or ``None``)."""
+
+    def active(self, node: int) -> bool:
+        """Whether *node* ever generates traffic (default: yes)."""
+        return True
+
+    def describe(self) -> str:
+        """Readable name for reports."""
+        return self.name

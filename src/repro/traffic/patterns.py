@@ -1,0 +1,209 @@
+"""Concrete traffic patterns (see package docstring for the taxonomy)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import TrafficConfig
+from repro.errors import ConfigurationError
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic.base import TrafficPattern
+
+__all__ = [
+    "UniformTraffic",
+    "AdversarialTraffic",
+    "AdversarialConsecutiveTraffic",
+    "PermutationTraffic",
+    "HotspotTraffic",
+    "JobTraffic",
+    "make_traffic",
+]
+
+
+class UniformTraffic(TrafficPattern):
+    """UN: uniformly random destination across the network (not self)."""
+
+    name = "UN"
+
+    def dest(self, src_node: int, rng: random.Random) -> int:
+        n = self.topo.num_nodes
+        d = rng.randrange(n - 1)
+        return d if d < src_node else d + 1
+
+
+class AdversarialTraffic(TrafficPattern):
+    """ADV+k: group ``g`` sends to random nodes of group ``g+k``.
+
+    The minimal path of every packet from a group crosses that group's
+    single global link towards ``g+k``, capping MIN throughput at
+    ``1/(a*p)`` phits/node/cycle.
+    """
+
+    def __init__(self, topo: DragonflyTopology, offset: int = 1) -> None:
+        super().__init__(topo)
+        if offset % topo.groups == 0:
+            raise ConfigurationError("ADV offset must not map a group to itself")
+        self.offset = offset
+        self.name = f"ADV+{offset}" if offset > 0 else f"ADV{offset}"
+        self._per_group = topo.a * topo.p
+
+    def dest(self, src_node: int, rng: random.Random) -> int:
+        g = src_node // self._per_group
+        tg = (g + self.offset) % self.topo.groups
+        return tg * self._per_group + rng.randrange(self._per_group)
+
+
+class AdversarialConsecutiveTraffic(TrafficPattern):
+    """ADVc: group ``g`` sends uniformly to the h bottleneck-sharing groups.
+
+    Under the palmtree arrangement these are the consecutive groups
+    ``g+1 .. g+h`` (Section III / Fig. 1).  For other arrangements the
+    equivalent destination set — the groups whose global links attach to
+    one designated router — is derived from the topology
+    (:meth:`repro.topology.DragonflyTopology.advc_offsets`), per the
+    paper's footnote 1.
+    """
+
+    name = "ADVc"
+
+    def __init__(
+        self, topo: DragonflyTopology, bottleneck: int | None = None
+    ) -> None:
+        super().__init__(topo)
+        if bottleneck is None and topo.config.arrangement != "palmtree":
+            bottleneck = topo.a - 1
+        self.offsets = topo.advc_offsets(bottleneck)
+        self.bottleneck = topo.bottleneck_router(0, self.offsets)
+        self._per_group = topo.a * topo.p
+
+    def dest(self, src_node: int, rng: random.Random) -> int:
+        g = src_node // self._per_group
+        off = self.offsets[rng.randrange(len(self.offsets))]
+        tg = (g + off) % self.topo.groups
+        return tg * self._per_group + rng.randrange(self._per_group)
+
+
+class PermutationTraffic(TrafficPattern):
+    """Fixed random node permutation (every node has one destination).
+
+    A classic worst-ish case for oblivious minimal routing; included as an
+    extension workload.  The permutation is seed-reproducible and
+    fixed-point-free whenever the network has more than one node.
+    """
+
+    name = "PERM"
+
+    def __init__(self, topo: DragonflyTopology, seed: int = 0) -> None:
+        super().__init__(topo)
+        rng = random.Random(seed)
+        n = topo.num_nodes
+        perm = list(range(n))
+        rng.shuffle(perm)
+        # Remove fixed points by rotating them amongst themselves.
+        fixed = [i for i in range(n) if perm[i] == i]
+        if len(fixed) == 1:
+            j = (fixed[0] + 1) % n
+            perm[fixed[0]], perm[j] = perm[j], perm[fixed[0]]
+        elif len(fixed) > 1:
+            for k, i in enumerate(fixed):
+                perm[i] = fixed[(k + 1) % len(fixed)]
+        self.perm = perm
+
+    def dest(self, src_node: int, rng: random.Random) -> int:
+        return self.perm[src_node]
+
+
+class HotspotTraffic(TrafficPattern):
+    """A fraction of packets target one hot node; the rest are uniform."""
+
+    name = "HOT"
+
+    def __init__(
+        self,
+        topo: DragonflyTopology,
+        hot_node: int = 0,
+        fraction: float = 0.2,
+    ) -> None:
+        super().__init__(topo)
+        if not (0.0 < fraction <= 1.0):
+            raise ConfigurationError("hotspot fraction must be in (0, 1]")
+        if not (0 <= hot_node < topo.num_nodes):
+            raise ConfigurationError(f"hot node {hot_node} out of range")
+        self.hot_node = hot_node
+        self.fraction = fraction
+
+    def dest(self, src_node: int, rng: random.Random) -> int:
+        if src_node != self.hot_node and rng.random() < self.fraction:
+            return self.hot_node
+        n = self.topo.num_nodes
+        d = rng.randrange(n - 1)
+        return d if d < src_node else d + 1
+
+
+class JobTraffic(TrafficPattern):
+    """Uniform traffic *inside* a job placed on consecutive groups.
+
+    Models the Section III motivating scenario: a job scheduler allocates
+    ``job_groups`` consecutive groups (default ``h+1``) starting at
+    ``first_group``; processes communicate uniformly within the job, and
+    the rest of the machine is idle.  Seen from the first group, this is
+    ADVc-like traffic concentrated on its bottleneck router, *without any
+    adversarial intent* — the paper's argument for why ADVc is a realistic
+    pattern.
+    """
+
+    name = "JOB"
+
+    def __init__(
+        self,
+        topo: DragonflyTopology,
+        first_group: int = 0,
+        job_groups: int | None = None,
+    ) -> None:
+        super().__init__(topo)
+        jg = job_groups if job_groups is not None else topo.h + 1
+        if not (2 <= jg <= topo.groups):
+            raise ConfigurationError(
+                f"job_groups must be in [2, {topo.groups}], got {jg}"
+            )
+        self.first_group = first_group % topo.groups
+        self.job_groups = jg
+        per = topo.a * topo.p
+        self.job_nodes: list[int] = []
+        for k in range(jg):
+            g = (self.first_group + k) % topo.groups
+            self.job_nodes.extend(range(g * per, (g + 1) * per))
+        self._job_set = set(self.job_nodes)
+        self._index = {n: i for i, n in enumerate(self.job_nodes)}
+
+    def active(self, node: int) -> bool:
+        return node in self._job_set
+
+    def dest(self, src_node: int, rng: random.Random) -> int | None:
+        if src_node not in self._job_set:
+            return None
+        m = len(self.job_nodes)
+        d = rng.randrange(m - 1)
+        i = self._index[src_node]
+        if d >= i:
+            d += 1
+        return self.job_nodes[d]
+
+
+def make_traffic(
+    conf: TrafficConfig, topo: DragonflyTopology, *, seed: int = 0
+) -> TrafficPattern:
+    """Build the pattern described by *conf* on *topo*."""
+    if conf.pattern == "uniform":
+        return UniformTraffic(topo)
+    if conf.pattern == "adversarial":
+        return AdversarialTraffic(topo, conf.adv_offset)
+    if conf.pattern == "advc":
+        return AdversarialConsecutiveTraffic(topo)
+    if conf.pattern == "permutation":
+        return PermutationTraffic(topo, seed=seed)
+    if conf.pattern == "hotspot":
+        return HotspotTraffic(topo, fraction=conf.hotspot_fraction)
+    if conf.pattern == "job":
+        return JobTraffic(topo, job_groups=conf.job_groups)
+    raise ConfigurationError(f"unknown traffic pattern {conf.pattern!r}")

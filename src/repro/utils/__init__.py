@@ -1,0 +1,31 @@
+"""Small shared utilities: RNG helpers, streaming statistics, ASCII output.
+
+These are deliberately dependency-light so the hot simulation path can use
+them without import cost or heavy abstractions.
+"""
+
+from repro.utils.rng import geometric_gap, make_rng, split_seed
+from repro.utils.stats import (
+    OnlineStats,
+    coefficient_of_variation,
+    jain_index,
+    max_min_ratio,
+    mean,
+    population_std,
+)
+from repro.utils.tables import format_table
+from repro.utils.ascii_plot import ascii_plot
+
+__all__ = [
+    "OnlineStats",
+    "ascii_plot",
+    "coefficient_of_variation",
+    "format_table",
+    "geometric_gap",
+    "jain_index",
+    "make_rng",
+    "max_min_ratio",
+    "mean",
+    "population_std",
+    "split_seed",
+]

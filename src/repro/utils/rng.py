@@ -1,0 +1,74 @@
+"""Random-number helpers used by the simulator.
+
+The simulator uses the standard-library :class:`random.Random` (Mersenne
+Twister) rather than NumPy generators: the hot path draws *scalars*
+(geometric inter-arrival gaps, uniform destination picks) where the
+function-call overhead of a NumPy generator is 3-5x higher than
+``random.Random`` method calls.
+
+Determinism contract
+--------------------
+Every stochastic component receives its generator explicitly (no module
+globals).  :func:`split_seed` derives independent child seeds from a master
+seed so that, e.g., the traffic process and the routing tie-breaks are
+decorrelated but each is individually reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = ["make_rng", "split_seed", "geometric_gap"]
+
+# A fixed large odd multiplier (splitmix-style) used to derive child seeds.
+_SPLIT_MULT = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def make_rng(seed: int | None) -> random.Random:
+    """Return a fresh :class:`random.Random` seeded with *seed*.
+
+    ``None`` produces an OS-entropy-seeded generator (non-reproducible);
+    every library entry point defaults to an integer seed instead so runs
+    are reproducible unless the caller opts out.
+    """
+    return random.Random(seed)
+
+
+def split_seed(master: int, stream: int) -> int:
+    """Derive a deterministic 64-bit child seed for *stream* from *master*.
+
+    Uses a splitmix64-style mix so that nearby ``(master, stream)`` pairs
+    yield uncorrelated seeds.  The same ``(master, stream)`` always maps to
+    the same child seed.
+    """
+    z = (master * _SPLIT_MULT + stream * 0xBF58476D1CE4E5B9) & _MASK64
+    z ^= z >> 30
+    z = (z * 0xBF58476D1CE4E5B9) & _MASK64
+    z ^= z >> 27
+    z = (z * 0x94D049BB133111EB) & _MASK64
+    z ^= z >> 31
+    return z
+
+
+def geometric_gap(rng: random.Random, prob: float) -> int:
+    """Sample the gap (in cycles) until the next Bernoulli(prob) success.
+
+    Returns an integer ``k >= 1`` distributed ``Geometric(prob)``: the
+    number of cycles to wait so that an event firing every ``k`` cycles is
+    statistically identical to flipping a Bernoulli(prob) coin each cycle.
+    This turns the O(cycles) per-node Bernoulli loop into O(packets).
+
+    ``prob`` must be in ``(0, 1]``.  ``prob == 1`` always returns 1.
+    """
+    if prob >= 1.0:
+        return 1
+    if prob <= 0.0:
+        raise ValueError(f"geometric_gap needs prob in (0, 1], got {prob}")
+    u = rng.random()
+    # Inverse-CDF: ceil(log(1-u) / log(1-prob)); guard u==0.
+    if u == 0.0:
+        return 1
+    gap = int(math.log(u) / math.log(1.0 - prob)) + 1
+    return gap if gap >= 1 else 1

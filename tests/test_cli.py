@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _fast(extra):
+    """Common fast-run arguments appended to every invocation."""
+    return extra + ["--warmup", "100", "--measure", "400"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.routing == "min"
+        assert args.pattern == "uniform"
+        assert args.preset == "small"
+
+    def test_rejects_unknown_routing(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--routing", "warp"])
+
+    def test_sweep_requires_loads(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        rc = main(_fast(["run", "--load", "0.2", "--preset", "tiny"]))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "offered=" in out
+        assert "latency breakdown" in out
+
+    def test_sweep_prints_table(self, capsys):
+        rc = main(
+            _fast(
+                [
+                    "sweep",
+                    "--loads",
+                    "0.1",
+                    "0.3",
+                    "--preset",
+                    "tiny",
+                ]
+            )
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "offered" in out and "accepted" in out
+        assert out.count("\n") >= 4
+
+    def test_fairness_profile(self, capsys):
+        rc = main(
+            _fast(
+                [
+                    "fairness",
+                    "--pattern",
+                    "advc",
+                    "--load",
+                    "0.3",
+                ]
+            )
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "R0" in out and "R3" in out
+        assert "max/min=" in out
+
+    def test_no_priority_flag(self, capsys):
+        rc = main(
+            _fast(
+                [
+                    "fairness",
+                    "--pattern",
+                    "advc",
+                    "--load",
+                    "0.3",
+                    "--no-priority",
+                ]
+            )
+        )
+        assert rc == 0
+        assert "priority=off" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EventQueue
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5, log.append, "b")
+        q.schedule(1, log.append, "a")
+        q.schedule(9, log.append, "c")
+        q.run_until(10)
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_within_a_cycle(self):
+        q = EventQueue()
+        log = []
+        for tag in "abcd":
+            q.schedule(3, log.append, tag)
+        q.run_until(3)
+        assert log == list("abcd")
+
+    def test_zero_delay_runs_this_cycle(self):
+        q = EventQueue()
+        log = []
+
+        def chain():
+            log.append("first")
+            q.schedule(0, log.append, "second")
+
+        q.schedule(2, chain)
+        q.run_until(2)
+        assert log == ["first", "second"]
+
+    def test_negative_delay_raises(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_raises(self):
+        q = EventQueue()
+        q.schedule(5, lambda: None)
+        q.run_until(5)
+        with pytest.raises(SimulationError):
+            q.schedule_at(3, lambda: None)
+
+    def test_horizon_respected(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5, log.append, "in")
+        q.schedule(15, log.append, "out")
+        q.run_until(10)
+        assert log == ["in"]
+        assert q.now == 10
+        assert q.pending == 1
+
+    def test_events_spawned_within_horizon_run(self):
+        q = EventQueue()
+        log = []
+
+        def spawn():
+            q.schedule(3, log.append, "child")
+
+        q.schedule(2, spawn)
+        q.run_until(10)
+        assert log == ["child"]
+
+    def test_run_next(self):
+        q = EventQueue()
+        log = []
+        q.schedule(7, log.append, "x")
+        assert q.run_next() is True
+        assert q.now == 7
+        assert q.run_next() is False
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(4, lambda: None)
+        assert q.peek_time() == 4
+
+    def test_processed_counter(self):
+        q = EventQueue()
+        for _ in range(5):
+            q.schedule(1, lambda: None)
+        q.run_until(1)
+        assert q.processed == 5
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=40))
+def test_arbitrary_delays_execute_sorted(delays):
+    q = EventQueue()
+    seen = []
+    for d in delays:
+        q.schedule(d, lambda t=d: seen.append(t))
+    q.run_until(100)
+    assert seen == sorted(delays)
+    assert len(seen) == len(delays)

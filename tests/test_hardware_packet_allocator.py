@@ -1,0 +1,127 @@
+"""Tests for Packet accounting and allocator winner selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.allocator import select_winner
+from repro.hardware.packet import Packet
+
+
+def make_packet(**kw) -> Packet:
+    defaults = dict(
+        pid=1,
+        size=8,
+        src_node=0,
+        src_router=0,
+        src_group=0,
+        dst_node=10,
+        dst_router=5,
+        dst_group=1,
+        dst_local_router=1,
+        dst_node_port=0,
+        gen_time=100,
+        base_latency=150,
+    )
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_initial_state(self):
+        p = make_packet()
+        assert not p.injected
+        assert p.plan == 0
+        assert p.inter_group == -1
+        assert p.current_group == 0
+
+    def test_latency_accounting(self):
+        p = make_packet()
+        p.inject_time = 130
+        assert p.injection_wait() == 30
+        assert p.latency(400) == 300
+
+    def test_injection_wait_before_injection_raises(self):
+        with pytest.raises(ValueError):
+            make_packet().injection_wait()
+
+    def test_misroute_latency(self):
+        p = make_packet(base_latency=150)
+        p.service_sum = 150
+        assert p.misroute_latency() == 0
+        p.service_sum = 280
+        assert p.misroute_latency() == 130
+
+
+class TestSelectWinner:
+    # candidates are (key, pkt, dec); only key matters for selection
+    def _c(self, key):
+        return (key, None, (0, 0, 0, 0))
+
+    def test_single_candidate(self):
+        c = self._c(5)
+        assert select_winner(
+            [c], -1, 16, transit_priority=True, injection_boundary=4
+        ) is c
+
+    def test_transit_beats_injection(self):
+        inj, transit = self._c(1), self._c(9)
+        win = select_winner(
+            [inj, transit], -1, 16,
+            transit_priority=True, injection_boundary=4,
+        )
+        assert win is transit
+
+    def test_injection_wins_without_priority_rotation(self):
+        inj, transit = self._c(1), self._c(9)
+        # last grant was 9, so rotation favours key 1 next
+        win = select_winner(
+            [inj, transit], 9, 16,
+            transit_priority=False, injection_boundary=4,
+        )
+        assert win is inj
+
+    def test_injection_granted_when_no_transit(self):
+        inj = self._c(2)
+        win = select_winner(
+            [inj], -1, 16, transit_priority=True, injection_boundary=4
+        )
+        assert win is inj
+
+    def test_round_robin_rotates(self):
+        a, b, c = self._c(4), self._c(8), self._c(12)
+        # after granting 4, the next candidate clockwise is 8
+        win = select_winner(
+            [a, b, c], 4, 16, transit_priority=False, injection_boundary=4
+        )
+        assert win is b
+        win = select_winner(
+            [a, b, c], 8, 16, transit_priority=False, injection_boundary=4
+        )
+        assert win is c
+        win = select_winner(
+            [a, b, c], 12, 16, transit_priority=False, injection_boundary=4
+        )
+        assert win is a
+
+    def test_round_robin_within_transit_class(self):
+        t1, t2 = self._c(6), self._c(10)
+        win = select_winner(
+            [t1, t2], 6, 16, transit_priority=True, injection_boundary=4
+        )
+        assert win is t2
+
+    def test_no_starvation_over_rotation(self):
+        """Every candidate eventually wins under pure round-robin."""
+        keys = [0, 3, 7, 11]
+        cands = [self._c(k) for k in keys]
+        last = -1
+        winners = []
+        for _ in range(8):
+            w = select_winner(
+                cands, last, 16,
+                transit_priority=False, injection_boundary=0,
+            )
+            winners.append(w[0])
+            last = w[0]
+        assert set(winners) == set(keys)

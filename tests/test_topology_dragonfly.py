@@ -1,0 +1,178 @@
+"""Tests for DragonflyTopology: ports, gateways, coordinates, bottleneck."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig
+from repro.errors import TopologyError
+from repro.topology.dragonfly import DragonflyTopology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return DragonflyTopology(NetworkConfig(p=2, a=4, h=2))
+
+
+@pytest.fixture(scope="module")
+def paper_topo():
+    return DragonflyTopology(NetworkConfig(p=6, a=12, h=6))
+
+
+class TestShape:
+    def test_counts(self, topo):
+        assert topo.groups == 9
+        assert topo.num_routers == 36
+        assert topo.num_nodes == 72
+        assert topo.radix == 2 + 3 + 2
+
+    def test_port_layout(self, topo):
+        assert topo.first_local_port == 2
+        assert topo.first_global_port == 5
+        kinds = topo.port_kind
+        assert kinds == ["node", "node", "local", "local", "local",
+                         "global", "global"]
+
+    def test_paper_radix(self, paper_topo):
+        # Table I: 23 ports (6 global, 6 injection, 11 local)
+        assert paper_topo.radix == 23
+
+
+class TestCoordinates:
+    def test_router_round_trip(self, topo):
+        for rid in range(topo.num_routers):
+            c = topo.router_coord(rid)
+            assert topo.router_id(c.group, c.router) == rid
+
+    def test_node_round_trip(self, topo):
+        for nid in range(topo.num_nodes):
+            c = topo.node_coord(nid)
+            assert c.flat(topo.a, topo.p) == nid
+
+    def test_node_router(self, topo):
+        assert topo.node_router(0) == 0
+        assert topo.node_router(topo.p) == 1
+
+    def test_groups_of(self, topo):
+        per_group = topo.a * topo.p
+        assert topo.group_of_node(per_group) == 1
+        assert topo.group_of_router(topo.a) == 1
+
+    def test_out_of_range_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.router_coord(topo.num_routers)
+        with pytest.raises(TopologyError):
+            topo.node_coord(-1)
+        with pytest.raises(TopologyError):
+            topo.nodes_of_group(topo.groups)
+
+
+class TestLocalPorts:
+    def test_local_port_symmetric_wiring(self, topo):
+        for i in range(topo.a):
+            for j in range(topo.a):
+                if i == j:
+                    continue
+                port = topo.local_port(i, j)
+                assert topo.is_local_port(port)
+                assert topo.local_port_target(i, port) == j
+
+    def test_no_self_port(self, topo):
+        with pytest.raises(TopologyError):
+            topo.local_port(1, 1)
+
+    def test_all_local_ports_distinct(self, topo):
+        for i in range(topo.a):
+            ports = {topo.local_port(i, j) for j in range(topo.a) if j != i}
+            assert len(ports) == topo.a - 1
+
+
+class TestGlobalPorts:
+    def test_peer_is_symmetric(self, topo):
+        """Following a global link there and back returns to the origin."""
+        for g in range(topo.groups):
+            for i in range(topo.a):
+                for port in range(topo.first_global_port, topo.radix):
+                    pg, pi, pp = topo.global_port_peer(g, i, port)
+                    bg, bi, bp = topo.global_port_peer(pg, pi, pp)
+                    assert (bg, bi, bp) == (g, i, port)
+
+    def test_each_group_pair_has_one_link(self, topo):
+        links = set()
+        for g in range(topo.groups):
+            for i in range(topo.a):
+                for port in range(topo.first_global_port, topo.radix):
+                    pg, _pi, _pp = topo.global_port_peer(g, i, port)
+                    links.add(frozenset((g, pg)))
+        expected = topo.groups * (topo.groups - 1) // 2
+        assert len(links) == expected
+
+    def test_neighbor_groups_are_offsets(self, topo):
+        offs = topo.global_neighbor_groups(topo.a - 1)
+        # palmtree: last router owns offsets +1..+h
+        assert sorted(offs) == [1, 2]
+
+
+class TestGateways:
+    def test_gateway_owns_the_link(self, topo):
+        for g in range(topo.groups):
+            for dg in range(topo.groups):
+                if g == dg:
+                    continue
+                gw_pos, gw_port = topo.gateway(g, dg)
+                pg, pi, _pp = topo.global_port_peer(g, gw_pos, gw_port)
+                assert pg == dg
+                assert pi == topo.landing_router(g, dg)
+
+    def test_gateway_to_self_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.gateway(0, 0)
+
+    def test_bottleneck_router_is_last(self, topo, paper_topo):
+        assert topo.bottleneck_router(0) == topo.a - 1
+        assert paper_topo.bottleneck_router(0) == 11  # R11 in the paper
+
+    def test_landing_router_is_zero(self, topo):
+        """Paper: minimal ADVc traffic lands on R0 of the target group."""
+        for delta in range(1, topo.h + 1):
+            assert topo.landing_router(0, delta) == 0
+
+    def test_bottleneck_rejects_split_offsets(self, topo):
+        with pytest.raises(TopologyError):
+            topo.bottleneck_router(0, [1, 3])  # owned by different routers
+
+    def test_advc_offsets_palmtree(self, topo):
+        assert topo.advc_offsets() == [1, 2]
+
+    def test_advc_offsets_random_arrangement(self):
+        t = DragonflyTopology(
+            NetworkConfig(p=2, a=4, h=2, arrangement="random")
+        )
+        offs = t.advc_offsets(t.a - 1)
+        # the returned offsets must be a valid single-owner set
+        assert t.bottleneck_router(0, offs) == t.a - 1
+
+
+class TestLinkLatency:
+    def test_latencies_by_kind(self, topo):
+        cfg = topo.config
+        assert topo.link_latency(0) == cfg.node_link_latency
+        assert topo.link_latency(topo.first_local_port) == cfg.local_link_latency
+        assert topo.link_latency(topo.first_global_port) == cfg.global_link_latency
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    a=st.integers(min_value=2, max_value=6),
+    h=st.integers(min_value=1, max_value=4),
+    p=st.integers(min_value=1, max_value=3),
+)
+def test_gateway_unique_property(a, h, p):
+    """Minimal inter-group routing is unique: exactly one gateway per pair."""
+    topo = DragonflyTopology(NetworkConfig(p=p, a=a, h=h))
+    for dg in range(1, topo.groups):
+        gw_pos, gw_port = topo.gateway(0, dg)
+        assert 0 <= gw_pos < a
+        assert topo.is_global_port(gw_port)

@@ -1,0 +1,192 @@
+"""Tests for the traffic patterns."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig, TrafficConfig
+from repro.errors import ConfigurationError
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic.patterns import (
+    AdversarialConsecutiveTraffic,
+    AdversarialTraffic,
+    HotspotTraffic,
+    JobTraffic,
+    PermutationTraffic,
+    UniformTraffic,
+    make_traffic,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return DragonflyTopology(NetworkConfig(p=2, a=4, h=2))
+
+
+class TestUniform:
+    def test_never_self(self, topo):
+        t = UniformTraffic(topo)
+        rng = random.Random(0)
+        assert all(t.dest(7, rng) != 7 for _ in range(500))
+
+    def test_covers_all_destinations(self, topo):
+        t = UniformTraffic(topo)
+        rng = random.Random(1)
+        seen = {t.dest(0, rng) for _ in range(5000)}
+        assert seen == set(range(1, topo.num_nodes))
+
+    @settings(max_examples=20, deadline=None)
+    @given(src=st.integers(0, 71))
+    def test_in_range(self, topo, src):
+        t = UniformTraffic(topo)
+        rng = random.Random(src)
+        d = t.dest(src, rng)
+        assert 0 <= d < topo.num_nodes and d != src
+
+
+class TestAdversarial:
+    def test_all_to_next_group(self, topo):
+        t = AdversarialTraffic(topo, 1)
+        rng = random.Random(0)
+        per = topo.a * topo.p
+        for src in range(per):  # group 0
+            assert t.dest(src, rng) // per == 1
+
+    def test_wraps_around(self, topo):
+        t = AdversarialTraffic(topo, 1)
+        rng = random.Random(0)
+        last_group_node = (topo.groups - 1) * topo.a * topo.p
+        assert t.dest(last_group_node, rng) // (topo.a * topo.p) == 0
+
+    def test_negative_offset(self, topo):
+        t = AdversarialTraffic(topo, -1)
+        rng = random.Random(0)
+        assert t.dest(0, rng) // (topo.a * topo.p) == topo.groups - 1
+
+    def test_zero_offset_rejected(self, topo):
+        with pytest.raises(ConfigurationError):
+            AdversarialTraffic(topo, topo.groups)  # ≡ 0 mod groups
+
+    def test_name(self, topo):
+        assert AdversarialTraffic(topo, 1).name == "ADV+1"
+
+
+class TestAdvc:
+    def test_destinations_are_next_h_groups(self, topo):
+        t = AdversarialConsecutiveTraffic(topo)
+        rng = random.Random(0)
+        per = topo.a * topo.p
+        groups = {t.dest(0, rng) // per for _ in range(500)}
+        assert groups == {1, 2}
+
+    def test_destinations_uniform_over_offsets(self, topo):
+        t = AdversarialConsecutiveTraffic(topo)
+        rng = random.Random(3)
+        per = topo.a * topo.p
+        counts = Counter(t.dest(0, rng) // per for _ in range(4000))
+        assert abs(counts[1] - counts[2]) < 0.15 * 4000
+
+    def test_bottleneck_is_last_router(self, topo):
+        t = AdversarialConsecutiveTraffic(topo)
+        assert t.bottleneck == topo.a - 1
+
+    def test_works_with_random_arrangement(self):
+        topo = DragonflyTopology(
+            NetworkConfig(p=2, a=4, h=2, arrangement="random")
+        )
+        t = AdversarialConsecutiveTraffic(topo)
+        # all offsets' gateways concentrate on the designated router
+        assert topo.bottleneck_router(0, t.offsets) == t.bottleneck
+
+
+class TestPermutation:
+    def test_is_fixed_point_free_bijection(self, topo):
+        t = PermutationTraffic(topo, seed=4)
+        dests = [t.perm[i] for i in range(topo.num_nodes)]
+        assert sorted(dests) == list(range(topo.num_nodes))
+        assert all(d != i for i, d in enumerate(dests))
+
+    def test_deterministic_per_seed(self, topo):
+        a = PermutationTraffic(topo, seed=4)
+        b = PermutationTraffic(topo, seed=4)
+        assert a.perm == b.perm
+
+    def test_dest_is_static(self, topo):
+        t = PermutationTraffic(topo, seed=4)
+        rng = random.Random(0)
+        assert t.dest(3, rng) == t.dest(3, rng)
+
+
+class TestHotspot:
+    def test_fraction_hits_hot_node(self, topo):
+        t = HotspotTraffic(topo, hot_node=5, fraction=0.5)
+        rng = random.Random(0)
+        hits = sum(1 for _ in range(4000) if t.dest(9, rng) == 5)
+        assert 0.4 < hits / 4000 < 0.65
+
+    def test_hot_node_itself_sends_uniform(self, topo):
+        t = HotspotTraffic(topo, hot_node=5, fraction=1.0)
+        rng = random.Random(0)
+        assert all(t.dest(5, rng) != 5 for _ in range(200))
+
+    def test_bad_params(self, topo):
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(topo, hot_node=10**6)
+        with pytest.raises(ConfigurationError):
+            HotspotTraffic(topo, fraction=0.0)
+
+
+class TestJob:
+    def test_only_job_nodes_active(self, topo):
+        t = JobTraffic(topo, first_group=0)  # h+1 = 3 groups
+        per = topo.a * topo.p
+        assert t.active(0)
+        assert t.active(3 * per - 1)
+        assert not t.active(3 * per)
+
+    def test_destinations_inside_job(self, topo):
+        t = JobTraffic(topo, first_group=0)
+        rng = random.Random(0)
+        per = topo.a * topo.p
+        for _ in range(300):
+            d = t.dest(0, rng)
+            assert d is not None
+            assert d // per in (0, 1, 2)
+            assert d != 0
+
+    def test_inactive_node_generates_none(self, topo):
+        t = JobTraffic(topo, first_group=0)
+        rng = random.Random(0)
+        assert t.dest(topo.num_nodes - 1, rng) is None
+
+    def test_wrapping_placement(self, topo):
+        t = JobTraffic(topo, first_group=topo.groups - 1, job_groups=2)
+        per = topo.a * topo.p
+        assert t.active((topo.groups - 1) * per)
+        assert t.active(0)
+
+    def test_bad_size(self, topo):
+        with pytest.raises(ConfigurationError):
+            JobTraffic(topo, job_groups=1)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "pattern,cls",
+        [
+            ("uniform", UniformTraffic),
+            ("adversarial", AdversarialTraffic),
+            ("advc", AdversarialConsecutiveTraffic),
+            ("permutation", PermutationTraffic),
+            ("hotspot", HotspotTraffic),
+            ("job", JobTraffic),
+        ],
+    )
+    def test_factory_builds(self, topo, pattern, cls):
+        conf = TrafficConfig(pattern=pattern)
+        assert isinstance(make_traffic(conf, topo), cls)

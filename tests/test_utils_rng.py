@@ -1,0 +1,76 @@
+"""Tests for RNG helpers: determinism, stream splitting, geometric gaps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import geometric_gap, make_rng, split_seed
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(123), make_rng(123)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seed_different_stream(self):
+        a, b = make_rng(1), make_rng(2)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+class TestSplitSeed:
+    def test_deterministic(self):
+        assert split_seed(42, 1) == split_seed(42, 1)
+
+    def test_streams_differ(self):
+        seeds = {split_seed(42, s) for s in range(100)}
+        assert len(seeds) == 100
+
+    def test_masters_differ(self):
+        assert split_seed(1, 0) != split_seed(2, 0)
+
+    @given(st.integers(min_value=0, max_value=2**63), st.integers(0, 2**31))
+    def test_result_is_64bit(self, master, stream):
+        s = split_seed(master, stream)
+        assert 0 <= s < 2**64
+
+
+class TestGeometricGap:
+    def test_prob_one_always_one(self):
+        rng = make_rng(0)
+        assert all(geometric_gap(rng, 1.0) == 1 for _ in range(20))
+
+    def test_invalid_prob_raises(self):
+        rng = make_rng(0)
+        with pytest.raises(ValueError):
+            geometric_gap(rng, 0.0)
+        with pytest.raises(ValueError):
+            geometric_gap(rng, -0.5)
+
+    def test_gaps_at_least_one(self):
+        rng = make_rng(7)
+        assert all(geometric_gap(rng, 0.3) >= 1 for _ in range(1000))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.02, max_value=0.9))
+    def test_mean_matches_geometric(self, prob):
+        """Empirical mean gap approximates 1/prob (Bernoulli equivalence)."""
+        rng = make_rng(12345)
+        n = 4000
+        total = sum(geometric_gap(rng, prob) for _ in range(n))
+        expected = 1.0 / prob
+        assert total / n == pytest.approx(expected, rel=0.15)
+
+    def test_event_rate_equivalent_to_bernoulli(self):
+        """Scheduling by gaps produces ~prob events per cycle."""
+        rng = make_rng(99)
+        prob = 0.125  # = load 1.0 with 8-phit packets
+        horizon = 80_000
+        t, events = 0, 0
+        while True:
+            t += geometric_gap(rng, prob)
+            if t >= horizon:
+                break
+            events += 1
+        assert events / horizon == pytest.approx(prob, rel=0.05)

@@ -1,0 +1,61 @@
+"""Tests for the ASCII table/plot formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.ascii_plot import ascii_plot
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "x"], [["a", 1.5], ["bb", 22.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, sep, 2 rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        out = format_table(["c"], [[1]], title="Table II")
+        assert out.splitlines()[0] == "Table II"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_large_values_readable(self):
+        out = format_table(["v"], [[585.69], [0.0000123]])
+        assert "585.7" in out or "585.69" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        out = ascii_plot(
+            {"s1": [(0, 0), (1, 1)], "s2": [(0, 1), (1, 0)]},
+            width=20,
+            height=6,
+        )
+        assert "o" in out and "x" in out
+        assert "legend:" in out
+        assert "s1" in out and "s2" in out
+
+    def test_no_data(self):
+        out = ascii_plot({"empty": []}, title="t")
+        assert "no finite data" in out
+
+    def test_nonfinite_points_dropped(self):
+        out = ascii_plot({"s": [(0, float("inf")), (1, 2.0)]})
+        assert "legend:" in out
+
+    def test_constant_series(self):
+        out = ascii_plot({"s": [(0, 5.0), (1, 5.0)]})
+        assert "o" in out
+
+    def test_title_rendered(self):
+        out = ascii_plot({"s": [(0, 1)]}, title="Figure 2c")
+        assert out.splitlines()[0] == "Figure 2c"
