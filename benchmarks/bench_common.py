@@ -19,11 +19,13 @@ import os
 import pathlib
 
 from repro.config import SimulationConfig, small_config
+from repro.exec.runner import default_jobs
 
 __all__ = [
     "PROFILE",
     "bench_config",
     "fairness_config",
+    "jobs",
     "loads_for",
     "seeds",
     "write_result",
@@ -54,6 +56,14 @@ def fairness_config() -> SimulationConfig:
 def seeds() -> int:
     """Seeds averaged per point (paper: 3)."""
     return 2 if PROFILE == "full" else 1
+
+
+def jobs() -> int:
+    """Parallel simulation processes per plan (``REPRO_BENCH_JOBS`` wins)."""
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env:
+        return max(1, int(env))
+    return default_jobs()
 
 
 def loads_for(pattern: str, *, dense: bool = False) -> list[float]:

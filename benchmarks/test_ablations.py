@@ -14,7 +14,7 @@ Not figures from the paper — these probe the knobs the paper holds fixed:
 
 from __future__ import annotations
 
-from bench_common import bench_config, seeds, write_result
+from bench_common import bench_config, jobs, seeds, write_result
 from repro.core.experiment import run_point
 from repro.core.simulation import run_simulation
 from repro.utils.tables import format_table
@@ -26,9 +26,9 @@ def test_priority_ablation_uniform_min(benchmark):
         base = bench_config(routing="min").with_traffic(
             pattern="uniform", load=0.8
         )
-        with_prio = run_point(base, seeds=seeds()).accepted_load
+        with_prio = run_point(base, seeds=seeds(), jobs=jobs()).accepted_load
         without = run_point(
-            base.with_router(transit_priority=False), seeds=seeds()
+            base.with_router(transit_priority=False), seeds=seeds(), jobs=jobs()
         ).accepted_load
         return with_prio, without
 
@@ -51,7 +51,7 @@ def test_threshold_ablation(benchmark):
         for th in (0.25, 0.43, 0.75):
             cfg = bench_config(routing="in-trns-mm", misroute_threshold=th)
             cfg = cfg.with_traffic(pattern="advc", load=0.4)
-            pt = run_point(cfg, seeds=seeds())
+            pt = run_point(cfg, seeds=seeds(), jobs=jobs())
             out.append((th, pt.accepted_load, pt.avg_latency))
         return out
 

@@ -1,0 +1,76 @@
+"""Engine micro-benchmark: raw simulation throughput.
+
+Reports events/sec (discrete-event engine rate) and simulated cycles/sec
+for one representative configuration per scale, writing the numbers to
+``benchmarks/results/engine_throughput.txt`` so hot-path PRs have a
+recorded perf baseline to compare against.
+
+No absolute performance assertion (the figure depends on the host); only
+sanity floors that catch a pathologically broken engine.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import bench_config, write_result
+from repro.config import tiny_config
+from repro.core.simulation import run_simulation
+from repro.utils.tables import format_table
+
+
+def _measure(label, cfg):
+    start = time.perf_counter()
+    result = run_simulation(cfg)
+    elapsed = time.perf_counter() - start
+    return [
+        label,
+        result.events_processed,
+        cfg.total_cycles,
+        f"{result.events_processed / elapsed:,.0f}",
+        f"{cfg.total_cycles / elapsed:,.0f}",
+        f"{elapsed:.3f}",
+    ], result, elapsed
+
+
+def test_engine_throughput(benchmark):
+    cases = [
+        (
+            "tiny/UN@0.4",
+            tiny_config(routing="min").with_traffic(
+                pattern="uniform", load=0.4
+            ),
+        ),
+        (
+            "small/UN@0.4",
+            bench_config(routing="min").with_traffic(
+                pattern="uniform", load=0.4
+            ),
+        ),
+        (
+            "small/ADVc@0.4 in-trns-mm",
+            bench_config(routing="in-trns-mm").with_traffic(
+                pattern="advc", load=0.4
+            ),
+        ),
+    ]
+
+    def run_all():
+        return [_measure(label, cfg) for label, cfg in cases]
+
+    measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [row for row, _res, _t in measured]
+    write_result(
+        "engine_throughput",
+        format_table(
+            ["config", "events", "cycles", "events/s", "cycles/s", "wall(s)"],
+            rows,
+            title="Engine throughput baseline (single process)",
+        ),
+    )
+    for row, result, elapsed in measured:
+        assert result.events_processed > 0, row[0]
+        assert elapsed > 0.0, row[0]
+        # Floor: an event loop slower than 10k events/s on any host would
+        # signal a broken hot path, not a slow machine.
+        assert result.events_processed / elapsed > 10_000, row

@@ -12,7 +12,7 @@ injection-queue waiting.  Shape assertions:
 
 from __future__ import annotations
 
-from bench_common import bench_config, seeds, write_result
+from bench_common import bench_config, jobs, seeds, write_result
 from repro.analysis.figures import figure3_breakdown, format_figure3
 
 
@@ -25,7 +25,7 @@ def test_fig3_breakdown(benchmark):
     breakdown = benchmark.pedantic(
         figure3_breakdown,
         args=(base, _loads()),
-        kwargs={"seeds": seeds()},
+        kwargs={"seeds": seeds(), "jobs": jobs()},
         rounds=1,
         iterations=1,
     )

@@ -11,7 +11,7 @@ Paper observations asserted:
 
 from __future__ import annotations
 
-from bench_common import bench_config, loads_for, seeds, write_result
+from bench_common import bench_config, jobs, loads_for, seeds, write_result
 from repro.analysis.figures import figure2_sweeps, format_figure2
 
 # A reduced load grid keeps the no-priority rerun affordable; the curves
@@ -32,7 +32,7 @@ def _run_panel(pattern: str):
     loads = _LOADS[pattern] if len(loads_for(pattern)) <= 5 else loads_for(
         pattern
     )
-    return figure2_sweeps(base, loads, seeds=seeds())
+    return figure2_sweeps(base, loads, seeds=seeds(), jobs=jobs())
 
 
 def test_fig5a_uniform(benchmark):

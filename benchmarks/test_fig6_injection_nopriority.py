@@ -12,7 +12,7 @@ Shape assertions from the paper:
 
 from __future__ import annotations
 
-from bench_common import fairness_config, seeds, write_result
+from bench_common import fairness_config, jobs, seeds, write_result
 from repro.analysis.figures import figure4_injections, format_figure4
 
 MECHS = (
@@ -31,7 +31,7 @@ def test_fig6_injections(benchmark):
     inj = benchmark.pedantic(
         figure4_injections,
         args=(base,),
-        kwargs={"mechanisms": MECHS, "load": 0.4, "seeds": seeds()},
+        kwargs={"mechanisms": MECHS, "load": 0.4, "seeds": seeds(), "jobs": jobs()},
         rounds=1,
         iterations=1,
     )

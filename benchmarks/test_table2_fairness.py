@@ -13,7 +13,7 @@ absolute ratios grow with network scale, see DESIGN.md):
 
 from __future__ import annotations
 
-from bench_common import fairness_config, seeds, write_result
+from bench_common import fairness_config, jobs, seeds, write_result
 from repro.analysis.tables import fairness_table, format_fairness_table
 
 
@@ -22,7 +22,7 @@ def test_table2(benchmark):
     table = benchmark.pedantic(
         fairness_table,
         args=(base,),
-        kwargs={"load": 0.4, "seeds": seeds()},
+        kwargs={"load": 0.4, "seeds": seeds(), "jobs": jobs()},
         rounds=1,
         iterations=1,
     )

@@ -11,7 +11,7 @@ Shape assertions (paper Section V-C):
 
 from __future__ import annotations
 
-from bench_common import fairness_config, seeds, write_result
+from bench_common import fairness_config, jobs, seeds, write_result
 from repro.analysis.tables import fairness_table, format_fairness_table
 
 
@@ -20,8 +20,8 @@ def test_table3(benchmark):
     base_noprio = base_prio.with_router(transit_priority=False)
 
     def run_both():
-        with_prio = fairness_table(base_prio, load=0.4, seeds=seeds())
-        without = fairness_table(base_noprio, load=0.4, seeds=seeds())
+        with_prio = fairness_table(base_prio, load=0.4, seeds=seeds(), jobs=jobs())
+        without = fairness_table(base_noprio, load=0.4, seeds=seeds(), jobs=jobs())
         return with_prio, without
 
     with_prio, without = benchmark.pedantic(run_both, rounds=1, iterations=1)

@@ -11,12 +11,16 @@ headline effects:
   flips pathology — the bottleneck router starts *over*-injecting because
   it senses its own links' saturation instantly and grabs every free slot.
 
+The six (mechanism, priority) cells form one declarative plan executed by
+the parallel runner across all cores; results are independent of the
+worker count (per-cell seeds are derived from the master seed up front).
+
 Run:  python examples/priority_ablation.py
 """
 
 from __future__ import annotations
 
-from repro import run_simulation, small_config
+from repro import ExperimentPlan, Runner, small_config
 from repro.utils.tables import format_table
 
 
@@ -26,29 +30,42 @@ def main() -> None:
     print(base.network.describe())
     print(f"ADVc @ 0.4 — bottleneck router is R{a-1}\n")
 
+    cases = [
+        (mech, priority)
+        for mech in ("in-trns-mm", "in-trns-crg", "src-crg")
+        for priority in (True, False)
+    ]
+
+    def cfg_for(mech: str, priority: bool):
+        return base.with_(routing=mech).with_router(transit_priority=priority)
+
+    plan = ExperimentPlan.merge(
+        ExperimentPlan.point(cfg_for(mech, priority))
+        for mech, priority in cases
+    )
+    runner = Runner()  # jobs defaults to all cores
+    print(f"running {len(plan)} cells with jobs={runner.jobs} ...\n")
+    res = runner.run(plan)
+
     rows = []
     profiles = []
-    for mech in ("in-trns-mm", "in-trns-crg", "src-crg"):
-        for priority in (True, False):
-            cfg = base.with_(routing=mech).with_router(
-                transit_priority=priority
-            )
-            r = run_simulation(cfg)
-            f = r.fairness
-            rows.append(
-                [
-                    mech,
-                    "on" if priority else "off",
-                    r.accepted_load,
-                    f.min_injected,
-                    f.max_min_ratio,
-                    f.cov,
-                ]
-            )
-            profiles.append(
-                [mech, "on" if priority else "off"]
-                + list(r.group_injections(0))
-            )
+    for mech, priority in cases:
+        r = res.results_for(cfg_for(mech, priority))[0]
+        f = r.fairness
+        rows.append(
+            [
+                mech,
+                "on" if priority else "off",
+                r.accepted_load,
+                f.min_injected,
+                f.max_min_ratio,
+                f.cov,
+            ]
+        )
+        profiles.append(
+            [mech, "on" if priority else "off"]
+            + list(r.group_injections(0))
+        )
 
     print(
         format_table(

@@ -48,9 +48,11 @@ from repro.errors import (
     SimulationError,
     TopologyError,
 )
+from repro.exec import ExperimentPlan, PlanResult, ResultStore, Runner
 from repro.metrics import FairnessMetrics, fairness_from_counts
 from repro.routing import ROUTING_NAMES
 from repro.topology import DragonflyTopology
+from repro.traffic import pattern_name
 
 __version__ = "1.0.0"
 
@@ -58,14 +60,18 @@ __all__ = [
     "AnalysisError",
     "ConfigurationError",
     "DragonflyTopology",
+    "ExperimentPlan",
     "FairnessMetrics",
     "FlowControlError",
     "LoadSweepResult",
     "NetworkConfig",
+    "PlanResult",
     "ROUTING_NAMES",
     "ReproError",
+    "ResultStore",
     "RouterConfig",
     "RoutingError",
+    "Runner",
     "Simulation",
     "SimulationConfig",
     "SimulationError",
@@ -76,6 +82,7 @@ __all__ = [
     "fairness_from_counts",
     "medium_config",
     "paper_config",
+    "pattern_name",
     "run_load_sweep",
     "run_point",
     "run_simulation",

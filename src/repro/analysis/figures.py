@@ -5,14 +5,24 @@ each ``format_figureN`` renders that data as text (numeric series plus an
 ASCII plot) the way the benchmark harness prints it.  Figures 5 and 6 are
 Figures 2 and 4 with ``transit_priority=False``, so the same generators
 serve both (the caller flips the config).
+
+All generators build one :class:`repro.exec.plan.ExperimentPlan` covering
+every cell of the figure and submit it to a single
+:class:`repro.exec.runner.Runner`, so ``jobs=N`` parallelises across
+mechanisms, loads and seeds at once; ``store`` enables on-disk result
+caching.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 
 from repro.config import SimulationConfig
-from repro.core.experiment import LoadSweepResult, run_load_sweep, run_point
+from repro.exec.aggregate import LoadSweepResult, average_injections
+from repro.exec.plan import ExperimentPlan
+from repro.exec.runner import Runner
+from repro.exec.store import ResultStore
 from repro.utils.ascii_plot import ascii_plot
 from repro.utils.tables import format_table
 
@@ -43,18 +53,23 @@ def figure2_sweeps(
     *,
     mechanisms: Sequence[str] = FIGURE2_MECHANISMS,
     seeds: int = 1,
+    jobs: int = 1,
+    store: ResultStore | str | os.PathLike | None = None,
 ) -> dict[str, LoadSweepResult]:
     """One latency/throughput curve per mechanism for one traffic pattern.
 
     ``base`` carries the pattern and priority setting; pass
     ``base.with_router(transit_priority=False)`` for Figure 5.
     """
-    out: dict[str, LoadSweepResult] = {}
-    for mech in mechanisms:
-        out[mech] = run_load_sweep(
-            base.with_(routing=mech), loads, seeds=seeds
-        )
-    return out
+    plan = ExperimentPlan.merge(
+        ExperimentPlan.sweep(base.with_(routing=mech), loads, seeds=seeds)
+        for mech in mechanisms
+    )
+    res = Runner(jobs=jobs, store=store).run(plan)
+    return {
+        mech: res.sweep(base.with_(routing=mech), loads)
+        for mech in mechanisms
+    }
 
 
 def format_figure2(
@@ -102,12 +117,16 @@ def figure3_breakdown(
     loads: Sequence[float],
     *,
     seeds: int = 1,
+    jobs: int = 1,
+    store: ResultStore | str | os.PathLike | None = None,
 ) -> list[tuple[float, dict[str, float]]]:
     """Latency components vs injection rate for in-transit-MM under ADVc."""
     cfg = base.with_(routing="in-trns-mm").with_traffic(pattern="advc")
+    plan = ExperimentPlan.sweep(cfg, loads, seeds=seeds)
+    res = Runner(jobs=jobs, store=store).run(plan)
     out = []
     for load in loads:
-        pt = run_point(cfg.with_traffic(load=load), seeds=seeds)
+        pt = res.point(cfg.with_traffic(load=load))
         out.append((pt.offered_load, dict(pt.latency_breakdown)))
     return out
 
@@ -145,6 +164,8 @@ def figure4_injections(
     load: float = 0.4,
     group: int = 0,
     seeds: int = 1,
+    jobs: int = 1,
+    store: ResultStore | str | os.PathLike | None = None,
 ) -> dict[str, list[float]]:
     """Injected packets per router of one group under ADVc at *load*.
 
@@ -152,28 +173,20 @@ def figure4_injections(
     For Figure 6, pass a ``base`` with ``transit_priority=False``.
     """
     a = base.network.a
+
+    def point_cfg(mech: str) -> SimulationConfig:
+        return base.with_(routing=mech).with_traffic(pattern="advc", load=load)
+
+    plan = ExperimentPlan.merge(
+        ExperimentPlan.point(point_cfg(mech), seeds=seeds)
+        for mech in mechanisms
+    )
+    res = Runner(jobs=jobs, store=store).run(plan)
     out: dict[str, list[float]] = {}
     for mech in mechanisms:
-        cfg = base.with_(routing=mech).with_traffic(pattern="advc", load=load)
-        per_router = _per_router_from_point(cfg, seeds)
+        per_router = average_injections(res.results_for(point_cfg(mech)))
         out[mech] = per_router[group * a : (group + 1) * a]
     return out
-
-
-def _per_router_from_point(cfg: SimulationConfig, seeds: int) -> list[float]:
-    """Seed-averaged per-router injection counts for one config."""
-    from repro.core.simulation import run_simulation
-    from repro.utils.rng import split_seed
-
-    results = [
-        run_simulation(cfg.with_(seed=split_seed(cfg.seed, 100 + s)))
-        for s in range(seeds)
-    ]
-    n = len(results)
-    return [
-        sum(r.injected_per_router[i] for r in results) / n
-        for i in range(len(results[0].injected_per_router))
-    ]
 
 
 def format_figure4(

@@ -8,11 +8,14 @@ directly in the benchmark output.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 
 from repro.analysis.paper_reference import PAPER_TABLE_II, PAPER_TABLE_III
 from repro.config import SimulationConfig
-from repro.core.experiment import run_point
+from repro.exec.plan import ExperimentPlan
+from repro.exec.runner import Runner
+from repro.exec.store import ResultStore
 from repro.metrics.fairness import FairnessMetrics
 from repro.utils.tables import format_table
 
@@ -36,18 +39,25 @@ def fairness_table(
     mechanisms: Sequence[str] = TABLE_MECHANISMS,
     load: float = 0.4,
     seeds: int = 1,
+    jobs: int = 1,
+    store: ResultStore | str | os.PathLike | None = None,
 ) -> dict[str, FairnessMetrics]:
     """Run ADVc at *load* for each mechanism; return the fairness metrics.
 
     ``base.router.transit_priority`` decides whether this is Table II
-    (True) or Table III (False).
+    (True) or Table III (False).  All mechanism/seed cells go into one
+    plan, so ``jobs=N`` parallelises the whole table.
     """
-    out: dict[str, FairnessMetrics] = {}
-    for mech in mechanisms:
-        cfg = base.with_(routing=mech).with_traffic(pattern="advc", load=load)
-        pt = run_point(cfg, seeds=seeds)
-        out[mech] = pt.fairness
-    return out
+
+    def point_cfg(mech: str) -> SimulationConfig:
+        return base.with_(routing=mech).with_traffic(pattern="advc", load=load)
+
+    plan = ExperimentPlan.merge(
+        ExperimentPlan.point(point_cfg(mech), seeds=seeds)
+        for mech in mechanisms
+    )
+    res = Runner(jobs=jobs, store=store).run(plan)
+    return {mech: res.point(point_cfg(mech)).fairness for mech in mechanisms}
 
 
 def format_fairness_table(

@@ -1,4 +1,4 @@
-"""Command-line interface: run simulations and sweeps without writing code.
+"""Command-line interface: run simulations, sweeps and plans.
 
 Examples
 --------
@@ -6,14 +6,22 @@ Run one simulation and print the summary::
 
     python -m repro.cli run --routing in-trns-mm --pattern advc --load 0.4
 
-Sweep offered load and print a latency/throughput table::
+Sweep offered load in parallel and print a latency/throughput table::
 
     python -m repro.cli sweep --routing min --pattern adversarial \
-        --loads 0.1 0.2 0.3 0.4 --seeds 2
+        --loads 0.1 0.2 0.3 0.4 --seeds 2 --jobs 4
 
 Show the fairness profile of one group (paper Figure 4 style)::
 
     python -m repro.cli fairness --pattern advc --load 0.4 --no-priority
+
+Print a declarative plan, then execute it over all cores with a result
+cache (re-runs only compute missing cells)::
+
+    python -m repro.cli plan --routings min in-trns-mm --patterns advc \
+        --loads 0.1 0.2 0.3 --seeds 2
+    python -m repro.cli plan --routings min in-trns-mm --patterns advc \
+        --loads 0.1 0.2 0.3 --seeds 2 --execute --cache .repro-cache
 """
 
 from __future__ import annotations
@@ -22,14 +30,16 @@ import argparse
 from collections.abc import Sequence
 
 from repro.config import (
+    PATTERN_CHOICES,
     SimulationConfig,
     medium_config,
     paper_config,
     small_config,
     tiny_config,
 )
-from repro.core.experiment import run_load_sweep
 from repro.core.simulation import run_simulation
+from repro.exec.plan import ExperimentPlan
+from repro.exec.runner import Runner, default_jobs
 from repro.routing.factory import ROUTING_NAMES
 from repro.utils.tables import format_table
 
@@ -42,6 +52,8 @@ _PRESETS = {
     "paper": paper_config,
 }
 
+_PATTERNS = list(PATTERN_CHOICES)
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
@@ -52,30 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    def common(sp: argparse.ArgumentParser) -> None:
+    def common_base(sp: argparse.ArgumentParser) -> None:
         sp.add_argument(
             "--preset",
             choices=sorted(_PRESETS),
             default="small",
             help="network scale preset (default: small = h=2, 72 nodes)",
-        )
-        sp.add_argument(
-            "--routing",
-            choices=ROUTING_NAMES,
-            default="min",
-            help="routing mechanism (paper legend name)",
-        )
-        sp.add_argument(
-            "--pattern",
-            default="uniform",
-            choices=[
-                "uniform",
-                "adversarial",
-                "advc",
-                "permutation",
-                "hotspot",
-                "job",
-            ],
         )
         sp.add_argument("--seed", type=int, default=1)
         sp.add_argument(
@@ -86,12 +80,38 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--warmup", type=int, default=None)
         sp.add_argument("--measure", type=int, default=None)
 
+    def common(sp: argparse.ArgumentParser) -> None:
+        common_base(sp)
+        sp.add_argument(
+            "--routing",
+            choices=ROUTING_NAMES,
+            default="min",
+            help="routing mechanism (paper legend name)",
+        )
+        sp.add_argument("--pattern", default="uniform", choices=_PATTERNS)
+
+    def exec_opts(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="parallel simulation processes "
+            "(default: all cores, or $REPRO_JOBS)",
+        )
+        sp.add_argument(
+            "--cache",
+            default=None,
+            metavar="DIR",
+            help="result cache directory; re-runs only compute missing cells",
+        )
+
     run_p = sub.add_parser("run", help="run one simulation")
     common(run_p)
     run_p.add_argument("--load", type=float, default=0.4)
 
     sweep_p = sub.add_parser("sweep", help="sweep offered load")
     common(sweep_p)
+    exec_opts(sweep_p)
     sweep_p.add_argument(
         "--loads", type=float, nargs="+", required=True
     )
@@ -104,12 +124,40 @@ def build_parser() -> argparse.ArgumentParser:
     fair_p.add_argument("--load", type=float, default=0.4)
     fair_p.add_argument("--group", type=int, default=0)
 
+    plan_p = sub.add_parser(
+        "plan",
+        help="enumerate (and optionally execute) a declarative "
+        "routings x patterns x loads x seeds grid",
+    )
+    common_base(plan_p)
+    exec_opts(plan_p)
+    plan_p.add_argument(
+        "--routings",
+        nargs="+",
+        choices=ROUTING_NAMES,
+        default=["min"],
+        help="routing mechanisms to cross",
+    )
+    plan_p.add_argument(
+        "--patterns",
+        nargs="+",
+        choices=_PATTERNS,
+        default=["uniform"],
+        help="traffic patterns to cross",
+    )
+    plan_p.add_argument("--loads", type=float, nargs="+", required=True)
+    plan_p.add_argument("--seeds", type=int, default=1)
+    plan_p.add_argument(
+        "--execute",
+        action="store_true",
+        help="run the plan (default: only print it)",
+    )
+
     return p
 
 
-def _config(args: argparse.Namespace) -> SimulationConfig:
-    cfg = _PRESETS[args.preset](routing=args.routing, seed=args.seed)
-    cfg = cfg.with_traffic(pattern=args.pattern)
+def _base_config(args: argparse.Namespace) -> SimulationConfig:
+    cfg = _PRESETS[args.preset](seed=args.seed)
     if args.no_priority:
         cfg = cfg.with_router(transit_priority=False)
     if args.warmup is not None:
@@ -119,13 +167,30 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
     return cfg
 
 
+def _config(args: argparse.Namespace) -> SimulationConfig:
+    cfg = _base_config(args).with_(routing=args.routing)
+    return cfg.with_traffic(pattern=args.pattern)
+
+
+def _sweep_table(sweep) -> str:
+    rows = [
+        [pt.offered_load, pt.accepted_load, pt.avg_latency,
+         pt.fairness.max_min_ratio, pt.fairness.cov]
+        for pt in sweep.points
+    ]
+    return format_table(
+        ["offered", "accepted", "latency", "max/min", "cov"],
+        rows,
+        title=f"{sweep.routing} under {sweep.pattern}",
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    cfg = _config(args)
 
     if args.command == "run":
-        result = run_simulation(cfg.with_traffic(load=args.load))
+        result = run_simulation(_config(args).with_traffic(load=args.load))
         print(result.summary())
         print("latency breakdown:", {
             k: round(v, 2) for k, v in result.latency_breakdown.items()
@@ -133,22 +198,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "sweep":
-        sweep = run_load_sweep(cfg, args.loads, seeds=args.seeds)
-        rows = [
-            [pt.offered_load, pt.accepted_load, pt.avg_latency,
-             pt.fairness.max_min_ratio, pt.fairness.cov]
-            for pt in sweep.points
-        ]
-        print(
-            format_table(
-                ["offered", "accepted", "latency", "max/min", "cov"],
-                rows,
-                title=f"{sweep.routing} under {sweep.pattern}",
-            )
-        )
+        cfg = _config(args)
+        plan = ExperimentPlan.sweep(cfg, args.loads, seeds=args.seeds)
+        res = Runner(jobs=args.jobs, store=args.cache).run(plan)
+        print(_sweep_table(res.sweep(cfg, args.loads)))
         return 0
 
     if args.command == "fairness":
+        cfg = _config(args)
         result = run_simulation(cfg.with_traffic(load=args.load))
         counts = result.group_injections(args.group)
         print(
@@ -167,6 +224,32 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"network: min={f.min_injected:.0f} max/min="
             f"{f.max_min_ratio:.3g} cov={f.cov:.4f} jain={f.jain:.4f}"
         )
+        return 0
+
+    if args.command == "plan":
+        base = _base_config(args)
+        plan = ExperimentPlan.grid(
+            base,
+            routings=args.routings,
+            patterns=args.patterns,
+            loads=args.loads,
+            seeds=args.seeds,
+        )
+        print(plan.describe())
+        if not args.execute:
+            print("(dry run; pass --execute to run these cells)")
+            return 0
+        runner = Runner(jobs=args.jobs, store=args.cache)
+        res = runner.run(plan)
+        print(
+            f"executed {res.computed} cells with jobs={runner.jobs}"
+            + (f", {res.cached} from cache" if args.cache else "")
+        )
+        for routing in args.routings:
+            for pattern in args.patterns:
+                cfg = base.with_(routing=routing).with_traffic(pattern=pattern)
+                print()
+                print(_sweep_table(res.sweep(cfg, args.loads)))
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

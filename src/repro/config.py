@@ -24,6 +24,7 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "NetworkConfig",
+    "PATTERN_CHOICES",
     "RouterConfig",
     "TrafficConfig",
     "SimulationConfig",
@@ -32,6 +33,16 @@ __all__ = [
     "medium_config",
     "tiny_config",
 ]
+
+#: valid ``TrafficConfig.pattern`` values (public: CLI choices etc.).
+PATTERN_CHOICES = (
+    "uniform",
+    "adversarial",
+    "advc",
+    "permutation",
+    "hotspot",
+    "job",
+)
 
 
 @dataclass(frozen=True)
@@ -220,14 +231,7 @@ class TrafficConfig:
     job_groups: int | None = None
     hotspot_fraction: float = 0.2
 
-    _PATTERNS = (
-        "uniform",
-        "adversarial",
-        "advc",
-        "permutation",
-        "hotspot",
-        "job",
-    )
+    _PATTERNS = PATTERN_CHOICES
 
     def __post_init__(self) -> None:
         if self.pattern not in self._PATTERNS:

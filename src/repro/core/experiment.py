@@ -4,19 +4,31 @@ The paper's figures plot latency/throughput against offered load, each
 point averaged over 3 simulations (Section IV-A).  :func:`run_load_sweep`
 reproduces that protocol; :func:`run_point` is one (mechanism, pattern,
 load) cell, used by the fairness tables.
+
+This module is a thin compatibility shim over the
+:mod:`repro.exec` subsystem: both entry points build a declarative
+:class:`repro.exec.plan.ExperimentPlan` and hand it to a
+:class:`repro.exec.runner.Runner`.  ``jobs`` fans the cells out over a
+process pool (``jobs=1``, the default, runs inline); ``store`` points at
+an on-disk result cache directory.  Results are identical for any
+``jobs`` value — per-cell seeds are derived up front via ``split_seed``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
 from collections.abc import Sequence
 
 from repro.config import SimulationConfig
-from repro.core.results import SimulationResult
-from repro.core.simulation import run_simulation
 from repro.errors import AnalysisError
-from repro.metrics.fairness import FairnessMetrics, fairness_from_counts
-from repro.utils.rng import split_seed
+from repro.exec.aggregate import (
+    LoadSweepResult,
+    SweepPoint,
+    average_results,
+)
+from repro.exec.plan import ExperimentPlan
+from repro.exec.runner import Runner
+from repro.exec.store import ResultStore
 
 __all__ = [
     "SweepPoint",
@@ -27,84 +39,16 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class SweepPoint:
-    """Seed-averaged metrics at one offered load."""
-
-    offered_load: float
-    accepted_load: float
-    avg_latency: float
-    latency_breakdown: dict[str, float]
-    fairness: FairnessMetrics
-    seeds: int
-
-    def as_tuple(self) -> tuple[float, float, float]:
-        """(offered, accepted, latency) for quick plotting."""
-        return (self.offered_load, self.accepted_load, self.avg_latency)
-
-
-@dataclass(frozen=True)
-class LoadSweepResult:
-    """A full latency/throughput curve for one mechanism and pattern."""
-
-    routing: str
-    pattern: str
-    points: tuple[SweepPoint, ...]
-
-    def latency_series(self) -> list[tuple[float, float]]:
-        """(offered load, mean latency) pairs — the left panels of Fig. 2/5."""
-        return [(pt.offered_load, pt.avg_latency) for pt in self.points]
-
-    def throughput_series(self) -> list[tuple[float, float]]:
-        """(offered, accepted) pairs — the right panels of Fig. 2/5."""
-        return [(pt.offered_load, pt.accepted_load) for pt in self.points]
-
-    def saturation_throughput(self) -> float:
-        """Highest accepted load along the sweep (the curve's plateau)."""
-        return max(pt.accepted_load for pt in self.points)
-
-
-def average_results(results: Sequence[SimulationResult]) -> SweepPoint:
-    """Average several same-configuration runs into one sweep point.
-
-    Per-router injection counts are averaged element-wise before the
-    fairness metrics are recomputed, matching how the paper reports
-    fractional "Min inj" values (e.g. 31.67 = a 3-seed average).
-    """
-    if not results:
-        raise AnalysisError("average_results needs at least one result")
-    n = len(results)
-    counts = [
-        sum(r.injected_per_router[i] for r in results) / n
-        for i in range(len(results[0].injected_per_router))
-    ]
-    breakdown = {
-        k: sum(r.latency_breakdown[k] for r in results) / n
-        for k in results[0].latency_breakdown
-    }
-    return SweepPoint(
-        offered_load=sum(r.offered_load for r in results) / n,
-        accepted_load=sum(r.accepted_load for r in results) / n,
-        avg_latency=sum(r.avg_latency for r in results) / n,
-        latency_breakdown=breakdown,
-        fairness=fairness_from_counts(counts),
-        seeds=n,
-    )
-
-
 def run_point(
     config: SimulationConfig,
     *,
     seeds: int = 1,
+    jobs: int = 1,
+    store: ResultStore | str | os.PathLike | None = None,
 ) -> SweepPoint:
     """Run ``seeds`` independent simulations of *config* and average them."""
-    if seeds < 1:
-        raise AnalysisError("seeds must be >= 1")
-    results = [
-        run_simulation(config.with_(seed=split_seed(config.seed, 100 + s)))
-        for s in range(seeds)
-    ]
-    return average_results(results)
+    plan = ExperimentPlan.point(config, seeds=seeds)
+    return Runner(jobs=jobs, store=store).run(plan).point(config)
 
 
 def run_load_sweep(
@@ -112,24 +56,11 @@ def run_load_sweep(
     loads: Sequence[float],
     *,
     seeds: int = 1,
+    jobs: int = 1,
+    store: ResultStore | str | os.PathLike | None = None,
 ) -> LoadSweepResult:
     """Sweep offered load, producing one latency/throughput curve."""
     if not loads:
         raise AnalysisError("run_load_sweep needs at least one load")
-    points = []
-    pattern_name = None
-    for load in loads:
-        cfg = config.with_traffic(load=load)
-        pt = run_point(cfg, seeds=seeds)
-        points.append(pt)
-    # Recover the pattern display name from a cheap construction.
-    from repro.topology.dragonfly import DragonflyTopology
-    from repro.traffic.patterns import make_traffic
-
-    topo = DragonflyTopology(config.network)
-    pattern_name = make_traffic(config.traffic, topo).name
-    return LoadSweepResult(
-        routing=config.routing,
-        pattern=pattern_name,
-        points=tuple(points),
-    )
+    plan = ExperimentPlan.sweep(config, loads, seeds=seeds)
+    return Runner(jobs=jobs, store=store).run(plan).sweep(config, loads)

@@ -1,0 +1,42 @@
+"""Experiment execution subsystem: declarative plans, parallel running,
+result caching, and aggregation.
+
+This is the orchestration seam between the pure simulator
+(:func:`repro.core.simulation.run_simulation`) and every consumer that
+needs many simulations — the CLI, the figure/table generators, and the
+benchmark harness.  The flow is::
+
+    plan   = ExperimentPlan.grid(base, routings=..., patterns=..., loads=...)
+    result = Runner(jobs=8, store=".repro-cache").run(plan)
+    sweep  = result.sweep(base.with_(routing="min"), loads)
+
+Cells are deduplicated by a stable config digest, cached on disk as JSON
+(:class:`ResultStore`), and executed either inline or over a process
+pool; per-cell seeds are pre-derived so parallel and serial execution
+are bit-identical.
+"""
+
+from repro.exec.aggregate import (
+    LoadSweepResult,
+    SweepPoint,
+    average_injections,
+    average_results,
+)
+from repro.exec.plan import Cell, ExperimentPlan
+from repro.exec.runner import PlanResult, Runner, default_jobs
+from repro.exec.serialize import config_digest
+from repro.exec.store import ResultStore
+
+__all__ = [
+    "Cell",
+    "ExperimentPlan",
+    "LoadSweepResult",
+    "PlanResult",
+    "ResultStore",
+    "Runner",
+    "SweepPoint",
+    "average_injections",
+    "average_results",
+    "config_digest",
+    "default_jobs",
+]

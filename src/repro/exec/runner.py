@@ -1,0 +1,159 @@
+"""Plan execution: serial or process-parallel, with optional caching.
+
+The :class:`Runner` takes an :class:`repro.exec.plan.ExperimentPlan`,
+deduplicates its cells by config digest, loads whatever an attached
+:class:`repro.exec.store.ResultStore` already holds, and computes the
+rest — inline when ``jobs <= 1``, otherwise fanned out over a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Every cell is a pure deterministic function of its (fully seeded)
+config, so parallel and serial execution return bit-identical results;
+the executor only changes wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.core.simulation import run_simulation
+from repro.errors import AnalysisError
+from repro.exec.aggregate import LoadSweepResult, SweepPoint, average_results
+from repro.exec.plan import ExperimentPlan
+from repro.exec.serialize import config_digest
+from repro.exec.store import ResultStore
+
+__all__ = ["Runner", "PlanResult", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """Default worker count: ``REPRO_JOBS`` env override, else cpu count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _run_cell(config: SimulationConfig) -> SimulationResult:
+    """Top-level worker entry point (must be picklable for the pool)."""
+    return run_simulation(config)
+
+
+@dataclass
+class PlanResult:
+    """Executed plan: digest-indexed results plus cache statistics."""
+
+    plan: ExperimentPlan
+    results: dict[str, SimulationResult]
+    computed: int = 0
+    cached: int = 0
+    _by_parent: dict[str, list[SimulationResult]] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- raw access ---------------------------------------------------------
+    def cell_results(self) -> list[SimulationResult]:
+        """One result per plan cell, in plan order (duplicates repeated)."""
+        return [self.results[cell.digest] for cell in self.plan]
+
+    def results_for(self, config: SimulationConfig) -> list[SimulationResult]:
+        """Seed-ordered results of the logical point *config*.
+
+        *config* is a **parent** config as passed to the plan constructors
+        (master seed, pre-splitting).
+        """
+        if self._by_parent is None:
+            index: dict[str, list[SimulationResult]] = {}
+            seen: set[str] = set()
+            for cell in self.plan:
+                # A cell listed twice (e.g. merged plans) is one simulation;
+                # counting it once keeps SweepPoint.seeds honest.
+                if cell.digest in seen:
+                    continue
+                seen.add(cell.digest)
+                index.setdefault(cell.parent_digest, []).append(
+                    self.results[cell.digest]
+                )
+            self._by_parent = index
+        out = self._by_parent.get(config_digest(config))
+        if not out:
+            raise AnalysisError(
+                "no results for the requested config; was it in the plan?"
+            )
+        return out
+
+    # -- aggregation --------------------------------------------------------
+    def point(self, config: SimulationConfig) -> SweepPoint:
+        """Seed-averaged :class:`SweepPoint` of the logical point *config*."""
+        return average_results(self.results_for(config))
+
+    def sweep(
+        self, config: SimulationConfig, loads: Sequence[float]
+    ) -> LoadSweepResult:
+        """Reassemble a :class:`LoadSweepResult` over *loads* of *config*."""
+        if not loads:
+            raise AnalysisError("sweep needs at least one load")
+        points = []
+        pattern = None
+        for load in loads:
+            cfg = config.with_traffic(load=load)
+            if pattern is None:
+                pattern = self.results_for(cfg)[0].pattern
+            points.append(self.point(cfg))
+        return LoadSweepResult(
+            routing=config.routing, pattern=pattern, points=tuple(points)
+        )
+
+
+@dataclass
+class Runner:
+    """Executes plans; ``jobs=None`` means :func:`default_jobs`."""
+
+    jobs: int | None = None
+    store: ResultStore | str | os.PathLike | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs is None:
+            self.jobs = default_jobs()
+        if self.jobs < 1:
+            raise AnalysisError(f"jobs must be >= 1, got {self.jobs}")
+        if self.store is not None and not isinstance(self.store, ResultStore):
+            self.store = ResultStore(self.store)
+
+    def run(self, plan: ExperimentPlan) -> PlanResult:
+        """Execute *plan*, reusing cached results when a store is attached."""
+        if not len(plan):
+            raise AnalysisError("cannot run an empty plan")
+        unique: dict[str, SimulationConfig] = {}
+        for cell in plan:
+            unique.setdefault(cell.digest, cell.config)
+
+        results: dict[str, SimulationResult] = {}
+        cached = 0
+        if self.store is not None:
+            for digest in unique:
+                hit = self.store.load(digest)
+                if hit is not None:
+                    results[digest] = hit
+                    cached += 1
+
+        missing = [d for d in unique if d not in results]
+        configs = [unique[d] for d in missing]
+        if self.jobs <= 1 or len(configs) <= 1:
+            computed = [_run_cell(cfg) for cfg in configs]
+        else:
+            workers = min(self.jobs, len(configs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                computed = list(pool.map(_run_cell, configs))
+        for digest, result in zip(missing, computed):
+            results[digest] = result
+            if self.store is not None:
+                self.store.save(digest, result)
+
+        return PlanResult(
+            plan=plan, results=results, computed=len(missing), cached=cached
+        )

@@ -1,0 +1,93 @@
+"""Config/result (de)serialization and stable config digests.
+
+The runner's on-disk result store and the cell-level deduplication both
+need a *stable* identity for a :class:`repro.config.SimulationConfig`.
+:func:`config_digest` provides it: the SHA-256 of the config's canonical
+JSON form (sorted keys, exact float repr).  Two configs are equal as
+dataclasses iff they share a digest.
+
+Results round-trip losslessly: JSON preserves Python floats exactly
+(``repr`` round-trip) and the derived ``fairness`` field is recomputed by
+:class:`repro.core.results.SimulationResult` on construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any
+
+from repro.config import (
+    NetworkConfig,
+    RouterConfig,
+    SimulationConfig,
+    TrafficConfig,
+)
+from repro.core.results import SimulationResult
+
+__all__ = [
+    "config_digest",
+    "config_to_dict",
+    "config_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+#: bump when the simulator's semantics change in a way that invalidates
+#: previously stored results (checked by the result store).
+STORE_VERSION = 1
+
+
+def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
+    """Canonical plain-dict form of a simulation config."""
+    return asdict(config)
+
+
+def config_from_dict(data: dict[str, Any]) -> SimulationConfig:
+    """Rebuild a :class:`SimulationConfig` from :func:`config_to_dict`."""
+    nested = {
+        "network": NetworkConfig(**data["network"]),
+        "router": RouterConfig(**data["router"]),
+        "traffic": TrafficConfig(**data["traffic"]),
+    }
+    scalars = {
+        k: v for k, v in data.items() if k not in ("network", "router", "traffic")
+    }
+    return SimulationConfig(**nested, **scalars)
+
+
+def config_digest(config: SimulationConfig) -> str:
+    """Stable hex digest identifying *config* (equal configs, equal digest)."""
+    payload = json.dumps(
+        config_to_dict(config), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def result_to_dict(result: SimulationResult) -> dict[str, Any]:
+    """Serializable form of a single-run result (fairness is derived)."""
+    return {
+        "config": config_to_dict(result.config),
+        "routing": result.routing,
+        "pattern": result.pattern,
+        "offered_load": result.offered_load,
+        "accepted_load": result.accepted_load,
+        "avg_latency": result.avg_latency,
+        "latency_std": result.latency_std,
+        "max_latency": result.max_latency,
+        "latency_breakdown": result.latency_breakdown,
+        "delivered_packets": result.delivered_packets,
+        "generated_packets": result.generated_packets,
+        "injected_per_router": result.injected_per_router,
+        "delivered_per_router": result.delivered_per_router,
+        "in_flight_at_end": result.in_flight_at_end,
+        "events_processed": result.events_processed,
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_dict`."""
+    kwargs = dict(data)
+    kwargs["config"] = config_from_dict(kwargs["config"])
+    return SimulationResult(**kwargs)

@@ -1,0 +1,80 @@
+"""On-disk result cache keyed by config digest.
+
+One JSON file per simulated cell, named ``<digest>.json`` under the store
+root.  Re-running a plan against the same store only computes cells whose
+digest is missing; everything else is loaded back.  Writes are atomic
+(temp file + rename) so concurrent runners sharing a store directory
+never observe a torn file.
+
+The store embeds :data:`repro.exec.serialize.STORE_VERSION`; entries with
+a different version are ignored (treated as misses), so bumping the
+version after a semantics-changing simulator update invalidates stale
+results without manual cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.core.results import SimulationResult
+from repro.exec.serialize import (
+    STORE_VERSION,
+    result_from_dict,
+    result_to_dict,
+)
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Directory-backed cache of :class:`SimulationResult` objects."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+
+    def _path(self, digest: str) -> pathlib.Path:
+        return self.root / f"{digest}.json"
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def load(self, digest: str) -> SimulationResult | None:
+        """Return the stored result for *digest*, or None on a miss."""
+        path = self._path(digest)
+        try:
+            data = json.loads(path.read_text())
+            if data.get("version") != STORE_VERSION:
+                return None
+            return result_from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            # Unreadable, foreign, or schema-malformed entries are misses
+            # (ValueError covers JSONDecodeError and ConfigurationError).
+            return None
+
+    def save(self, digest: str, result: SimulationResult) -> pathlib.Path:
+        """Persist *result* under *digest* (atomic, last-writer-wins)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(digest)
+        payload = json.dumps(
+            {"version": STORE_VERSION, "result": result_to_dict(result)}
+        )
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -28,6 +28,7 @@ from repro.traffic.patterns import (
     PermutationTraffic,
     UniformTraffic,
     make_traffic,
+    pattern_name,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "TrafficPattern",
     "UniformTraffic",
     "make_traffic",
+    "pattern_name",
 ]

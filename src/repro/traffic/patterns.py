@@ -17,7 +17,25 @@ __all__ = [
     "HotspotTraffic",
     "JobTraffic",
     "make_traffic",
+    "pattern_name",
 ]
+
+
+def pattern_name(conf: TrafficConfig) -> str:
+    """Display name (figure-legend style) of the pattern *conf* describes.
+
+    Matches the ``name`` attribute of the concrete pattern class without
+    constructing a topology or a pattern instance, so callers that only
+    need a label (sweep aggregation, plan listings) stay cheap.
+    """
+    if conf.pattern == "adversarial":
+        return AdversarialTraffic.name_for(conf.adv_offset)
+    try:
+        return _STATIC_PATTERN_NAMES[conf.pattern]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown traffic pattern {conf.pattern!r}"
+        ) from None
 
 
 class UniformTraffic(TrafficPattern):
@@ -39,12 +57,17 @@ class AdversarialTraffic(TrafficPattern):
     ``1/(a*p)`` phits/node/cycle.
     """
 
+    @staticmethod
+    def name_for(offset: int) -> str:
+        """Legend-style display name for the given group offset."""
+        return f"ADV+{offset}" if offset > 0 else f"ADV{offset}"
+
     def __init__(self, topo: DragonflyTopology, offset: int = 1) -> None:
         super().__init__(topo)
         if offset % topo.groups == 0:
             raise ConfigurationError("ADV offset must not map a group to itself")
         self.offset = offset
-        self.name = f"ADV+{offset}" if offset > 0 else f"ADV{offset}"
+        self.name = self.name_for(offset)
         self._per_group = topo.a * topo.p
 
     def dest(self, src_node: int, rng: random.Random) -> int:
@@ -188,6 +211,16 @@ class JobTraffic(TrafficPattern):
         if d >= i:
             d += 1
         return self.job_nodes[d]
+
+
+#: patterns whose display name is fixed (ADV+k is offset-dependent).
+_STATIC_PATTERN_NAMES = {
+    "uniform": UniformTraffic.name,
+    "advc": AdversarialConsecutiveTraffic.name,
+    "permutation": PermutationTraffic.name,
+    "hotspot": HotspotTraffic.name,
+    "job": JobTraffic.name,
+}
 
 
 def make_traffic(

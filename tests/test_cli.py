@@ -31,6 +31,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep"])
 
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan", "--loads", "0.1"])
+        assert args.routings == ["min"]
+        assert args.patterns == ["uniform"]
+        assert args.jobs is None
+        assert not args.execute
+
+    def test_plan_rejects_unknown_routing(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["plan", "--loads", "0.1", "--routings", "warp"]
+            )
+
 
 class TestCommands:
     def test_run_prints_summary(self, capsys):
@@ -74,6 +87,73 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "R0" in out and "R3" in out
         assert "max/min=" in out
+
+    def test_sweep_with_jobs_and_cache(self, capsys, tmp_path):
+        argv = _fast(
+            [
+                "sweep",
+                "--loads",
+                "0.1",
+                "0.3",
+                "--preset",
+                "tiny",
+                "--jobs",
+                "2",
+                "--cache",
+                str(tmp_path),
+            ]
+        )
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        # Re-run: pure cache hits, identical table.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_plan_dry_run(self, capsys):
+        rc = main(
+            _fast(
+                [
+                    "plan",
+                    "--preset",
+                    "tiny",
+                    "--routings",
+                    "min",
+                    "obl-crg",
+                    "--loads",
+                    "0.1",
+                    "0.2",
+                    "--seeds",
+                    "2",
+                ]
+            )
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "8 cells" in out
+        assert "dry run" in out
+        assert "obl-crg" in out
+
+    def test_plan_execute(self, capsys):
+        rc = main(
+            _fast(
+                [
+                    "plan",
+                    "--preset",
+                    "tiny",
+                    "--routings",
+                    "min",
+                    "--loads",
+                    "0.2",
+                    "--execute",
+                    "--jobs",
+                    "2",
+                ]
+            )
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "executed 1 cells" in out
+        assert "min under UN" in out
 
     def test_no_priority_flag(self, capsys):
         rc = main(

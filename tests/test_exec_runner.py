@@ -1,0 +1,247 @@
+"""Tests for the exec subsystem: plans, runner, cache, aggregation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import tiny_config
+from repro.core.experiment import run_load_sweep, run_point
+from repro.core.simulation import run_simulation
+from repro.errors import AnalysisError
+from repro.exec import (
+    ExperimentPlan,
+    ResultStore,
+    Runner,
+    average_injections,
+    average_results,
+    config_digest,
+)
+from repro.exec.serialize import (
+    config_from_dict,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.traffic.patterns import pattern_name
+from repro.utils.rng import split_seed
+
+
+def quick_cfg(**kw):
+    return tiny_config(warmup_cycles=100, measure_cycles=300, **kw)
+
+
+class TestPlan:
+    def test_point_cell_count_and_seed_derivation(self):
+        cfg = quick_cfg()
+        plan = ExperimentPlan.point(cfg, seeds=3)
+        assert len(plan) == 3
+        for s, cell in enumerate(plan):
+            assert cell.parent == cfg
+            assert cell.seed_index == s
+            assert cell.config.seed == split_seed(cfg.seed, 100 + s)
+
+    def test_sweep_orders_loads(self):
+        plan = ExperimentPlan.sweep(quick_cfg(), [0.1, 0.2, 0.3], seeds=2)
+        assert len(plan) == 6
+        loads = [cell.parent.traffic.load for cell in plan]
+        assert loads == [0.1, 0.1, 0.2, 0.2, 0.3, 0.3]
+
+    def test_grid_cartesian(self):
+        plan = ExperimentPlan.grid(
+            quick_cfg(),
+            routings=["min", "obl-crg"],
+            patterns=["uniform", "advc"],
+            loads=[0.1, 0.2],
+            seeds=2,
+        )
+        assert len(plan) == 2 * 2 * 2 * 2
+        assert len(plan.points()) == 8
+        assert plan.unique_cells() == 16
+
+    def test_merge_and_add(self):
+        a = ExperimentPlan.point(quick_cfg(), seeds=1)
+        b = ExperimentPlan.point(quick_cfg(routing="obl-crg"), seeds=1)
+        assert len(a + b) == 2
+        assert len(ExperimentPlan.merge([a, b, a])) == 3
+        merged = ExperimentPlan.merge([a, a])
+        assert merged.unique_cells() == 1  # deduplicated by digest
+        # A duplicated cell is one simulation and must count as one seed.
+        res = Runner(jobs=1).run(merged)
+        assert res.computed == 1
+        assert res.point(quick_cfg()).seeds == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            ExperimentPlan.point(quick_cfg(), seeds=0)
+        with pytest.raises(AnalysisError):
+            ExperimentPlan.sweep(quick_cfg(), [])
+        with pytest.raises(AnalysisError):
+            ExperimentPlan.grid(quick_cfg(), routings=[])
+        with pytest.raises(AnalysisError):
+            ExperimentPlan.grid(quick_cfg(), loads=[])
+
+    def test_describe_lists_cells(self):
+        plan = ExperimentPlan.sweep(quick_cfg(), [0.1], seeds=2)
+        text = plan.describe()
+        assert "2 cells" in text
+        assert "seed#1" in text
+        assert "UN" in text
+
+
+class TestSerialization:
+    def test_config_round_trip(self):
+        cfg = quick_cfg(routing="in-trns-mm").with_traffic(
+            pattern="advc", load=0.35
+        )
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+        assert config_digest(cfg) == config_digest(
+            config_from_dict(config_to_dict(cfg))
+        )
+
+    def test_digest_distinguishes_configs(self):
+        cfg = quick_cfg()
+        assert config_digest(cfg) != config_digest(cfg.with_(seed=2))
+        assert config_digest(cfg) != config_digest(
+            cfg.with_traffic(load=0.31)
+        )
+
+    def test_result_round_trip(self):
+        r = run_simulation(quick_cfg().with_traffic(load=0.3))
+        assert result_from_dict(result_to_dict(r)) == r
+
+
+class TestRunnerDeterminism:
+    def test_parallel_matches_serial(self):
+        """Same plan, jobs=1 vs jobs=4: identical SweepPoints."""
+        cfg = quick_cfg(routing="min")
+        loads = [0.2, 0.4]
+        serial = run_load_sweep(cfg, loads, seeds=2, jobs=1)
+        parallel = run_load_sweep(cfg, loads, seeds=2, jobs=4)
+        assert serial == parallel
+
+    def test_plan_result_point_matches_run_point(self):
+        cfg = quick_cfg(routing="obl-crg").with_traffic(load=0.3)
+        plan = ExperimentPlan.point(cfg, seeds=2)
+        pt = Runner(jobs=1).run(plan).point(cfg)
+        assert pt == run_point(cfg, seeds=2)
+
+    def test_invalid_jobs(self):
+        with pytest.raises(AnalysisError):
+            Runner(jobs=0)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(AnalysisError):
+            Runner(jobs=1).run(ExperimentPlan())
+
+    def test_unknown_config_rejected(self):
+        cfg = quick_cfg()
+        res = Runner(jobs=1).run(ExperimentPlan.point(cfg))
+        with pytest.raises(AnalysisError):
+            res.point(cfg.with_traffic(load=0.9))
+
+
+class TestResultCache:
+    def test_hit_miss_and_round_trip(self, tmp_path):
+        cfg = quick_cfg(routing="min")
+        plan = ExperimentPlan.sweep(cfg, [0.2, 0.4], seeds=2)
+
+        first = Runner(jobs=1, store=tmp_path).run(plan)
+        assert first.computed == 4
+        assert first.cached == 0
+
+        second = Runner(jobs=1, store=tmp_path).run(plan)
+        assert second.computed == 0
+        assert second.cached == 4
+        assert second.sweep(cfg, [0.2, 0.4]) == first.sweep(cfg, [0.2, 0.4])
+
+    def test_partial_miss_computes_only_new_cells(self, tmp_path):
+        cfg = quick_cfg(routing="min")
+        Runner(jobs=1, store=tmp_path).run(
+            ExperimentPlan.sweep(cfg, [0.2], seeds=1)
+        )
+        res = Runner(jobs=1, store=tmp_path).run(
+            ExperimentPlan.sweep(cfg, [0.2, 0.4], seeds=1)
+        )
+        assert res.cached == 1
+        assert res.computed == 1
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "{not json",  # syntactically invalid
+            '{"version": 1}',  # version matches but schema malformed
+            '{"version": 99, "result": {}}',  # foreign store version
+        ],
+    )
+    def test_bad_entry_is_a_miss(self, tmp_path, payload):
+        cfg = quick_cfg()
+        plan = ExperimentPlan.point(cfg)
+        Runner(jobs=1, store=tmp_path).run(plan)
+        digest = plan.cells[0].digest
+        (tmp_path / f"{digest}.json").write_text(payload)
+        res = Runner(jobs=1, store=tmp_path).run(plan)
+        assert res.computed == 1
+        assert res.cached == 0
+
+    def test_store_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert len(store) == 0
+        Runner(jobs=1, store=store).run(
+            ExperimentPlan.point(quick_cfg(), seeds=2)
+        )
+        assert len(store) == 2
+
+
+class TestAverageResultsEdgeCases:
+    def test_single_seed_identity(self):
+        r = run_simulation(quick_cfg().with_traffic(load=0.3))
+        pt = average_results([r])
+        assert pt.seeds == 1
+        assert pt.accepted_load == r.accepted_load
+        assert pt.avg_latency == r.avg_latency
+        assert pt.fairness == r.fairness
+
+    def test_mismatched_lengths_raise(self):
+        r_tiny = run_simulation(quick_cfg().with_traffic(load=0.3))
+        r_other = dataclasses.replace(
+            r_tiny, injected_per_router=r_tiny.injected_per_router + [0]
+        )
+        with pytest.raises(AnalysisError):
+            average_results([r_tiny, r_other])
+        with pytest.raises(AnalysisError):
+            average_injections([r_tiny, r_other])
+
+    def test_mismatched_breakdown_keys_raise(self):
+        r = run_simulation(quick_cfg().with_traffic(load=0.3))
+        other = dataclasses.replace(
+            r, latency_breakdown={"base": 1.0}
+        )
+        with pytest.raises(AnalysisError):
+            average_results([r, other])
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            average_results([])
+        with pytest.raises(AnalysisError):
+            average_injections([])
+
+
+class TestPatternName:
+    def test_names_match_pattern_classes(self):
+        cfg = quick_cfg()
+        assert pattern_name(cfg.traffic) == "UN"
+        t = cfg.with_traffic(pattern="advc").traffic
+        assert pattern_name(t) == "ADVc"
+        t = cfg.with_traffic(pattern="adversarial", adv_offset=2).traffic
+        assert pattern_name(t) == "ADV+2"
+        t = cfg.with_traffic(pattern="adversarial", adv_offset=-1).traffic
+        assert pattern_name(t) == "ADV-1"
+        t = cfg.with_traffic(pattern="job").traffic
+        assert pattern_name(t) == "JOB"
+
+    def test_sweep_pattern_label_without_topology(self):
+        """run_load_sweep's pattern label matches the live pattern name."""
+        sweep = run_load_sweep(quick_cfg().with_traffic(pattern="advc"), [0.3])
+        assert sweep.pattern == "ADVc"
