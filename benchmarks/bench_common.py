@@ -17,6 +17,9 @@ from __future__ import annotations
 
 import os
 import pathlib
+import platform
+import subprocess
+import time
 
 from repro.config import SimulationConfig, small_config
 from repro.exec.runner import default_jobs
@@ -25,8 +28,11 @@ __all__ = [
     "PROFILE",
     "bench_config",
     "fairness_config",
+    "git_sha",
     "jobs",
     "loads_for",
+    "machine_metadata",
+    "metadata_lines",
     "seeds",
     "write_result",
 ]
@@ -81,6 +87,43 @@ def loads_for(pattern: str, *, dense: bool = False) -> list[float]:
             "advc": [0.1, 0.2, 0.3, 0.4, 0.5],
         }
     return grids[pattern]
+
+
+def git_sha() -> str:
+    """Current commit SHA, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def machine_metadata() -> dict:
+    """Host facts that make cross-PR perf artifacts interpretable."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def metadata_lines() -> str:
+    """Render machine metadata + provenance as artifact footer lines."""
+    meta = machine_metadata()
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    return (
+        f"machine: {meta['implementation']} {meta['python']} | "
+        f"{meta['cpu_count']} CPUs | {meta['system']}/{meta['machine']}\n"
+        f"provenance: git {git_sha()[:12]} at {stamp}"
+    )
 
 
 def write_result(name: str, text: str) -> pathlib.Path:

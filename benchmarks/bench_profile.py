@@ -1,0 +1,51 @@
+"""cProfile harness for the engine hot path (the "what's next" tool).
+
+Profiles the same representative configurations as the
+``engine_throughput`` benchmark and writes the top functions by own-time
+to ``benchmarks/results/engine_profile.txt``, so every hot-path PR can
+see where the next bottleneck sits without re-deriving the workflow.
+
+Run directly (it is intentionally not a pytest test — profiling is an
+investigation tool, not a gate)::
+
+    PYTHONPATH=src python benchmarks/bench_profile.py [--sort tottime]
+
+or, for one-off configurations, use the CLI entry point::
+
+    python -m repro.cli profile --routing in-trns-mm --pattern advc
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from bench_common import metadata_lines, write_result
+from repro.utils.profiling import PROFILE_SORTS, profile_simulation
+from test_engine_throughput import throughput_cases
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sort", choices=PROFILE_SORTS, default="tottime")
+    parser.add_argument("--limit", type=int, default=15)
+    args = parser.parse_args(argv)
+
+    sections = []
+    # Same (label, config) cases as the perf gate, so the recorded profile
+    # always explains the gated numbers.
+    for label, cfg in throughput_cases():
+        result, report = profile_simulation(
+            cfg, sort=args.sort, limit=args.limit
+        )
+        sections.append(
+            f"== {label} ==\n"
+            f"events={result.events_processed} "
+            f"delivered={result.delivered_packets}\n{report.rstrip()}"
+        )
+    sections.append(metadata_lines())
+    write_result("engine_profile", "\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

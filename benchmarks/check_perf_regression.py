@@ -1,0 +1,113 @@
+"""Perf regression gate: compare a throughput artifact against a baseline.
+
+CI runs the ``engine_throughput`` benchmark (which writes
+``benchmarks/results/engine_throughput.json``) and then::
+
+    python benchmarks/check_perf_regression.py \
+        benchmarks/results/engine_throughput.json benchmarks/perf_baseline.json
+
+Exit code 1 means at least one config regressed by more than the
+tolerance (default 25%, override with ``--tolerance`` or
+``$REPRO_PERF_TOLERANCE``).
+
+The compared metric is ``events_per_cal`` — events/s divided by the
+host's calibration score — so a slower CI runner shrinks both sides and
+the ratio survives the machine change; pass ``--raw`` to gate on raw
+events/s instead (sensible only when baseline and artifact come from the
+same host).
+
+Maintenance: after an intentional perf change, refresh the committed
+baseline with ``--update`` (keeps the recorded PR history block)::
+
+    python benchmarks/check_perf_regression.py \
+        benchmarks/results/engine_throughput.json benchmarks/perf_baseline.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+
+def load(path: str) -> dict:
+    p = pathlib.Path(path)
+    if not p.exists():
+        sys.exit(f"error: {path} does not exist")
+    return json.loads(p.read_text())
+
+
+def compare(artifact: dict, baseline: dict, *, tolerance: float, raw: bool) -> int:
+    metric = "events_per_s" if raw else "events_per_cal"
+    failures = []
+    print(f"perf gate: metric={metric} tolerance={tolerance:.0%}")
+    for label, base_cfg in sorted(baseline.get("configs", {}).items()):
+        cur_cfg = artifact.get("configs", {}).get(label)
+        if cur_cfg is None:
+            failures.append(f"{label}: missing from artifact")
+            continue
+        base = base_cfg[metric]
+        cur = cur_cfg[metric]
+        change = cur / base - 1.0
+        status = "OK"
+        if change < -tolerance:
+            status = "FAIL"
+            failures.append(
+                f"{label}: {metric} regressed {-change:.1%} "
+                f"({base:.4g} -> {cur:.4g})"
+            )
+        print(f"  [{status:>4}] {label}: {base:.4g} -> {cur:.4g} ({change:+.1%})")
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def update_baseline(artifact: dict, baseline_path: str) -> int:
+    p = pathlib.Path(baseline_path)
+    history = {}
+    if p.exists():
+        history = json.loads(p.read_text()).get("history", {})
+    out = dict(artifact)
+    out["history"] = history
+    p.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"baseline updated: {baseline_path} (history preserved)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", help="engine_throughput.json from a run")
+    parser.add_argument("baseline", help="committed perf_baseline.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_TOLERANCE", "0.25")),
+        help="max allowed fractional regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="gate on raw events/s instead of the calibration-normalised score",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the artifact (keeps history)",
+    )
+    args = parser.parse_args(argv)
+
+    artifact = load(args.artifact)
+    if args.update:
+        return update_baseline(artifact, args.baseline)
+    baseline = load(args.baseline)
+    return compare(artifact, baseline, tolerance=args.tolerance, raw=args.raw)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

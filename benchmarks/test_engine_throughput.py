@@ -1,9 +1,23 @@
-"""Engine micro-benchmark: raw simulation throughput.
+"""Engine micro-benchmark: raw simulation throughput + perf-gate artifact.
 
 Reports events/sec (discrete-event engine rate) and simulated cycles/sec
-for one representative configuration per scale, writing the numbers to
-``benchmarks/results/engine_throughput.txt`` so hot-path PRs have a
-recorded perf baseline to compare against.
+for one representative configuration per scale, writing:
+
+* ``benchmarks/results/engine_throughput.txt`` — human-readable table,
+  including a before/after comparison against the recorded PR-1 numbers
+  and machine metadata;
+* ``benchmarks/results/engine_throughput.json`` — machine-readable
+  artifact (events/s per config, git SHA, timestamp, machine metadata and
+  a *calibration-normalised* score) consumed by
+  ``benchmarks/check_perf_regression.py``, which CI runs against the
+  committed ``benchmarks/perf_baseline.json`` and fails on >25%
+  regression.
+
+The calibration score times a fixed pure-python workload on the same
+host just before the measurements; dividing events/s by it yields a
+dimensionless number that is far more stable across machines of
+different speeds than raw events/s, which is what makes a committed
+baseline usable from CI runners.
 
 No absolute performance assertion (the figure depends on the host); only
 sanity floors that catch a pathologically broken engine.
@@ -11,30 +25,56 @@ sanity floors that catch a pathologically broken engine.
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
 
-from bench_common import bench_config, write_result
+from bench_common import (
+    bench_config,
+    git_sha,
+    machine_metadata,
+    metadata_lines,
+    write_result,
+)
 from repro.config import tiny_config
 from repro.core.simulation import run_simulation
 from repro.utils.tables import format_table
 
+ARTIFACT_PATH = (
+    pathlib.Path(__file__).resolve().parent / "results" / "engine_throughput.json"
+)
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "perf_baseline.json"
 
-def _measure(label, cfg):
+
+def _calibration_workload() -> int:
+    """Fixed pure-python workload shaped like the simulator hot path."""
+    lst = list(range(256))
+    table = [0] * 256
+    d: dict[int, int] = {}
+    acc = 0
+    for i in range(40_000):
+        j = i & 255
+        acc += lst[j] + table[j]
+        table[j] = acc & 1023
+        if j & 15 == 0:
+            d[j] = acc
+        elif j in d:
+            acc -= d[j] & 63
+    return acc
+
+
+def calibration_ops_per_s(reps: int = 3) -> float:
+    """Iterations/s of the calibration workload (host speed proxy)."""
+    _calibration_workload()  # warm up
     start = time.perf_counter()
-    result = run_simulation(cfg)
-    elapsed = time.perf_counter() - start
+    for _ in range(reps):
+        _calibration_workload()
+    return reps / (time.perf_counter() - start)
+
+
+def throughput_cases():
+    """Label -> config measured by the throughput benchmark and perf gate."""
     return [
-        label,
-        result.events_processed,
-        cfg.total_cycles,
-        f"{result.events_processed / elapsed:,.0f}",
-        f"{cfg.total_cycles / elapsed:,.0f}",
-        f"{elapsed:.3f}",
-    ], result, elapsed
-
-
-def test_engine_throughput(benchmark):
-    cases = [
         (
             "tiny/UN@0.4",
             tiny_config(routing="min").with_traffic(
@@ -55,22 +95,100 @@ def test_engine_throughput(benchmark):
         ),
     ]
 
+
+def _measure(label, cfg, reps: int = 3):
+    """Best-of-*reps* wall clock: the minimum is the least noisy estimator
+    of intrinsic cost on shared/throttled hosts (results are identical
+    across reps by the determinism guarantee)."""
+    elapsed = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = run_simulation(cfg)
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return label, cfg, result, elapsed
+
+
+def _baseline_history() -> dict:
+    """events/s per config recorded at PR 1 (from perf_baseline.json)."""
+    if not BASELINE_PATH.exists():
+        return {}
+    data = json.loads(BASELINE_PATH.read_text())
+    return data.get("history", {}).get("pr1", {})
+
+
+def test_engine_throughput(benchmark):
+    cases = throughput_cases()
+    cal = calibration_ops_per_s()
+
     def run_all():
         return [_measure(label, cfg) for label, cfg in cases]
 
     measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    rows = [row for row, _res, _t in measured]
+
+    pr1 = _baseline_history()
+    rows = []
+    artifact_configs = {}
+    for label, cfg, result, elapsed in measured:
+        eps = result.events_processed / elapsed
+        row = [
+            label,
+            result.events_processed,
+            cfg.total_cycles,
+            f"{eps:,.0f}",
+            f"{cfg.total_cycles / elapsed:,.0f}",
+            f"{elapsed:.3f}",
+        ]
+        base = pr1.get(label)
+        row.append(f"{base:,.0f}" if base else "-")
+        row.append(f"{eps / base:.2f}x" if base else "-")
+        rows.append(row)
+        artifact_configs[label] = {
+            "events": result.events_processed,
+            "cycles": cfg.total_cycles,
+            "wall_s": elapsed,
+            "events_per_s": eps,
+            "events_per_cal": eps / cal,
+        }
+
     write_result(
         "engine_throughput",
         format_table(
-            ["config", "events", "cycles", "events/s", "cycles/s", "wall(s)"],
+            [
+                "config",
+                "events",
+                "cycles",
+                "events/s",
+                "cycles/s",
+                "wall(s)",
+                "PR-1 ev/s",
+                "speedup",
+            ],
             rows,
-            title="Engine throughput baseline (single process)",
-        ),
+            title="Engine throughput (single process; before/after vs PR-1)",
+        )
+        + "\n" + metadata_lines(),
     )
-    for row, result, elapsed in measured:
-        assert result.events_processed > 0, row[0]
-        assert elapsed > 0.0, row[0]
+
+    ARTIFACT_PATH.parent.mkdir(exist_ok=True)
+    ARTIFACT_PATH.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "git_sha": git_sha(),
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                "machine": machine_metadata(),
+                "calibration_ops_per_s": cal,
+                "configs": artifact_configs,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    for label, _cfg, result, elapsed in measured:
+        assert result.events_processed > 0, label
+        assert elapsed > 0.0, label
         # Floor: an event loop slower than 10k events/s on any host would
         # signal a broken hot path, not a slow machine.
-        assert result.events_processed / elapsed > 10_000, row
+        assert result.events_processed / elapsed > 10_000, label

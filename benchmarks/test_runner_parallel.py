@@ -16,7 +16,7 @@ from __future__ import annotations
 import os
 import time
 
-from bench_common import bench_config, write_result
+from bench_common import bench_config, metadata_lines, write_result
 from repro.exec import ExperimentPlan, Runner
 from repro.utils.tables import format_table
 
@@ -72,7 +72,8 @@ def test_parallel_matches_serial_and_reports_speedup(tmp_path):
                 f"{speedup:.2f}x",
             ]],
             title="Runner — parallel vs serial wall-clock (identical results)",
-        ),
+        )
+        + "\n" + metadata_lines(),
     )
     if cores >= 4 and not os.environ.get("CI"):
         # With >= 4 real cores and 12 cells, the pool must beat serial

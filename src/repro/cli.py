@@ -15,6 +15,11 @@ Show the fairness profile of one group (paper Figure 4 style)::
 
     python -m repro.cli fairness --pattern advc --load 0.4 --no-priority
 
+Profile the engine hot path under one configuration (perf workflow)::
+
+    python -m repro.cli profile --routing in-trns-mm --pattern advc \
+        --load 0.4 --sort tottime --limit 20
+
 Print a declarative plan, then execute it over all cores with a result
 cache (re-runs only compute missing cells)::
 
@@ -41,6 +46,7 @@ from repro.core.simulation import run_simulation
 from repro.exec.plan import ExperimentPlan
 from repro.exec.runner import Runner, default_jobs
 from repro.routing.factory import ROUTING_NAMES
+from repro.utils.profiling import PROFILE_SORTS, profile_simulation
 from repro.utils.tables import format_table
 
 __all__ = ["main", "build_parser"]
@@ -124,6 +130,28 @@ def build_parser() -> argparse.ArgumentParser:
     fair_p.add_argument("--load", type=float, default=0.4)
     fair_p.add_argument("--group", type=int, default=0)
 
+    prof_p = sub.add_parser(
+        "profile",
+        help="run one simulation under cProfile and print the hot functions",
+    )
+    common(prof_p)
+    prof_p.add_argument("--load", type=float, default=0.4)
+    prof_p.add_argument(
+        "--sort",
+        choices=PROFILE_SORTS,
+        default="tottime",
+        help="pstats sort key for the report (default: tottime)",
+    )
+    prof_p.add_argument(
+        "--limit", type=int, default=25, help="functions to show (default: 25)"
+    )
+    prof_p.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also dump the raw profile for snakeviz/pstats",
+    )
+
     plan_p = sub.add_parser(
         "plan",
         help="enumerate (and optionally execute) a declarative "
@@ -195,6 +223,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("latency breakdown:", {
             k: round(v, 2) for k, v in result.latency_breakdown.items()
         })
+        return 0
+
+    if args.command == "profile":
+        cfg = _config(args).with_traffic(load=args.load)
+        result, report = profile_simulation(
+            cfg, sort=args.sort, limit=args.limit, dump_path=args.output
+        )
+        print(report, end="")
+        print(result.summary())
+        if args.output:
+            print(f"raw profile written to {args.output}")
         return 0
 
     if args.command == "sweep":

@@ -63,6 +63,7 @@ class Simulation:
         self.routing = make_routing(config.routing, self)
         for r in self.routers:
             r.routing = self.routing
+            r._bind_hot()
 
         # Traffic.
         self.traffic = make_traffic(
@@ -71,6 +72,13 @@ class Simulation:
         self._gen_prob = config.traffic.load / config.traffic.packet_size
         self._pid = 0
         self._end_time = config.total_cycles
+        # node -> (its router, its node port): saves two divmods per
+        # generated packet in the generator event.
+        p = self.topo.p
+        self._inject_map = [
+            (self.routers[node // p], node % p)
+            for node in range(self.topo.num_nodes)
+        ]
 
         # Contention-free hop service costs for the latency ledger.
         psize = config.traffic.packet_size
@@ -146,13 +154,14 @@ class Simulation:
         now = self.engine.now
         if now >= self._end_time:
             return
-        dst = self.traffic.dest(node, self.rng_traffic)
+        rng = self.rng_traffic
+        dst = self.traffic.dest(node, rng)
         if dst is not None and dst != node:
             pkt = self._make_packet(node, dst, now)
             self.stats.on_generate(now, pkt.size)
-            router = self.routers[node // self.topo.p]
-            router.inject(node % self.topo.p, pkt)
-        gap = geometric_gap(self.rng_traffic, self._gen_prob)
+            router, node_port = self._inject_map[node]
+            router.inject(node_port, pkt)
+        gap = geometric_gap(rng, self._gen_prob)
         self.engine.schedule(gap, self._gen_event, node)
 
     # ------------------------------------------------------------------

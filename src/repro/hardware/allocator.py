@@ -48,12 +48,29 @@ def select_winner(
 
     Returns the winning candidate tuple.
     """
-    if transit_priority:
-        transit = [c for c in candidates if c[0] >= injection_boundary]
-        pool = transit if transit else candidates
-    else:
-        pool = list(candidates)
-    if len(pool) == 1:
-        return pool[0]
-    # Rotating round-robin: smallest positive distance from last_grant wins.
-    return min(pool, key=lambda c: (c[0] - last_grant - 1) % nkeys)
+    # Single scan, no allocation: track the best (smallest positive
+    # round-robin distance from last_grant) candidate overall and, under
+    # transit priority, the best transit candidate separately.  Distances
+    # are unique per key, so ties cannot occur; `<` keeps the first seen,
+    # matching the stable min() of the reference implementation.
+    best = None
+    best_d = nkeys
+    best_transit = None
+    best_transit_d = nkeys
+    base = last_grant + 1
+    for cand in candidates:
+        d = (cand[0] - base) % nkeys
+        if d < best_d:
+            best_d = d
+            best = cand
+            if transit_priority and cand[0] >= injection_boundary:
+                best_transit_d = d
+                best_transit = cand
+        elif (
+            transit_priority
+            and d < best_transit_d
+            and cand[0] >= injection_boundary
+        ):
+            best_transit_d = d
+            best_transit = cand
+    return best_transit if best_transit is not None else best

@@ -25,6 +25,22 @@ Model summary (DESIGN.md Sections 4-5):
 The router knows nothing about routing policies: it calls
 ``routing.decide(pkt, router)`` for heads and ``routing.commit(...)`` for
 winners, keeping the mechanism/microarchitecture separation of FOGSim.
+
+Hot-path layout (the allocation pass dominates simulation wall-clock):
+
+* per-port and per-(port, VC) state is kept in flat pre-sized lists —
+  ``credits_used`` is indexed ``port * max_vcs + vc`` (``credit_nvc[port]``
+  says how many VCs are credited; 0 for node ports) so the inner loop does
+  one list index instead of chasing a list-of-lists;
+* ``routing.decide`` results are memoized per input key while the same
+  packet stays at the head of that FIFO (see ``_dec_cache``).  A cached
+  decision is only stored when the mechanism's
+  :meth:`~repro.routing.base.RoutingMechanism.decision_stable` contract
+  says re-deciding would provably return the same tuple without consuming
+  RNG, so results stay bit-identical with uncached evaluation.  Entries
+  are invalidated on commit (the head changes); a packet's routing state
+  only mutates in ``commit``/``on_arrival``, never while it waits at a
+  head, so the packet-identity check covers arrivals behind the head.
 """
 
 from __future__ import annotations
@@ -69,6 +85,7 @@ class Router:
         "link_free",
         "out_pumping",
         "credits_used",
+        "credit_nvc",
         "credit_cap",
         "last_grant",
         "out_peer",
@@ -77,6 +94,17 @@ class Router:
         "_arb_time",
         "vcs_of_port",
         "_hop_cost",
+        "_link_lat",
+        "_local_in",
+        "_global_out",
+        "_num_node_ports",
+        "_dec_cache",
+        "_key_port",
+        "_pipe_lat",
+        "_on_injection",
+        "_deliver",
+        "_hot",
+        "_cong_epoch",
         "transit_priority",
     )
 
@@ -128,17 +156,20 @@ class Router:
         self.last_grant = [-1] * self.radix
 
         # ---- credits toward downstream input buffers --------------------
-        # credits_used[port][vc]: phits committed into the downstream
-        # buffer reached through `port` (local/global ports only).
-        self.credits_used: list[list[int] | None] = [None] * self.radix
+        # credits_used[port * max_vcs + vc]: phits committed into the
+        # downstream buffer reached through `port` (flat layout; only the
+        # first credit_nvc[port] VC slots of a port are meaningful, and
+        # credit_nvc is 0 for node ports, which are uncredited).
+        self.credits_used = [0] * self.nkeys
+        self.credit_nvc = [0] * self.radix
         self.credit_cap = [0] * self.radix
         for port in range(self.radix):
             kind = topo.port_kind[port]
             if kind == "local":
-                self.credits_used[port] = [0] * rc.local_vcs
+                self.credit_nvc[port] = rc.local_vcs
                 self.credit_cap[port] = rc.local_input_buffer
             elif kind == "global":
-                self.credits_used[port] = [0] * rc.global_vcs
+                self.credit_nvc[port] = rc.global_vcs
                 self.credit_cap[port] = rc.global_input_buffer
 
         # Wired later by the Simulation:
@@ -146,16 +177,39 @@ class Router:
         #   upstream[port] = (peer_router, peer_out_port) or None for nodes
         self.out_peer: list[tuple["Router", int] | None] = [None] * self.radix
         self.upstream: list[tuple["Router", int] | None] = [None] * self.radix
-        self.routing = None  # set by Simulation
+        self.routing = None  # set by Simulation (then _bind_hot())
+        self._hot: tuple | None = None
         self.transit_priority = rc.transit_priority
         self._arb_time: int | None = None
+
+        # Memoized head decisions: _dec_cache[key] is (pkt, dec, cond)
+        # while the mechanism vouches the decision is repeatable for that
+        # head, else None.  cond is None for unconditionally-stable
+        # decisions, or the congestion epoch the decision was computed at
+        # for RNG-free adaptive decisions (valid while the epoch holds).
+        self._dec_cache: list[tuple | None] = [None] * self.nkeys
+        # Bumped whenever out_occ / credits_used change (commit, output
+        # release, credit release): the invalidation signal for
+        # epoch-conditioned cached decisions.
+        self._cong_epoch = 0
+        # key -> input port (table lookup beats a division in the scan).
+        self._key_port = [k // self.max_vcs for k in range(self.nkeys)]
+
+        # Per-port constants and bound callables hoisted out of the hot path.
+        self._num_node_ports = topo.p
+        self._link_lat = [topo.link_latency(port) for port in range(self.radix)]
+        self._local_in = [k == "local" for k in topo.port_kind]
+        self._global_out = [k == "global" for k in topo.port_kind]
+        self._pipe_lat = rc.pipeline_latency
+        self._on_injection = sim.stats.on_injection
+        self._deliver = sim.deliver
 
         # Contention-free per-hop service cost by port kind, used for the
         # packet latency ledger: pipeline + serialisation + propagation.
         self._hop_cost = [0] * self.radix
         for port in range(self.radix):
             self._hop_cost[port] = (
-                rc.pipeline_latency + psize + topo.link_latency(port)
+                rc.pipeline_latency + psize + self._link_lat[port]
             )
 
     # ------------------------------------------------------------------
@@ -173,10 +227,9 @@ class Router:
         capacity and keeps the bottleneck links fully utilised by transit
         (the precondition of the paper's starvation effect).
         """
-        used = self.credits_used[port]
-        if used is None:
+        if not self.credit_nvc[port]:
             return 0.0
-        return used[vc] / self.credit_cap[port]
+        return self.credits_used[port * self.max_vcs + vc] / self.credit_cap[port]
 
     def output_blocked(self, port: int, vc: int, size: int) -> bool:
         """True when the downstream credits of (port, vc) cannot take a
@@ -188,8 +241,10 @@ class Router:
         parked, which is what starves the ADVc bottleneck router's
         injections under transit priority.
         """
-        used = self.credits_used[port]
-        return used is not None and used[vc] + size > self.credit_cap[port]
+        return bool(self.credit_nvc[port]) and (
+            self.credits_used[port * self.max_vcs + vc] + size
+            > self.credit_cap[port]
+        )
 
     def out_frac(self, port: int) -> float:
         """Occupied fraction of the output FIFO behind *port*.
@@ -209,17 +264,16 @@ class Router:
         Aggregate occupancy (all VCs + output FIFO); used by diagnostics
         and the PiggyBack saturation estimate.
         """
-        used = self.credits_used[port]
         base = self.out_occ[port]
-        return base + sum(used) if used is not None else base
+        nvc = self.credit_nvc[port]
+        if nvc:
+            k = port * self.max_vcs
+            base += sum(self.credits_used[k : k + nvc])
+        return base
 
     def port_total_cap(self, port: int) -> int:
         """Capacity matching :meth:`port_total_occ`."""
-        used = self.credits_used[port]
-        cap = self.out_cap[port]
-        if used is not None:
-            cap += self.credit_cap[port] * len(used)
-        return cap
+        return self.out_cap[port] + self.credit_cap[port] * self.credit_nvc[port]
 
     def global_port_occupancies(self) -> list[int]:
         """Occupancy of each global port (used by PiggyBack saturation)."""
@@ -268,22 +322,55 @@ class Router:
         self.routing.on_arrival(pkt, self, port)
         q.append(pkt)
         self.active_keys.add(key)
-        self.schedule_arb(max(now, self.in_port_free[port]))
+        # Inlined schedule_arb(max(now, in_port_free[port])).
+        time = self.in_port_free[port]
+        if time < now:
+            time = now
+        t = self._arb_time
+        if t is None or t > time:
+            self._arb_time = time
+            self.engine.schedule_at(time, self._arb_event)
 
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
+    def _bind_hot(self) -> None:
+        """Freeze the allocation pass's working set into one tuple.
+
+        Called by the Simulation once ``routing`` is wired.  ``_arb_pass``
+        unpacks this single attribute instead of a dozen — every list here
+        is mutated in place and never reassigned, so the refs stay live.
+        """
+        routing = self.routing
+        self._hot = (
+            self.in_q,
+            self.in_port_free,
+            self.switch_free,
+            self.out_occ,
+            self.out_cap,
+            self.credits_used,
+            self.credit_cap,
+            self.credit_nvc,
+            self._dec_cache,
+            self._key_port,
+            routing.decide,
+            routing.cache_policy,
+            routing,
+        )
+
     def schedule_arb(self, time: int) -> None:
         """Request an allocation pass at cycle *time* (deduplicated)."""
         t = self._arb_time
         if t is not None and t <= time:
             return
         self._arb_time = time
-        self.engine.schedule_at(time, self._arb_event, time)
+        self.engine.schedule_at(time, self._arb_event)
 
-    def _arb_event(self, expected: int) -> None:
-        if self._arb_time != expected:
-            return  # superseded by an earlier pass
+    def _arb_event(self) -> None:
+        # The event fires exactly at its scheduled cycle, so engine.now
+        # identifies it; a mismatch means an earlier pass superseded it.
+        if self._arb_time != self.engine.now:
+            return
         self._arb_time = None
         self._arb_pass()
 
@@ -299,49 +386,117 @@ class Router:
         paper attributes to its transit-over-injection configuration and
         the origin of the bottleneck-router starvation (Section V-B).
         """
+        active_keys = self.active_keys
+        if not active_keys:
+            return  # a release event woke an idle router: nothing to do
         now = self.engine.now
         next_time: int | None = None
         granted = False
         cand_by_out: dict[int, list] = {}
-        transit_demand: set[int] | None = (
-            set() if self.transit_priority else None
-        )
+        use_priority = self.transit_priority
+        transit_demand: set[int] | None = None  # lazily created set
         max_vcs = self.max_vcs
-        in_q = self.in_q
-        in_port_free = self.in_port_free
         boundary = self.injection_boundary
-        routing = self.routing
+        (
+            in_q,
+            in_port_free,
+            switch_free,
+            out_occ,
+            out_cap,
+            credits_used,
+            credit_cap,
+            credit_nvc,
+            cache,
+            key_port,
+            decide,
+            cache_policy,
+            routing,
+        ) = self._hot
+        my_group = self.group
+        epoch = self._cong_epoch  # stable through the scan (no commits yet)
+        dead: list[int] | None = None
 
-        for key in list(self.active_keys):
+        for key in active_keys:
             q = in_q[key]
             if not q:
-                self.active_keys.discard(key)
+                # Defer the discard: mutating the set mid-iteration is
+                # illegal, and the deferred order matches the scan order.
+                if dead is None:
+                    dead = [key]
+                else:
+                    dead.append(key)
                 continue
-            port = key // max_vcs
             is_transit = key >= boundary
-            t_free = in_port_free[port]
+            t_free = in_port_free[key_port[key]]
             if t_free > now:
                 if next_time is None or t_free < next_time:
                     next_time = t_free
-                if transit_demand is not None and is_transit:
+                if is_transit and use_priority:
                     # Still assert this head's demand for priority masking.
-                    transit_demand.add(routing.decide(q[0], self)[0])
+                    pkt = q[0]
+                    ent = cache[key]
+                    if ent is not None and ent[0] is pkt and (
+                        ent[2] is None or ent[2] == epoch
+                    ):
+                        demand_port = ent[1][0]
+                    else:
+                        dec = decide(pkt, self)
+                        # Inlined cache-policy switch (decision_stable).
+                        if cache_policy == 1:
+                            cache[key] = (pkt, dec, None)
+                        elif cache_policy == 2:
+                            if pkt.plan:
+                                cache[key] = (pkt, dec, None)
+                        elif cache_policy == 3:
+                            if (
+                                pkt.inter_group >= 0
+                                and my_group != pkt.dst_group
+                            ):
+                                cache[key] = (pkt, dec, None)
+                            elif routing.last_decide_pure:
+                                cache[key] = (pkt, dec, epoch)
+                        demand_port = dec[0]
+                    if transit_demand is None:
+                        transit_demand = {demand_port}
+                    else:
+                        transit_demand.add(demand_port)
                 continue
             pkt = q[0]
-            dec = routing.decide(pkt, self)
+            ent = cache[key]
+            if ent is not None and ent[0] is pkt and (
+                ent[2] is None or ent[2] == epoch
+            ):
+                dec = ent[1]
+            else:
+                dec = decide(pkt, self)
+                # Inlined cache-policy switch (decision_stable).
+                if cache_policy == 1:
+                    cache[key] = (pkt, dec, None)
+                elif cache_policy == 2:
+                    if pkt.plan:
+                        cache[key] = (pkt, dec, None)
+                elif cache_policy == 3:
+                    if pkt.inter_group >= 0 and my_group != pkt.dst_group:
+                        cache[key] = (pkt, dec, None)
+                    elif routing.last_decide_pure:
+                        cache[key] = (pkt, dec, epoch)
             out_port = dec[0]
-            if transit_demand is not None and is_transit:
-                transit_demand.add(out_port)
-            t_sw = self.switch_free[out_port]
+            if is_transit and use_priority:
+                if transit_demand is None:
+                    transit_demand = {out_port}
+                else:
+                    transit_demand.add(out_port)
+            t_sw = switch_free[out_port]
             if t_sw > now:
                 if next_time is None or t_sw < next_time:
                     next_time = t_sw
                 continue
-            if self.out_occ[out_port] + pkt.size > self.out_cap[out_port]:
+            size = pkt.size
+            if out_occ[out_port] + size > out_cap[out_port]:
                 continue  # woken by _out_release
-            used = self.credits_used[out_port]
-            if used is not None and (
-                used[dec[1]] + pkt.size > self.credit_cap[out_port]
+            if credit_nvc[out_port] and (
+                credits_used[out_port * max_vcs + dec[1]] + size
+                > credit_cap[out_port]
             ):
                 continue  # woken by _credit_release
             lst = cand_by_out.get(out_port)
@@ -350,21 +505,43 @@ class Router:
             else:
                 lst.append((key, pkt, dec))
 
+        if dead is not None:
+            for key in dead:
+                active_keys.discard(key)
+
         for out_port, cands in cand_by_out.items():
-            # A grant earlier in this pass may have consumed the input port.
-            cands = [c for c in cands if in_port_free[c[0] // max_vcs] <= now]
-            if transit_demand is not None and out_port in transit_demand:
-                # Strict priority: pending transit masks injection requests.
-                cands = [c for c in cands if c[0] >= boundary]
-            if not cands:
-                continue
-            winner = select_winner(
-                cands,
-                self.last_grant[out_port],
-                self.nkeys,
-                transit_priority=self.transit_priority,
-                injection_boundary=self.injection_boundary,
-            )
+            if len(cands) == 1:
+                # Uncontended fast path: apply the same filters without
+                # building intermediate lists.
+                winner = cands[0]
+                if in_port_free[key_port[winner[0]]] > now:
+                    continue  # an earlier grant consumed the input port
+                if (
+                    transit_demand is not None
+                    and out_port in transit_demand
+                    and winner[0] < boundary
+                ):
+                    continue  # strict priority masks the injection request
+            else:
+                # A grant earlier in this pass may have consumed the port.
+                cands = [
+                    c for c in cands if in_port_free[key_port[c[0]]] <= now
+                ]
+                if transit_demand is not None and out_port in transit_demand:
+                    # Strict priority: pending transit masks injections.
+                    cands = [c for c in cands if c[0] >= boundary]
+                if not cands:
+                    continue
+                if len(cands) == 1:
+                    winner = cands[0]
+                else:
+                    winner = select_winner(
+                        cands,
+                        self.last_grant[out_port],
+                        self.nkeys,
+                        transit_priority=use_priority,
+                        injection_boundary=boundary,
+                    )
             self.last_grant[out_port] = winner[0]
             self._commit(out_port, *winner)
             granted = True
@@ -379,47 +556,58 @@ class Router:
 
     def _commit(self, out_port: int, key: int, pkt: Packet, dec: tuple) -> None:
         """Grant *pkt* from input *key* to *out_port* with decision *dec*."""
-        now = self.engine.now
         engine = self.engine
-        in_port, in_vc = divmod(key, self.max_vcs)
+        now = engine.now
+        max_vcs = self.max_vcs
+        in_port = key // max_vcs
         out_vc = dec[1]
+        size = pkt.size
         q = self.in_q[key]
         q.popleft()
         if not q:
             self.active_keys.discard(key)
-        self.in_port_free[in_port] = now + self.internal_cycles
-        self.switch_free[out_port] = now + self.internal_cycles
-        self.out_occ[out_port] += pkt.size
+        self._dec_cache[key] = None  # head changed: decision no longer valid
+        self._cong_epoch += 1  # out_occ / credits are about to change
+        internal = self.internal_cycles
+        self.in_port_free[in_port] = now + internal
+        self.switch_free[out_port] = now + internal
+        self.out_occ[out_port] += size
 
-        if in_port < self.topo.p:
+        if in_port < self._num_node_ports:
             # Injection: record the moment the packet entered the network.
             pkt.inject_time = now
-            self.sim.stats.on_injection(self.router_id, now)
+            self._on_injection(self.router_id, now)
         else:
             wait = now - pkt.t_enq
             if wait:
-                if self.topo.port_kind[in_port] == "local":
+                if self._local_in[in_port]:
                     pkt.wait_local += wait
                 else:
                     pkt.wait_global += wait
-            self.in_occ[key] -= pkt.size
+            self.in_occ[key] -= size
             if CHECK_INVARIANTS and self.in_occ[key] < 0:
                 raise FlowControlError(
                     f"router {self.router_id}: negative input occupancy "
-                    f"port {in_port} vc {in_vc}"
+                    f"port {in_port} vc {key - in_port * max_vcs}"
                 )
             up = self.upstream[in_port]
             if up is not None:
                 up_router, up_port = up
-                delay = self.internal_cycles + self.topo.link_latency(in_port)
+                delay = internal + self._link_lat[in_port]
                 engine.schedule(
-                    delay, up_router._credit_release, up_port, in_vc, pkt.size
+                    delay,
+                    up_router._credit_release,
+                    up_port,
+                    key - in_port * max_vcs,
+                    size,
                 )
 
-        used = self.credits_used[out_port]
-        if used is not None:
-            used[out_vc] += pkt.size
-            if CHECK_INVARIANTS and used[out_vc] > self.credit_cap[out_port]:
+        if self.credit_nvc[out_port]:
+            ck = out_port * max_vcs + out_vc
+            self.credits_used[ck] += size
+            if CHECK_INVARIANTS and (
+                self.credits_used[ck] > self.credit_cap[out_port]
+            ):
                 raise FlowControlError(
                     f"router {self.router_id}: credit overcommit on port "
                     f"{out_port} vc {out_vc}"
@@ -428,7 +616,7 @@ class Router:
         self.routing.commit(pkt, self, dec)
         pkt.service_sum += self._hop_cost[out_port]
         engine.schedule(
-            self.rconf.pipeline_latency, self._out_arrive, out_port, pkt, out_vc
+            self._pipe_lat, self._out_arrive, out_port, pkt, out_vc
         )
 
     # ------------------------------------------------------------------
@@ -450,46 +638,64 @@ class Router:
 
     def _send(self, port: int) -> None:
         """Start transmitting the head of output FIFO *port* onto the link."""
-        self.out_pumping[port] = False
-        pkt, vc, t_arr = self.out_fifo[port].popleft()
-        now = self.engine.now
+        fifo = self.out_fifo[port]
+        pkt, vc, t_arr = fifo.popleft()
+        engine = self.engine
+        now = engine.now
         wait = now - t_arr
         if wait:
-            kind = self.topo.port_kind[port]
-            if kind == "global":
+            if self._global_out[port]:
                 pkt.wait_global += wait
             else:  # local and node (ejection) FIFO waits
                 pkt.wait_local += wait
         size = pkt.size
-        self.link_free[port] = now + size
-        self.engine.schedule(size, self._out_release, port, size)
+        free_t = now + size
+        self.link_free[port] = free_t
+        engine.schedule(size, self._out_release, port, size)
         peer = self.out_peer[port]
-        latency = self.topo.link_latency(port)
+        latency = self._link_lat[port]
         if peer is None:
-            self.engine.schedule(size + latency, self.sim.deliver, pkt)
+            engine.schedule(size + latency, self._deliver, pkt)
         else:
             peer_router, peer_port = peer
-            self.engine.schedule(
+            engine.schedule(
                 size + latency, peer_router._in_arrive, peer_port, vc, pkt
             )
-        self._pump_output(port)
+        if fifo:
+            # Stay pumping: the next head departs as soon as the link frees
+            # (inlined _pump_output tail; the pumping flag stays set).
+            engine.schedule_at(free_t, self._send, port)
+        else:
+            self.out_pumping[port] = False
 
     def _out_release(self, port: int, size: int) -> None:
+        self._cong_epoch += 1
         self.out_occ[port] -= size
         if CHECK_INVARIANTS and self.out_occ[port] < 0:
             raise FlowControlError(
                 f"router {self.router_id}: negative output occupancy port {port}"
             )
-        self.schedule_arb(self.engine.now)
+        # Inlined schedule_arb(now): wake the allocator this cycle.
+        now = self.engine.now
+        t = self._arb_time
+        if t is None or t > now:
+            self._arb_time = now
+            self.engine.schedule_at(now, self._arb_event)
 
     def _credit_release(self, port: int, vc: int, size: int) -> None:
-        used = self.credits_used[port]
-        used[vc] -= size
-        if CHECK_INVARIANTS and used[vc] < 0:
+        self._cong_epoch += 1
+        ck = port * self.max_vcs + vc
+        self.credits_used[ck] -= size
+        if CHECK_INVARIANTS and self.credits_used[ck] < 0:
             raise FlowControlError(
                 f"router {self.router_id}: negative credits port {port} vc {vc}"
             )
-        self.schedule_arb(self.engine.now)
+        # Inlined schedule_arb(now): wake the allocator this cycle.
+        now = self.engine.now
+        t = self._arb_time
+        if t is None or t > now:
+            self._arb_time = now
+            self.engine.schedule_at(now, self._arb_event)
 
     # ------------------------------------------------------------------
     def backlog(self) -> int:

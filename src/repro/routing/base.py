@@ -13,6 +13,20 @@ participates in, so adaptive mechanisms naturally re-evaluate while a
 packet waits; state is only mutated in :meth:`RoutingMechanism.commit`
 (called exactly once per granted hop) and in
 :meth:`RoutingMechanism.on_arrival` (once per link traversal).
+
+**Decision-cache contract.**  The router memoizes the decision for a FIFO
+head and skips re-deciding on later passes *only* when
+:meth:`RoutingMechanism.decision_stable` returns True for that packet:
+the mechanism thereby guarantees that re-calling :meth:`decide` for the
+same head would (a) return the same tuple and (b) consume no RNG, until
+the packet is granted.  The router invalidates the cached entry on commit
+(the head changes); a packet's routing-relevant state (``plan``,
+``inter_group``, hop counters) only mutates in ``commit``/``on_arrival``,
+never while the packet waits at a head, so a stable decision cannot go
+stale between the caching pass and the grant.  Mechanisms whose decisions
+read live congestion state or sample RNG must return False so they keep
+being re-evaluated every pass (the adaptive behaviour the paper relies
+on) — cached and uncached execution are bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -22,7 +36,24 @@ from abc import ABC, abstractmethod
 from repro.errors import RoutingError
 from repro.hardware.packet import Packet
 
-__all__ = ["RoutingMechanism", "min_hop_port", "eject_decision"]
+__all__ = [
+    "RoutingMechanism",
+    "min_hop_port",
+    "eject_decision",
+    "CACHE_NEVER",
+    "CACHE_ALWAYS",
+    "CACHE_PLAN_FROZEN",
+    "CACHE_COMMITTED_DIVERSION",
+]
+
+# Decision-cache policies (see the module docstring).  The router inlines
+# the policy check in its allocation scan, so the contract is expressed as
+# data rather than a per-decision virtual call; decision_stable() is the
+# reference implementation of the same rule.
+CACHE_NEVER = 0  # decisions read live congestion / RNG: never reuse
+CACHE_ALWAYS = 1  # decisions are pure functions of frozen packet state
+CACHE_PLAN_FROZEN = 2  # pure once pkt.plan != 0 (source-routed mechanisms)
+CACHE_COMMITTED_DIVERSION = 3  # pure while routing to a bound inter-group
 
 
 def min_hop_port(topo, router, target_router: int) -> int:
@@ -32,17 +63,23 @@ def min_hop_port(topo, router, target_router: int) -> int:
     local hop to the target; otherwise proceed to (or through) the unique
     gateway holding the global link towards the target's group.  The
     caller must handle ``router.router_id == target_router`` (ejection).
+
+    This is the innermost helper of every minimal-phase decision, so it
+    indexes the topology's precomputed gateway tables directly instead of
+    going through the bounds-checked accessors (the inputs are router
+    state and a valid router id, both structurally in range).
     """
     tg, ti = divmod(target_router, topo.a)
     g, i = router.group, router.pos
     if g == tg:
         if i == ti:
             raise RoutingError("min_hop_port called at the target router")
-        return topo.local_port(i, ti)
-    gw_pos, gw_port = topo.gateway(g, tg)
+        return topo.first_local_port + (ti if ti < i else ti - 1)
+    delta = (tg - g) % topo.groups
+    gw_pos = topo.gw_router_by_delta[delta]
     if i == gw_pos:
-        return gw_port
-    return topo.local_port(i, gw_pos)
+        return topo.gw_port_by_delta[delta]
+    return topo.first_local_port + (gw_pos if gw_pos < i else gw_pos - 1)
 
 
 def eject_decision(pkt: Packet) -> tuple:
@@ -71,6 +108,37 @@ class RoutingMechanism(ABC):
         output lacks credit simply loses the pass and is re-evaluated when
         resources free up.
         """
+
+    #: decision-cache policy (CACHE_*): the conservative default disables
+    #: caching; mechanisms whose decide() is provably repeatable override.
+    cache_policy: int = CACHE_NEVER
+
+    #: set by CACHE_COMMITTED_DIVERSION mechanisms after every decide():
+    #: True when that call consumed no RNG, i.e. it was a pure function of
+    #: the packet's frozen state and the router's congestion counters.
+    #: The router may then reuse the decision until the router's
+    #: congestion epoch changes (out_occ / credits_used mutation), which
+    #: is exactly the condition under which a re-decide would repeat the
+    #: same branches and return the same tuple.
+    last_decide_pure: bool = False
+
+    # ------------------------------------------------------------------
+    def decision_stable(self, pkt: Packet, router) -> bool:
+        """May the router reuse the decision just computed for this head?
+
+        Evaluated (via the inlined ``cache_policy`` switch) immediately
+        after :meth:`decide`.  True only when a repeat call for the same
+        head would return the same tuple without consuming RNG (see the
+        module docstring's decision-cache contract).
+        """
+        policy = self.cache_policy
+        if policy == CACHE_ALWAYS:
+            return True
+        if policy == CACHE_PLAN_FROZEN:
+            return pkt.plan != 0
+        if policy == CACHE_COMMITTED_DIVERSION:
+            return pkt.inter_group >= 0 and router.group != pkt.dst_group
+        return False
 
     # ------------------------------------------------------------------
     def commit(self, pkt: Packet, router, dec: tuple) -> None:

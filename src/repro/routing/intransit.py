@@ -35,7 +35,11 @@ from __future__ import annotations
 import random
 
 from repro.hardware.packet import Packet
-from repro.routing.base import RoutingMechanism, eject_decision
+from repro.routing.base import (
+    CACHE_COMMITTED_DIVERSION,
+    RoutingMechanism,
+    eject_decision,
+)
 from repro.routing.misrouting import (
     MisroutePolicy,
     crg_candidates,
@@ -50,6 +54,14 @@ __all__ = ["InTransitAdaptiveRouting"]
 class InTransitAdaptiveRouting(RoutingMechanism):
     """PAR + OLM in-transit adaptive routing with a global misrouting policy."""
 
+    # Only the committed-diversion phase (routing minimally towards a
+    # bound intermediate group outside the destination group) is a pure
+    # function of frozen packet state; every other branch samples
+    # congestion signals and possibly RNG, so it must be re-evaluated on
+    # each pass.  ``inter_group`` is cleared in on_arrival (at the
+    # intermediate group), never while the packet waits at a head.
+    cache_policy = CACHE_COMMITTED_DIVERSION
+
     def __init__(self, sim, policy: MisroutePolicy) -> None:
         super().__init__(sim)
         self.policy = policy
@@ -57,30 +69,37 @@ class InTransitAdaptiveRouting(RoutingMechanism):
         self.rng: random.Random = sim.rng_routing
         self.threshold = sim.config.misroute_threshold
         self.enable_local_misroute = True
+        # Hot-path topology bindings (decide runs several times per grant).
+        topo = sim.topo
+        self._first_local = topo.first_local_port
+        self._first_global = topo.first_global_port
+        self._groups = topo.groups
+        self._gw_router = topo.gw_router_by_delta
+        self._gw_port = topo.gw_port_by_delta
+        self._crg_cache: dict[tuple[int, int, int], list] = {}
+        self._rng_used = False  # per-decide RNG-consumption tracker
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     def _vc_for(self, pkt: Packet, router, port: int) -> int:
-        """VC the packet would use on *port* (stage + escape scheme)."""
-        if self.topo.is_global_port(port):
-            return stage_global_vc(pkt, self.n_global_vcs)
-        return stage_local_vc(pkt, router.group, self.n_local_vcs)
+        """VC the packet would use on *port* (stage + escape scheme).
 
-    def _global_candidates(
-        self, pkt: Packet, router, at_source_router: bool
-    ) -> list[tuple[int, int]]:
-        topo = self.topo
-        policy = self.policy
-        if policy is MisroutePolicy.MM:
-            policy = (
-                MisroutePolicy.CRG if at_source_router else MisroutePolicy.NRG
-            )
-        if policy is MisroutePolicy.CRG:
-            return crg_candidates(topo, router, pkt)
-        if policy is MisroutePolicy.NRG:
-            return nrg_candidates(topo, router, pkt, self.rng)
-        return rrg_candidates(topo, router, pkt, self.rng)
+        Inlines :func:`~repro.routing.vc.stage_global_vc` /
+        :func:`~repro.routing.vc.stage_local_vc` (this is the single
+        hottest routing helper; the semantics are identical and the
+        shared functions remain the documented reference).
+        """
+        if port >= self._first_global:
+            vc = pkt.global_hops
+            if vc >= self.n_global_vcs:
+                return stage_global_vc(pkt, self.n_global_vcs)  # raises
+            return vc
+        if pkt.group_local_hops >= 1:
+            return self.n_local_vcs - 1  # escape VC for the second hop
+        if router.group == pkt.dst_group:
+            return 2
+        return 1 if pkt.global_hops >= 1 else 0
 
     def _try_global_misroute(
         self, pkt: Packet, router, min_port: int, min_vc: int
@@ -98,34 +117,68 @@ class InTransitAdaptiveRouting(RoutingMechanism):
           (no credits / output FIFO full), so moderately congested minimal
           links keep their in-transit traffic parked on them.
         """
+        size = pkt.size
+        out_occ = router.out_occ
+        out_cap = router.out_cap
         at_source_router = pkt.group_local_hops == 0
         if at_source_router:
             # Proactive trigger: the minimal port's *output FIFO* persists
             # above the threshold only when its credit loop has stalled,
             # i.e. the minimal path is saturated end to end.
-            frac_min = router.out_frac(min_port)
+            frac_min = out_occ[min_port] / out_cap[min_port]
             if frac_min < self.threshold:
                 return None
+            credits_used = router.credits_used
+            credit_cap = router.credit_cap
+            credit_nvc = router.credit_nvc
+            max_vcs = router.max_vcs
         else:
             # PAR second decision point: opportunistic (OLM) — divert only
             # when the minimal output is credit-blocked outright.
-            if not router.output_blocked(min_port, min_vc, pkt.size):
+            credits_used = router.credits_used
+            credit_cap = router.credit_cap
+            credit_nvc = router.credit_nvc
+            max_vcs = router.max_vcs
+            if not (
+                credit_nvc[min_port]
+                and credits_used[min_port * max_vcs + min_vc] + size
+                > credit_cap[min_port]
+            ):
                 return None
             frac_min = 1.0
         best: tuple[int, int, int] | None = None
         best_frac = frac_min
-        for port, inter_group in self._global_candidates(
-            pkt, router, at_source_router
-        ):
+        first_global = self._first_global
+        policy = self.policy
+        if policy is MisroutePolicy.MM:
+            policy = (
+                MisroutePolicy.CRG if at_source_router else MisroutePolicy.NRG
+            )
+        if policy is MisroutePolicy.CRG:
+            # Inlined _global_candidates CRG fast path (memoized list).
+            cache_key = (router.router_id, pkt.src_group, pkt.dst_group)
+            candidates = self._crg_cache.get(cache_key)
+            if candidates is None:
+                candidates = crg_candidates(self.topo, router, pkt)
+                self._crg_cache[cache_key] = candidates
+        elif policy is MisroutePolicy.NRG:
+            self._rng_used = True
+            candidates = nrg_candidates(self.topo, router, pkt, self.rng)
+        else:
+            self._rng_used = True
+            candidates = rrg_candidates(self.topo, router, pkt, self.rng)
+        for port, inter_group in candidates:
             # A diversion through a local port is a second local hop when
             # the packet already moved inside this group; a third is
             # forbidden by the VC safety rules.
-            if pkt.group_local_hops >= 2 and self.topo.is_local_port(port):
+            if pkt.group_local_hops >= 2 and port < first_global:
                 continue
             vc = self._vc_for(pkt, router, port)
-            if router.output_blocked(port, vc, pkt.size):
+            if credit_nvc[port] and (
+                credits_used[port * max_vcs + vc] + size > credit_cap[port]
+            ):
                 continue
-            frac = router.out_frac(port)
+            frac = out_occ[port] / out_cap[port]
             if frac < best_frac:
                 best_frac = frac
                 best = (port, vc, inter_group)
@@ -142,24 +195,36 @@ class InTransitAdaptiveRouting(RoutingMechanism):
             return None
         if pkt.group_local_hops != 0:
             return None  # at most one local misroute per group
+        size = pkt.size
+        credits_used = router.credits_used
+        credit_cap = router.credit_cap
+        credit_nvc = router.credit_nvc
+        max_vcs = router.max_vcs
         # Opportunistic (OLM): only when the minimal local hop is blocked.
-        if not router.output_blocked(min_port, min_vc, pkt.size):
+        if not (
+            credit_nvc[min_port]
+            and credits_used[min_port * max_vcs + min_vc] + size
+            > credit_cap[min_port]
+        ):
             return None
-        topo = self.topo
-        a = topo.a
+        a = self.topo.a
         if a < 3:
             return None
+        self._rng_used = True  # the sampling loop below draws from the RNG
+        pos = router.pos
+        first_local = self._first_local
         best_port = -1
-        best_frac = router.credit_frac(min_port, min_vc)
+        best_frac = credits_used[min_port * max_vcs + min_vc] / credit_cap[min_port]
         vc = min_vc  # same stage VC; the corrective hop will use the escape
         for _ in range(3):
             w = self.rng.randrange(a)
-            if w == router.pos or w == avoid_pos:
+            if w == pos or w == avoid_pos:
                 continue
-            port = topo.local_port(router.pos, w)
-            if router.output_blocked(port, vc, pkt.size):
+            port = first_local + (w if w < pos else w - 1)
+            ck = port * max_vcs + vc
+            if credit_nvc[port] and credits_used[ck] + size > credit_cap[port]:
                 continue
-            frac = router.credit_frac(port, vc)
+            frac = credits_used[ck] / credit_cap[port] if credit_nvc[port] else 0.0
             if frac < best_frac:
                 best_frac = frac
                 best_port = port
@@ -168,65 +233,98 @@ class InTransitAdaptiveRouting(RoutingMechanism):
         return (best_port, vc, 2, 0)
 
     def _min_decision(self, pkt: Packet, router, target_router: int) -> tuple:
-        topo = self.topo
-        tg, ti = divmod(target_router, topo.a)
+        tg, ti = divmod(target_router, self.topo.a)
+        pos = router.pos
         if router.group == tg:
-            port = topo.local_port(router.pos, ti)
+            port = self._first_local + (ti if ti < pos else ti - 1)
         else:
-            gw_pos, gw_port = topo.gateway(router.group, tg)
-            port = (
-                gw_port
-                if router.pos == gw_pos
-                else topo.local_port(router.pos, gw_pos)
-            )
+            delta = (tg - router.group) % self._groups
+            gw_pos = self._gw_router[delta]
+            if pos == gw_pos:
+                port = self._gw_port[delta]
+            else:
+                port = self._first_local + (gw_pos if gw_pos < pos else gw_pos - 1)
         return (port, self._vc_for(pkt, router, port), 0, 0)
 
     # ------------------------------------------------------------------
     def decide(self, pkt: Packet, router) -> tuple:
-        topo = self.topo
+        # Purity tracking: last_decide_pure reports whether this call was
+        # a pure function of frozen packet state + the router's congestion
+        # counters (i.e. consumed no RNG); the router may then reuse the
+        # decision until its congestion epoch changes.
+        group = router.group
+        pos = router.pos
 
         # Destination group: minimal local hop (or ejection), with OLM.
-        if router.group == pkt.dst_group:
+        if group == pkt.dst_group:
             if router.router_id == pkt.dst_router:
+                self.last_decide_pure = True
                 return eject_decision(pkt)
             dec = self._min_decision(pkt, router, pkt.dst_router)
+            self._rng_used = False
             alt = self._try_local_misroute(
                 pkt, router, dec[0], dec[1], pkt.dst_local_router
             )
+            self.last_decide_pure = not self._rng_used
             return alt if alt is not None else dec
 
         # Committed diversion: route minimally towards the intermediate
         # group (cleared by on_arrival when we get there).
         if pkt.inter_group >= 0:
-            gw_pos, gw_port = topo.gateway(router.group, pkt.inter_group)
-            port = (
-                gw_port
-                if router.pos == gw_pos
-                else topo.local_port(router.pos, gw_pos)
-            )
-            return (port, self._vc_for(pkt, router, port), 0, 0)
+            self.last_decide_pure = True
+            delta = (pkt.inter_group - group) % self._groups
+            gw_pos = self._gw_router[delta]
+            if pos == gw_pos:
+                port = self._gw_port[delta]
+            else:
+                port = self._first_local + (gw_pos if gw_pos < pos else gw_pos - 1)
+            # Inlined _vc_for (outside the destination group by contract).
+            if port >= self._first_global:
+                vc = pkt.global_hops
+                if vc >= self.n_global_vcs:
+                    vc = stage_global_vc(pkt, self.n_global_vcs)  # raises
+            elif pkt.group_local_hops >= 1:
+                vc = self.n_local_vcs - 1
+            else:
+                vc = 1 if pkt.global_hops >= 1 else 0
+            return (port, vc, 0, 0)
 
         # Minimal phase towards the destination group.
-        gw_pos, gw_port = topo.gateway(router.group, pkt.dst_group)
-        if router.pos == gw_pos:
-            min_port = gw_port
+        delta = (pkt.dst_group - group) % self._groups
+        gw_pos = self._gw_router[delta]
+        if pos == gw_pos:
+            min_port = self._gw_port[delta]
         else:
-            min_port = topo.local_port(router.pos, gw_pos)
-        min_vc = self._vc_for(pkt, router, min_port)
+            min_port = self._first_local + (gw_pos if gw_pos < pos else gw_pos - 1)
+        # Inlined _vc_for (outside the destination group by contract).
+        if min_port >= self._first_global:
+            min_vc = pkt.global_hops
+            if min_vc >= self.n_global_vcs:
+                min_vc = stage_global_vc(pkt, self.n_global_vcs)  # raises
+        elif pkt.group_local_hops >= 1:
+            min_vc = self.n_local_vcs - 1
+        else:
+            min_vc = 1 if pkt.global_hops >= 1 else 0
         min_dec = (min_port, min_vc, 0, 0)
 
-        in_source_group = router.group == pkt.src_group and pkt.global_hops == 0
+        in_source_group = group == pkt.src_group and pkt.global_hops == 0
         if in_source_group:
             # PAR: global misrouting at injection or after one local hop.
+            self._rng_used = False
             alt = self._try_global_misroute(pkt, router, min_port, min_vc)
+            self.last_decide_pure = not self._rng_used
             if alt is not None:
                 return alt
-        elif topo.is_local_port(min_port):
+        elif min_port < self._first_global:
             # Intermediate group: OLM local misrouting of the hop towards
             # the gateway of the destination group.
+            self._rng_used = False
             alt = self._try_local_misroute(
                 pkt, router, min_port, min_vc, gw_pos
             )
+            self.last_decide_pure = not self._rng_used
             if alt is not None:
                 return alt
+        else:
+            self.last_decide_pure = True
         return min_dec

@@ -55,10 +55,13 @@ def crg_candidates(topo, router, pkt: Packet) -> list[tuple[int, int]]:
     identifies as the root of the unfairness.
     """
     g = router.group
+    groups = topo.groups
+    dst_group = pkt.dst_group
+    src_group = pkt.src_group
     out = []
-    for port in range(topo.first_global_port, topo.radix):
-        peer_group, _pi, _pp = topo.global_port_peer(g, router.pos, port)
-        if peer_group != pkt.dst_group and peer_group != pkt.src_group:
+    for port, off in topo.global_out[router.pos]:
+        peer_group = (g + off) % groups
+        if peer_group != dst_group and peer_group != src_group:
             out.append((port, peer_group))
     return out
 
@@ -69,17 +72,19 @@ def nrg_candidates(
     """Sample candidates reached through *other* routers of this group."""
     g, i = router.group, router.pos
     a = topo.a
+    groups = topo.groups
+    global_out = topo.global_out
+    first_local = topo.first_local_port
     out: list[tuple[int, int]] = []
     for _ in range(k):
         w = rng.randrange(a - 1)
         if w >= i:
             w += 1
         j = rng.randrange(topo.h)
-        port = topo.first_global_port + j
-        peer_group, _pi, _pp = topo.global_port_peer(g, w, port)
+        peer_group = (g + global_out[w][j][1]) % groups
         if peer_group == pkt.dst_group or peer_group == pkt.src_group:
             continue
-        out.append((topo.local_port(i, w), peer_group))
+        out.append((first_local + (w if w < i else w - 1), peer_group))
     return out
 
 
@@ -89,12 +94,19 @@ def rrg_candidates(
     """Sample candidates over all groups (first hop own-global or local)."""
     g, i = router.group, router.pos
     groups = topo.groups
+    gw_router = topo.gw_router_by_delta
+    gw_port_tbl = topo.gw_port_by_delta
+    first_local = topo.first_local_port
     out: list[tuple[int, int]] = []
     for _ in range(k):
         tg = rng.randrange(groups)
         if tg == g or tg == pkt.dst_group or tg == pkt.src_group:
             continue
-        gw_pos, gw_port = topo.gateway(g, tg)
-        port = gw_port if gw_pos == i else topo.local_port(i, gw_pos)
+        delta = (tg - g) % groups
+        gw_pos = gw_router[delta]
+        if gw_pos == i:
+            port = gw_port_tbl[delta]
+        else:
+            port = first_local + (gw_pos if gw_pos < i else gw_pos - 1)
         out.append((port, tg))
     return out

@@ -71,6 +71,10 @@ class DragonflyTopology:
             self._gw_port[delta] = self.first_global_port + j
             ri, _rj = self.arrangement.peer_slot(delta)
             self._landing_router[delta] = ri
+        # Public hot-path aliases (shared list refs): gateway() without the
+        # bounds checks, indexed by (dst_group - group) % groups.
+        self.gw_router_by_delta = self._gw_router
+        self.gw_port_by_delta = self._gw_port
 
         # per-router global port -> (peer_group_offset, peer_router, peer_port)
         # indexed by router-in-group i and port j.
@@ -84,6 +88,18 @@ class DragonflyTopology:
                     pi,
                     self.first_global_port + pj,
                 )
+
+        # Hot-path view of the same data: global_out[i] lists, in port
+        # order, the (absolute port, peer-group offset) of router i's
+        # global links — candidate generation indexes this directly
+        # instead of going through the checked accessor methods.
+        self.global_out: list[list[tuple[int, int]]] = [
+            [
+                (self.first_global_port + j, self._global_peer[i][j][0])
+                for j in range(self.h)
+            ]
+            for i in range(self.a)
+        ]
 
     # ------------------------------------------------------------------
     # id conversions

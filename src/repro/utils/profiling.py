@@ -1,0 +1,62 @@
+"""cProfile harness for the simulation hot path.
+
+The optimisation workflow this repo follows (and that PR 2's hot-path
+work used) is: measure with :func:`profile_simulation`, read the top
+``tottime`` entries, make the bottleneck cheap, re-run the
+``engine_throughput`` benchmark to confirm, and let the determinism
+matrix guard that results stayed bit-identical.  This module is shared
+by the ``repro profile`` CLI subcommand and
+``benchmarks/bench_profile.py``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+from repro.config import SimulationConfig
+from repro.core.results import SimulationResult
+
+__all__ = ["PROFILE_SORTS", "profile_simulation", "render_profile"]
+
+#: pstats sort keys exposed on the CLI (a useful, validated subset).
+PROFILE_SORTS = ("tottime", "cumulative", "ncalls", "pcalls")
+
+
+def profile_simulation(
+    config: SimulationConfig,
+    *,
+    sort: str = "tottime",
+    limit: int = 25,
+    dump_path: str | None = None,
+) -> tuple[SimulationResult, str]:
+    """Run one simulation under cProfile.
+
+    Returns ``(result, report)`` where *report* is the rendered top-N
+    function table sorted by *sort*.  With *dump_path* the raw profile is
+    additionally written for offline viewers (snakeviz, pstats).
+    """
+    from repro.core.simulation import run_simulation
+
+    if sort not in PROFILE_SORTS:
+        raise ValueError(
+            f"unknown profile sort {sort!r}; expected one of {PROFILE_SORTS}"
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_simulation(config)
+    profiler.disable()
+    if dump_path is not None:
+        profiler.dump_stats(dump_path)
+    return result, render_profile(profiler, sort=sort, limit=limit)
+
+
+def render_profile(
+    profiler: cProfile.Profile, *, sort: str = "tottime", limit: int = 25
+) -> str:
+    """Render a profiler's top-*limit* functions as a text table."""
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats(sort).print_stats(limit)
+    return buf.getvalue()

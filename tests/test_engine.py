@@ -45,6 +45,31 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             q.schedule(-1, lambda: None)
 
+    def test_float_delay_raises(self):
+        """A float delay would silently corrupt bucket ordering."""
+        q = EventQueue()
+        with pytest.raises(SimulationError, match="integer"):
+            q.schedule(1.5, lambda: None)
+
+    def test_integral_float_delay_raises(self):
+        """Even float values that happen to be integral are rejected."""
+        q = EventQueue()
+        with pytest.raises(SimulationError, match="integer"):
+            q.schedule(2.0, lambda: None)
+
+    def test_float_absolute_time_raises(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError, match="integer"):
+            q.schedule_at(3.0, lambda: None)
+
+    def test_bool_delay_is_accepted_as_int(self):
+        """bool is an int subclass; True means one cycle."""
+        q = EventQueue()
+        log = []
+        q.schedule(True, log.append, "x")
+        q.run_until(1)
+        assert log == ["x"]
+
     def test_schedule_at_past_raises(self):
         q = EventQueue()
         q.schedule(5, lambda: None)
@@ -93,6 +118,42 @@ class TestScheduling:
             q.schedule(1, lambda: None)
         q.run_until(1)
         assert q.processed == 5
+
+    def test_exception_keeps_unprocessed_remainder(self):
+        """An event that raises consumes itself but preserves the queue."""
+        q = EventQueue()
+        log = []
+
+        def boom():
+            raise RuntimeError("boom")
+
+        q.schedule(1, log.append, "before")
+        q.schedule(1, boom)
+        q.schedule(1, log.append, "after")
+        q.schedule(2, log.append, "later")
+        with pytest.raises(RuntimeError):
+            q.run_until(5)
+        assert log == ["before"]
+        assert q.processed == 2  # "before" + the raising event
+        assert q.pending == 2  # "after" + "later" survive
+        q.run_until(5)
+        assert log == ["before", "after", "later"]
+
+    def test_same_cycle_bucket_growth_is_fifo(self):
+        """Events scheduled at `now` run after every queued same-cycle
+        event, in scheduling order (the growing-bucket contract)."""
+        q = EventQueue()
+        log = []
+
+        def first():
+            log.append("first")
+            q.schedule(0, log.append, "child-a")
+            q.schedule(0, log.append, "child-b")
+
+        q.schedule(3, first)
+        q.schedule(3, log.append, "second")
+        q.run_until(3)
+        assert log == ["first", "second", "child-a", "child-b"]
 
 
 @settings(max_examples=30, deadline=None)

@@ -125,3 +125,53 @@ class TestSelectWinner:
             winners.append(w[0])
             last = w[0]
         assert set(winners) == set(keys)
+
+    def test_wraparound_at_key_space_boundary(self):
+        """Rotation wraps modulo nkeys: after granting the top key, the
+        smallest key is the closest clockwise neighbour."""
+        lo, hi = self._c(0), self._c(15)
+        win = select_winner(
+            [lo, hi], 15, 16, transit_priority=False, injection_boundary=0
+        )
+        assert win is lo
+        # ... and from one-below-top, the top key wins before wrapping.
+        win = select_winner(
+            [lo, hi], 14, 16, transit_priority=False, injection_boundary=0
+        )
+        assert win is hi
+
+    def test_wraparound_within_transit_class(self):
+        """The rotation distance also wraps inside the transit class."""
+        t_low, t_high = self._c(4), self._c(15)
+        win = select_winner(
+            [t_low, t_high], 15, 16,
+            transit_priority=True, injection_boundary=4,
+        )
+        assert win is t_low
+
+    def test_initial_grant_favours_lowest_key(self):
+        """With last_grant=-1 the rotation starts at key 0."""
+        a, b = self._c(2), self._c(9)
+        win = select_winner(
+            [a, b], -1, 16, transit_priority=False, injection_boundary=0
+        )
+        assert win is a
+
+    def test_single_injection_candidate_fast_path_with_priority(self):
+        """A lone injection candidate wins when no transit competes, even
+        under transit priority (the mask lives in the router, not here)."""
+        inj = self._c(0)
+        win = select_winner(
+            [inj], 7, 16, transit_priority=True, injection_boundary=4
+        )
+        assert win is inj
+
+    def test_priority_ignores_rotation_distance(self):
+        """A transit candidate beats a rotation-favoured injection one."""
+        inj, transit = self._c(5), self._c(12)
+        # last grant 4: injection key 5 is distance 0, transit 12 is 7.
+        win = select_winner(
+            [inj, transit], 4, 16,
+            transit_priority=True, injection_boundary=8,
+        )
+        assert win is transit
