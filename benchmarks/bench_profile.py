@@ -34,9 +34,7 @@ def main(argv: list[str] | None = None) -> int:
     # Same (label, config) cases as the perf gate, so the recorded profile
     # always explains the gated numbers.
     for label, cfg in throughput_cases():
-        result, report = profile_simulation(
-            cfg, sort=args.sort, limit=args.limit
-        )
+        result, report = profile_simulation(cfg, sort=args.sort, limit=args.limit)
         sections.append(
             f"== {label} ==\n"
             f"events={result.events_processed} "

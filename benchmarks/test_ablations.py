@@ -23,9 +23,7 @@ from repro.utils.tables import format_table
 def test_priority_ablation_uniform_min(benchmark):
     """Removing the priority changes MIN/UN throughput only marginally."""
     def run():
-        base = bench_config(routing="min").with_traffic(
-            pattern="uniform", load=0.8
-        )
+        base = bench_config(routing="min").with_traffic(pattern="uniform", load=0.8)
         with_prio = run_point(base, seeds=seeds(), jobs=jobs()).accepted_load
         without = run_point(
             base.with_router(transit_priority=False), seeds=seeds(), jobs=jobs()
@@ -103,9 +101,7 @@ def test_arrangement_ablation(benchmark):
 def test_job_placement_reproduces_advc(benchmark):
     """Uniform traffic inside an (h+1)-group job depresses the bottleneck."""
     def run():
-        cfg = bench_config(routing="src-crg").with_traffic(
-            pattern="job", load=0.6
-        )
+        cfg = bench_config(routing="src-crg").with_traffic(pattern="job", load=0.6)
         return run_simulation(cfg)
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)

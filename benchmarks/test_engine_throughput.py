@@ -77,21 +77,15 @@ def throughput_cases():
     return [
         (
             "tiny/UN@0.4",
-            tiny_config(routing="min").with_traffic(
-                pattern="uniform", load=0.4
-            ),
+            tiny_config(routing="min").with_traffic(pattern="uniform", load=0.4),
         ),
         (
             "small/UN@0.4",
-            bench_config(routing="min").with_traffic(
-                pattern="uniform", load=0.4
-            ),
+            bench_config(routing="min").with_traffic(pattern="uniform", load=0.4),
         ),
         (
             "small/ADVc@0.4 in-trns-mm",
-            bench_config(routing="in-trns-mm").with_traffic(
-                pattern="advc", load=0.4
-            ),
+            bench_config(routing="in-trns-mm").with_traffic(pattern="advc", load=0.4),
         ),
     ]
 

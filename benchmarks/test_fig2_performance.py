@@ -21,18 +21,15 @@ from repro.analysis.paper_reference import min_throughput_bound
 
 def _run_panel(pattern: str, **traffic_kw):
     base = bench_config().with_traffic(pattern=pattern, **traffic_kw)
-    return figure2_sweeps(
-        base, loads_for(pattern), seeds=seeds(), jobs=jobs()
-    )
+    return figure2_sweeps(base, loads_for(pattern), seeds=seeds(), jobs=jobs())
 
 
 def test_fig2a_uniform(benchmark):
-    sweeps = benchmark.pedantic(
-        _run_panel, args=("uniform",), rounds=1, iterations=1
+    sweeps = benchmark.pedantic(_run_panel, args=("uniform",), rounds=1, iterations=1)
+    write_result(
+        "fig2a_uniform_priority",
+        format_figure2(sweeps, title="Figure 2a (UN, transit priority)"),
     )
-    write_result("fig2a_uniform_priority", format_figure2(
-        sweeps, title="Figure 2a (UN, transit priority)"
-    ))
     # Every mechanism reaches a healthy fraction of the offered load
     # range; oblivious Valiant halves UN capacity (its paths are ~2x).
     for mech, sweep in sweeps.items():
@@ -49,9 +46,10 @@ def test_fig2b_adv1(benchmark):
     sweeps = benchmark.pedantic(
         _run_panel, args=("adversarial",), rounds=1, iterations=1
     )
-    write_result("fig2b_adv1_priority", format_figure2(
-        sweeps, title="Figure 2b (ADV+1, transit priority)"
-    ))
+    write_result(
+        "fig2b_adv1_priority",
+        format_figure2(sweeps, title="Figure 2b (ADV+1, transit priority)"),
+    )
     net = bench_config().network
     bound = min_throughput_bound(net, "adversarial")
     # MIN is capped at the analytic bound...
@@ -62,19 +60,16 @@ def test_fig2b_adv1(benchmark):
 
 
 def test_fig2c_advc(benchmark):
-    sweeps = benchmark.pedantic(
-        _run_panel, args=("advc",), rounds=1, iterations=1
+    sweeps = benchmark.pedantic(_run_panel, args=("advc",), rounds=1, iterations=1)
+    write_result(
+        "fig2c_advc_priority",
+        format_figure2(sweeps, title="Figure 2c (ADVc, transit priority)"),
     )
-    write_result("fig2c_advc_priority", format_figure2(
-        sweeps, title="Figure 2c (ADVc, transit priority)"
-    ))
     net = bench_config().network
     bound = min_throughput_bound(net, "advc")
     # MIN is capped at h/(a*p), a milder cap than ADV+1 (Section III).
     assert sweeps["min"].saturation_throughput() <= bound * 1.15
-    assert min_throughput_bound(net, "advc") > min_throughput_bound(
-        net, "adversarial"
-    )
+    assert min_throughput_bound(net, "advc") > min_throughput_bound(net, "adversarial")
     # In-transit adaptive reaches the best throughput of all mechanisms.
     best_intransit = max(
         sweeps[m].saturation_throughput()

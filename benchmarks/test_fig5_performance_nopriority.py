@@ -29,19 +29,16 @@ def _run_panel(pattern: str):
         .with_traffic(pattern=pattern)
         .with_router(transit_priority=False)
     )
-    loads = _LOADS[pattern] if len(loads_for(pattern)) <= 5 else loads_for(
-        pattern
-    )
+    loads = _LOADS[pattern] if len(loads_for(pattern)) <= 5 else loads_for(pattern)
     return figure2_sweeps(base, loads, seeds=seeds(), jobs=jobs())
 
 
 def test_fig5a_uniform(benchmark):
-    sweeps = benchmark.pedantic(
-        _run_panel, args=("uniform",), rounds=1, iterations=1
+    sweeps = benchmark.pedantic(_run_panel, args=("uniform",), rounds=1, iterations=1)
+    write_result(
+        "fig5a_uniform_nopriority",
+        format_figure2(sweeps, title="Figure 5a (UN, no priority)"),
     )
-    write_result("fig5a_uniform_nopriority", format_figure2(
-        sweeps, title="Figure 5a (UN, no priority)"
-    ))
     for mech, sweep in sweeps.items():
         floor = 0.38 if mech.startswith("obl") else 0.5
         assert sweep.saturation_throughput() > floor, mech
@@ -51,9 +48,10 @@ def test_fig5b_adv1(benchmark):
     sweeps = benchmark.pedantic(
         _run_panel, args=("adversarial",), rounds=1, iterations=1
     )
-    write_result("fig5b_adv1_nopriority", format_figure2(
-        sweeps, title="Figure 5b (ADV+1, no priority)"
-    ))
+    write_result(
+        "fig5b_adv1_nopriority",
+        format_figure2(sweeps, title="Figure 5b (ADV+1, no priority)"),
+    )
     net = bench_config().network
     cap = 1.0 / (net.a * net.p)
     for mech in ("obl-crg", "in-trns-mm"):
@@ -61,12 +59,11 @@ def test_fig5b_adv1(benchmark):
 
 
 def test_fig5c_advc(benchmark):
-    sweeps = benchmark.pedantic(
-        _run_panel, args=("advc",), rounds=1, iterations=1
+    sweeps = benchmark.pedantic(_run_panel, args=("advc",), rounds=1, iterations=1)
+    write_result(
+        "fig5c_advc_nopriority",
+        format_figure2(sweeps, title="Figure 5c (ADVc, no priority)"),
     )
-    write_result("fig5c_advc_nopriority", format_figure2(
-        sweeps, title="Figure 5c (ADVc, no priority)"
-    ))
     best_intransit = max(
         sweeps[m].saturation_throughput()
         for m in ("in-trns-rrg", "in-trns-mm")

@@ -23,9 +23,7 @@ def test_paper_scale_advc(benchmark):
     cfg = paper_config(
         routing="in-trns-mm", warmup_cycles=500, measure_cycles=800
     ).with_traffic(pattern="advc", load=0.4)
-    res = benchmark.pedantic(
-        run_simulation, args=(cfg,), rounds=1, iterations=1
-    )
+    res = benchmark.pedantic(run_simulation, args=(cfg,), rounds=1, iterations=1)
     write_result(
         "paper_scale_smoke",
         format_table(

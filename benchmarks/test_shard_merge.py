@@ -1,0 +1,82 @@
+"""Sharded-sweep benchmark: N-way shard fan-out + merge vs one runner.
+
+This is the local stand-in for the CI ``sweep-shards`` / ``sweep-merge``
+matrix: the same reduced Figure-2 plan is executed unsharded and as
+``SHARDS`` independent sharded runs (each with its own store, as each CI
+matrix job has), the shard stores are merged, and the merged store must
+be **bit-identical** to the unsharded one — same cell digests, same
+result bytes.  The recorded artifact documents the wall-clock split per
+shard, i.e. the speedup ceiling a fleet of that size could reach.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import bench_config, metadata_lines, seeds, write_result
+from repro.exec import ExperimentPlan, ResultStore, Runner, Shard
+from repro.utils.tables import format_table
+
+SHARDS = 2
+_LOADS = [0.2, 0.4]
+_MECHS = ("min", "obl-crg", "in-trns-mm")
+
+
+def _plan() -> ExperimentPlan:
+    base = bench_config().with_traffic(pattern="uniform")
+    return ExperimentPlan.grid(base, routings=list(_MECHS), loads=_LOADS, seeds=seeds())
+
+
+def test_sharded_fanout_merges_bit_identical(tmp_path):
+    plan = _plan()
+
+    start = time.perf_counter()
+    Runner(jobs=1, store=tmp_path / "full").run(plan)
+    t_full = time.perf_counter() - start
+
+    shard_times = []
+    for k in range(SHARDS):
+        start = time.perf_counter()
+        res = Runner(jobs=1, store=tmp_path / f"shard{k}").run(
+            plan, shard=Shard(k, SHARDS)
+        )
+        shard_times.append(time.perf_counter() - start)
+        assert res.computed == len(plan.shard(k, SHARDS))
+
+    merged = ResultStore(tmp_path / "merged")
+    report = merged.merge([tmp_path / f"shard{k}" for k in range(SHARDS)])
+    assert report.copied == plan.unique_cells()
+    assert report.manifest.plan_digest == plan.digest
+
+    full = ResultStore(tmp_path / "full")
+    assert merged.digests() == full.digests()
+    for digest in full.digests():
+        merged_bytes = (tmp_path / "merged" / f"{digest}.json").read_bytes()
+        full_bytes = (tmp_path / "full" / f"{digest}.json").read_bytes()
+        assert merged_bytes == full_bytes, digest
+
+    # The merged store serves the whole plan offline (no computation).
+    offline = Runner(jobs=1, store=merged, offline=True).run(plan)
+    assert offline.computed == 0
+    assert offline.cached == plan.unique_cells()
+
+    critical_path = max(shard_times)
+    rows = [
+        [
+            len(plan),
+            SHARDS,
+            f"{t_full:.2f}",
+            f"{critical_path:.2f}",
+            f"{t_full / critical_path:.2f}x" if critical_path > 0 else "inf",
+        ]
+    ]
+    write_result(
+        "shard_merge",
+        format_table(
+            ["cells", "shards", "unsharded(s)", "slowest shard(s)", "ceiling"],
+            rows,
+            title="Sharded sweep — fan-out + merge, bit-identical results",
+        )
+        + "\n"
+        + metadata_lines(),
+    )

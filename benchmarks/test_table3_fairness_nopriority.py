@@ -44,9 +44,7 @@ def test_table3(benchmark):
     assert max(ratios) / min(ratios) < 1.6, ratios
 
     # Still not as fair as oblivious.
-    worst_obl = max(
-        without["obl-rrg"].max_min_ratio, without["obl-crg"].max_min_ratio
-    )
+    worst_obl = max(without["obl-rrg"].max_min_ratio, without["obl-crg"].max_min_ratio)
     assert min(ratios) >= worst_obl * 0.8
 
     # Src-CRG flips pathology: the priority-starved bottleneck recovers

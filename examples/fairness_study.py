@@ -44,9 +44,7 @@ def main() -> None:
         result = res.results_for(base.with_(routing=mech))[0]
         f = result.fairness
         profile_rows.append([mech] + list(result.group_injections(0)))
-        metric_rows.append(
-            [mech, f.min_injected, f.max_min_ratio, f.cov, f.jain]
-        )
+        metric_rows.append([mech, f.min_injected, f.max_min_ratio, f.cov, f.jain])
 
     print(
         format_table(

@@ -40,8 +40,7 @@ def main() -> None:
         return base.with_(routing=mech).with_router(transit_priority=priority)
 
     plan = ExperimentPlan.merge(
-        ExperimentPlan.point(cfg_for(mech, priority))
-        for mech, priority in cases
+        ExperimentPlan.point(cfg_for(mech, priority)) for mech, priority in cases
     )
     runner = Runner()  # jobs defaults to all cores
     print(f"running {len(plan)} cells with jobs={runner.jobs} ...\n")

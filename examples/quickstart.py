@@ -16,8 +16,10 @@ from repro import run_simulation, small_config
 def main() -> None:
     cfg = small_config(routing="min").with_traffic(pattern="uniform", load=0.4)
     print(f"Network : {cfg.network.describe()}")
-    print(f"Routing : {cfg.routing}   pattern: {cfg.traffic.pattern}   "
-          f"load: {cfg.traffic.load}")
+    print(
+        f"Routing : {cfg.routing}   pattern: {cfg.traffic.pattern}   "
+        f"load: {cfg.traffic.load}"
+    )
     print("Simulating", cfg.total_cycles, "cycles ...")
 
     result = run_simulation(cfg)
@@ -25,8 +27,10 @@ def main() -> None:
     print()
     print(f"offered load  : {result.offered_load:.3f} phits/(node*cycle)")
     print(f"accepted load : {result.accepted_load:.3f} phits/(node*cycle)")
-    print(f"avg latency   : {result.avg_latency:.1f} cycles "
-          f"(std {result.latency_std:.1f}, max {result.max_latency:.0f})")
+    print(
+        f"avg latency   : {result.avg_latency:.1f} cycles "
+        f"(std {result.latency_std:.1f}, max {result.max_latency:.0f})"
+    )
     print("latency breakdown (cycles):")
     for name, value in result.latency_breakdown.items():
         print(f"    {name:10s} {value:8.2f}")

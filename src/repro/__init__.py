@@ -48,7 +48,7 @@ from repro.errors import (
     SimulationError,
     TopologyError,
 )
-from repro.exec import ExperimentPlan, PlanResult, ResultStore, Runner
+from repro.exec import ExperimentPlan, PlanResult, ResultStore, Runner, Shard
 from repro.metrics import FairnessMetrics, fairness_from_counts
 from repro.routing import ROUTING_NAMES
 from repro.topology import DragonflyTopology
@@ -72,6 +72,7 @@ __all__ = [
     "RouterConfig",
     "RoutingError",
     "Runner",
+    "Shard",
     "Simulation",
     "SimulationConfig",
     "SimulationError",

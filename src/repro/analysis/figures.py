@@ -10,7 +10,9 @@ All generators build one :class:`repro.exec.plan.ExperimentPlan` covering
 every cell of the figure and submit it to a single
 :class:`repro.exec.runner.Runner`, so ``jobs=N`` parallelises across
 mechanisms, loads and seeds at once; ``store`` enables on-disk result
-caching.
+caching.  ``offline=True`` renders purely from the store — e.g. from a
+store merged out of sharded CI runs — and fails instead of simulating
+if any cell is missing.
 """
 
 from __future__ import annotations
@@ -55,6 +57,7 @@ def figure2_sweeps(
     seeds: int = 1,
     jobs: int = 1,
     store: ResultStore | str | os.PathLike | None = None,
+    offline: bool = False,
 ) -> dict[str, LoadSweepResult]:
     """One latency/throughput curve per mechanism for one traffic pattern.
 
@@ -65,25 +68,18 @@ def figure2_sweeps(
         ExperimentPlan.sweep(base.with_(routing=mech), loads, seeds=seeds)
         for mech in mechanisms
     )
-    res = Runner(jobs=jobs, store=store).run(plan)
-    return {
-        mech: res.sweep(base.with_(routing=mech), loads)
-        for mech in mechanisms
-    }
+    res = Runner(jobs=jobs, store=store, offline=offline).run(plan)
+    return {mech: res.sweep(base.with_(routing=mech), loads) for mech in mechanisms}
 
 
-def format_figure2(
-    sweeps: dict[str, LoadSweepResult], *, title: str
-) -> str:
+def format_figure2(sweeps: dict[str, LoadSweepResult], *, title: str) -> str:
     """Render a Figure-2 panel pair (latency + throughput) as text."""
     lat_rows = []
     thr_rows = []
     for mech, sweep in sweeps.items():
         for pt in sweep.points:
             lat_rows.append([mech, f"{pt.offered_load:.2f}", pt.avg_latency])
-            thr_rows.append(
-                [mech, f"{pt.offered_load:.2f}", pt.accepted_load]
-            )
+            thr_rows.append([mech, f"{pt.offered_load:.2f}", pt.accepted_load])
     parts = [
         format_table(
             ["mechanism", "offered", "latency(cyc)"],
@@ -119,11 +115,12 @@ def figure3_breakdown(
     seeds: int = 1,
     jobs: int = 1,
     store: ResultStore | str | os.PathLike | None = None,
+    offline: bool = False,
 ) -> list[tuple[float, dict[str, float]]]:
     """Latency components vs injection rate for in-transit-MM under ADVc."""
     cfg = base.with_(routing="in-trns-mm").with_traffic(pattern="advc")
     plan = ExperimentPlan.sweep(cfg, loads, seeds=seeds)
-    res = Runner(jobs=jobs, store=store).run(plan)
+    res = Runner(jobs=jobs, store=store, offline=offline).run(plan)
     out = []
     for load in loads:
         pt = res.point(cfg.with_traffic(load=load))
@@ -131,9 +128,7 @@ def figure3_breakdown(
     return out
 
 
-def format_figure3(
-    breakdown: list[tuple[float, dict[str, float]]]
-) -> str:
+def format_figure3(breakdown: list[tuple[float, dict[str, float]]]) -> str:
     """Render the Figure-3 stacked components as a table + plot."""
     comp_order = ["base", "misroute", "local", "global", "injection"]
     rows = [
@@ -141,15 +136,11 @@ def format_figure3(
         for load, comps in breakdown
     ]
     table = format_table(
-        ["load", "base", "misroute", "cong-local", "cong-global",
-         "inj-queue", "total"],
+        ["load", "base", "misroute", "cong-local", "cong-global", "inj-queue", "total"],
         rows,
         title="Figure 3 — latency breakdown, In-Transit-MM under ADVc",
     )
-    series = {
-        c: [(load, comps[c]) for load, comps in breakdown]
-        for c in comp_order
-    }
+    series = {c: [(load, comps[c]) for load, comps in breakdown] for c in comp_order}
     return table + "\n\n" + ascii_plot(
         series,
         title="Figure 3: latency components vs injection rate",
@@ -166,6 +157,7 @@ def figure4_injections(
     seeds: int = 1,
     jobs: int = 1,
     store: ResultStore | str | os.PathLike | None = None,
+    offline: bool = False,
 ) -> dict[str, list[float]]:
     """Injected packets per router of one group under ADVc at *load*.
 
@@ -181,7 +173,7 @@ def figure4_injections(
         ExperimentPlan.point(point_cfg(mech), seeds=seeds)
         for mech in mechanisms
     )
-    res = Runner(jobs=jobs, store=store).run(plan)
+    res = Runner(jobs=jobs, store=store, offline=offline).run(plan)
     out: dict[str, list[float]] = {}
     for mech in mechanisms:
         per_router = average_injections(res.results_for(point_cfg(mech)))
@@ -189,9 +181,7 @@ def figure4_injections(
     return out
 
 
-def format_figure4(
-    injections: dict[str, list[float]], *, title: str
-) -> str:
+def format_figure4(injections: dict[str, list[float]], *, title: str) -> str:
     """Render the per-router injection bars as a table."""
     a = len(next(iter(injections.values())))
     headers = ["mechanism"] + [f"R{i}" for i in range(a)]

@@ -41,6 +41,7 @@ def fairness_table(
     seeds: int = 1,
     jobs: int = 1,
     store: ResultStore | str | os.PathLike | None = None,
+    offline: bool = False,
 ) -> dict[str, FairnessMetrics]:
     """Run ADVc at *load* for each mechanism; return the fairness metrics.
 
@@ -56,7 +57,7 @@ def fairness_table(
         ExperimentPlan.point(point_cfg(mech), seeds=seeds)
         for mech in mechanisms
     )
-    res = Runner(jobs=jobs, store=store).run(plan)
+    res = Runner(jobs=jobs, store=store, offline=offline).run(plan)
     return {mech: res.point(point_cfg(mech)).fairness for mech in mechanisms}
 
 

@@ -20,20 +20,33 @@ Profile the engine hot path under one configuration (perf workflow)::
     python -m repro.cli profile --routing in-trns-mm --pattern advc \
         --load 0.4 --sort tottime --limit 20
 
-Print a declarative plan, then execute it over all cores with a result
-cache (re-runs only compute missing cells)::
+Print a declarative plan (digest + cells, nothing runs), then execute
+it over all cores with a result cache (re-runs only compute missing
+cells)::
 
     python -m repro.cli plan --routings min in-trns-mm --patterns advc \
         --loads 0.1 0.2 0.3 --seeds 2
-    python -m repro.cli plan --routings min in-trns-mm --patterns advc \
-        --loads 0.1 0.2 0.3 --seeds 2 --execute --cache .repro-cache
+    python -m repro.cli plan run --routings min in-trns-mm --patterns advc \
+        --loads 0.1 0.2 0.3 --seeds 2 --cache .repro-cache
+
+Run the same plan as two shards (different machines), merge the shard
+stores, check completeness, and render a figure offline::
+
+    python -m repro.cli plan run ... --shard 0/2 --cache shard0
+    python -m repro.cli plan run ... --shard 1/2 --cache shard1
+    python -m repro.cli plan merge shard0 shard1 --out merged
+    python -m repro.cli plan status ... --cache merged
+    python -m repro.cli figures --pattern advc --routings min in-trns-mm \
+        --loads 0.1 0.2 0.3 --seeds 2 --cache merged --offline
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from collections.abc import Sequence
 
+from repro.analysis.figures import figure2_sweeps, format_figure2
 from repro.config import (
     PATTERN_CHOICES,
     SimulationConfig,
@@ -43,8 +56,10 @@ from repro.config import (
     tiny_config,
 )
 from repro.core.simulation import run_simulation
-from repro.exec.plan import ExperimentPlan
-from repro.exec.runner import Runner, default_jobs
+from repro.errors import ReproError
+from repro.exec.plan import ExperimentPlan, Shard
+from repro.exec.runner import Runner
+from repro.exec.store import ResultStore
 from repro.routing.factory import ROUTING_NAMES
 from repro.utils.profiling import PROFILE_SORTS, profile_simulation
 from repro.utils.tables import format_table
@@ -118,9 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser("sweep", help="sweep offered load")
     common(sweep_p)
     exec_opts(sweep_p)
-    sweep_p.add_argument(
-        "--loads", type=float, nargs="+", required=True
-    )
+    sweep_p.add_argument("--loads", type=float, nargs="+", required=True)
     sweep_p.add_argument("--seeds", type=int, default=1)
 
     fair_p = sub.add_parser(
@@ -154,8 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan_p = sub.add_parser(
         "plan",
-        help="enumerate (and optionally execute) a declarative "
-        "routings x patterns x loads x seeds grid",
+        help="declarative routings x patterns x loads x seeds grids: "
+        "show (default), run [--shard K/N], merge, status",
+    )
+    plan_p.add_argument(
+        "action",
+        nargs="?",
+        choices=("show", "run", "merge", "status"),
+        default="show",
+        help="show = print digest + cells without running (default); "
+        "run = execute (optionally one shard); merge = union shard "
+        "stores; status = report missing cells of a store",
+    )
+    plan_p.add_argument(
+        "stores",
+        nargs="*",
+        default=[],
+        metavar="STORE",
+        help="shard store directories to union (merge action only)",
     )
     common_base(plan_p)
     exec_opts(plan_p)
@@ -173,12 +202,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=["uniform"],
         help="traffic patterns to cross",
     )
-    plan_p.add_argument("--loads", type=float, nargs="+", required=True)
+    plan_p.add_argument("--loads", type=float, nargs="+", default=None)
     plan_p.add_argument("--seeds", type=int, default=1)
+    plan_p.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="execute only shard K of an N-way partition (run action; "
+        "requires --cache, writes shard.json there)",
+    )
+    plan_p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="destination store for the merge action",
+    )
     plan_p.add_argument(
         "--execute",
         action="store_true",
-        help="run the plan (default: only print it)",
+        help="legacy alias for the run action",
+    )
+
+    fig_p = sub.add_parser(
+        "figures",
+        help="render the paper's Figure-2 panels (latency + accepted "
+        "load) for one pattern from a plan or a merged store",
+    )
+    common_base(fig_p)
+    exec_opts(fig_p)
+    fig_p.add_argument("--pattern", default="uniform", choices=_PATTERNS)
+    fig_p.add_argument(
+        "--routings",
+        nargs="+",
+        choices=ROUTING_NAMES,
+        default=["min"],
+        help="mechanisms to plot (legend order)",
+    )
+    fig_p.add_argument("--loads", type=float, nargs="+", required=True)
+    fig_p.add_argument("--seeds", type=int, default=1)
+    fig_p.add_argument(
+        "--offline",
+        action="store_true",
+        help="never simulate: every cell must already be in --cache "
+        "(e.g. a store merged from sharded CI runs)",
     )
 
     return p
@@ -202,8 +268,13 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
 
 def _sweep_table(sweep) -> str:
     rows = [
-        [pt.offered_load, pt.accepted_load, pt.avg_latency,
-         pt.fairness.max_min_ratio, pt.fairness.cov]
+        [
+            pt.offered_load,
+            pt.accepted_load,
+            pt.avg_latency,
+            pt.fairness.max_min_ratio,
+            pt.fairness.cov,
+        ]
         for pt in sweep.points
     ]
     return format_table(
@@ -220,9 +291,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "run":
         result = run_simulation(_config(args).with_traffic(load=args.load))
         print(result.summary())
-        print("latency breakdown:", {
-            k: round(v, 2) for k, v in result.latency_breakdown.items()
-        })
+        print(
+            "latency breakdown:",
+            {k: round(v, 2) for k, v in result.latency_breakdown.items()},
+        )
         return 0
 
     if args.command == "profile":
@@ -266,32 +338,138 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "plan":
-        base = _base_config(args)
-        plan = ExperimentPlan.grid(
-            base,
-            routings=args.routings,
-            patterns=args.patterns,
-            loads=args.loads,
-            seeds=args.seeds,
-        )
-        print(plan.describe())
-        if not args.execute:
-            print("(dry run; pass --execute to run these cells)")
-            return 0
-        runner = Runner(jobs=args.jobs, store=args.cache)
-        res = runner.run(plan)
-        print(
-            f"executed {res.computed} cells with jobs={runner.jobs}"
-            + (f", {res.cached} from cache" if args.cache else "")
-        )
-        for routing in args.routings:
-            for pattern in args.patterns:
-                cfg = base.with_(routing=routing).with_traffic(pattern=pattern)
-                print()
-                print(_sweep_table(res.sweep(cfg, args.loads)))
-        return 0
+        try:
+            return _cmd_plan(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "figures":
+        try:
+            return _cmd_figures(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _grid_plan(args: argparse.Namespace) -> tuple[SimulationConfig, ExperimentPlan]:
+    if not args.loads:
+        raise ReproError(f"plan {args.action} needs --loads")
+    base = _base_config(args)
+    plan = ExperimentPlan.grid(
+        base,
+        routings=args.routings,
+        patterns=args.patterns,
+        loads=args.loads,
+        seeds=args.seeds,
+    )
+    return base, plan
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    action = args.action
+    if args.execute and action == "show":
+        action = "run"
+
+    if action == "merge":
+        if not args.stores:
+            raise ReproError("plan merge needs shard store directories")
+        if not args.out:
+            raise ReproError("plan merge needs --out DIR")
+        report = ResultStore(args.out).merge(args.stores)
+        man = report.manifest
+        print(
+            f"merged {report.sources} shard store(s) into {args.out}: "
+            f"{report.copied} cell(s) copied, {report.reused} already "
+            "present"
+        )
+        print(f"plan digest: {man.plan_digest}")
+        print(f"covered cells: {len(man.plan_cells)} (complete)")
+        return 0
+
+    base, plan = _grid_plan(args)
+    shard = Shard.parse(args.shard) if args.shard else None
+
+    if action == "show":
+        print(plan.describe())
+        if shard is not None:
+            owned = plan.shard_digests(shard)
+            print(
+                f"shard {shard}: owns {len(owned)} of "
+                f"{plan.unique_cells()} unique cells"
+            )
+        print("(dry run; use `repro plan run` to execute)")
+        return 0
+
+    if action == "status":
+        if not args.cache:
+            raise ReproError("plan status needs --cache DIR")
+        store = ResultStore(args.cache)
+        # load() (not a bare existence check) so entries a consumer would
+        # reject — foreign STORE_VERSION, truncated JSON — count as missing.
+        missing = [c for c in _unique_cells(plan) if store.load(c.digest) is None]
+        done = plan.unique_cells() - len(missing)
+        print(f"plan digest: {plan.digest}")
+        print(f"store {args.cache}: {done}/{plan.unique_cells()} cells present")
+        for cell in missing:
+            print(f"  missing {cell.digest[:12]}… {cell.label()}")
+        return 1 if missing else 0
+
+    # action == "run"
+    if shard is not None and args.cache is None:
+        raise ReproError("plan run --shard needs --cache DIR")
+    runner = Runner(jobs=args.jobs, store=args.cache)
+    res = runner.run(plan, shard=shard)
+    if shard is not None:
+        print(f"plan digest: {plan.digest}")
+        print(
+            f"shard {shard}: executed {res.computed} cells with "
+            f"jobs={runner.jobs}, {res.cached} from cache "
+            f"({len(res.plan)} of {len(plan)} plan cells owned)"
+        )
+        print(f"shard manifest: {runner.store.manifest_path}")
+        return 0
+    print(
+        f"executed {res.computed} cells with jobs={runner.jobs}"
+        + (f", {res.cached} from cache" if args.cache else "")
+    )
+    for routing in args.routings:
+        for pattern in args.patterns:
+            cfg = base.with_(routing=routing).with_traffic(pattern=pattern)
+            print()
+            print(_sweep_table(res.sweep(cfg, args.loads)))
+    return 0
+
+
+def _unique_cells(plan: ExperimentPlan):
+    seen: set[str] = set()
+    for cell in plan:
+        if cell.digest not in seen:
+            seen.add(cell.digest)
+            yield cell
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    base = _base_config(args).with_traffic(pattern=args.pattern)
+    sweeps = figure2_sweeps(
+        base,
+        args.loads,
+        mechanisms=args.routings,
+        seeds=args.seeds,
+        jobs=args.jobs,
+        store=args.cache,
+        offline=args.offline,
+    )
+    priority = "with" if base.router.transit_priority else "without"
+    print(
+        format_figure2(
+            sweeps,
+            title=f"{args.pattern.upper()} ({priority} transit priority)",
+        )
+    )
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

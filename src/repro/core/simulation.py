@@ -54,9 +54,7 @@ class Simulation:
         )
 
         # Routers and wiring.
-        self.routers = [
-            Router(self, rid) for rid in range(self.topo.num_routers)
-        ]
+        self.routers = [Router(self, rid) for rid in range(self.topo.num_routers)]
         self._wire()
 
         # Routing mechanism (needs self.routers for PiggyBack state).
@@ -172,10 +170,7 @@ class Simulation:
     # ------------------------------------------------------------------
     def _watchdog(self) -> None:
         delivered = self.stats.total_delivered
-        if (
-            delivered == self._watch_delivered
-            and self.stats.in_flight() > 0
-        ):
+        if delivered == self._watch_delivered and self.stats.in_flight() > 0:
             raise SimulationError(
                 f"deadlock suspected at cycle {self.engine.now}: "
                 f"{self.stats.in_flight()} packets in flight but no delivery "
@@ -226,6 +221,4 @@ def run_simulation(
     config: SimulationConfig, *, check_decomposition: bool = False
 ) -> SimulationResult:
     """Build and run one simulation (convenience wrapper)."""
-    return Simulation(
-        config, check_decomposition=check_decomposition
-    ).run()
+    return Simulation(config, check_decomposition=check_decomposition).run()

@@ -22,21 +22,25 @@ from repro.exec.aggregate import (
     average_injections,
     average_results,
 )
-from repro.exec.plan import Cell, ExperimentPlan
+from repro.exec.plan import Cell, ExperimentPlan, Shard
 from repro.exec.runner import PlanResult, Runner, default_jobs
-from repro.exec.serialize import config_digest
-from repro.exec.store import ResultStore
+from repro.exec.serialize import config_digest, plan_digest
+from repro.exec.store import MergeReport, ResultStore, ShardManifest
 
 __all__ = [
     "Cell",
     "ExperimentPlan",
     "LoadSweepResult",
+    "MergeReport",
     "PlanResult",
     "ResultStore",
     "Runner",
+    "Shard",
+    "ShardManifest",
     "SweepPoint",
     "average_injections",
     "average_results",
     "config_digest",
     "default_jobs",
+    "plan_digest",
 ]

@@ -73,9 +73,7 @@ def average_injections(results: Sequence[SimulationResult]) -> list[float]:
             f"{sorted({len(r.injected_per_router) for r in results})}"
         )
     n = len(results)
-    return [
-        sum(r.injected_per_router[i] for r in results) / n for i in range(n0)
-    ]
+    return [sum(r.injected_per_router[i] for r in results) / n for i in range(n0)]
 
 
 def average_results(results: Sequence[SimulationResult]) -> SweepPoint:

@@ -19,12 +19,12 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from repro.config import SimulationConfig
-from repro.errors import AnalysisError
-from repro.exec.serialize import config_digest
+from repro.errors import AnalysisError, SimulationError
+from repro.exec.serialize import config_digest, plan_digest
 from repro.traffic.patterns import pattern_name
 from repro.utils.rng import split_seed
 
-__all__ = ["Cell", "ExperimentPlan"]
+__all__ = ["Cell", "ExperimentPlan", "Shard"]
 
 #: seed-stream offset used per averaged repetition (historical protocol).
 _SEED_STREAM_BASE = 100
@@ -35,9 +35,7 @@ def _point_cells(config: SimulationConfig, seeds: int) -> list["Cell"]:
         raise AnalysisError("seeds must be >= 1")
     return [
         Cell(
-            config=config.with_(
-                seed=split_seed(config.seed, _SEED_STREAM_BASE + s)
-            ),
+            config=config.with_(seed=split_seed(config.seed, _SEED_STREAM_BASE + s)),
             parent=config,
             seed_index=s,
         )
@@ -70,6 +68,45 @@ class Cell:
             f"{self.parent.routing:12s} {pattern_name(t):7s} "
             f"load={t.load:<5.3g} seed#{self.seed_index}"
         )
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One slice ``index`` of a plan partitioned into ``count`` slices.
+
+    Validation raises :class:`repro.errors.SimulationError` because a bad
+    shard spec means a distributed run would silently execute the wrong
+    (or no) cells — that is a broken simulation campaign, not an analysis
+    problem.
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SimulationError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise SimulationError(
+                f"shard index {self.index} out of range for "
+                f"{self.count} shard(s)"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "Shard":
+        """Parse the CLI form ``"K/N"`` (e.g. ``"0/4"``)."""
+        index, sep, count = spec.partition("/")
+        try:
+            if not sep:
+                raise ValueError(spec)
+            return cls(int(index), int(count))
+        except ValueError:
+            raise SimulationError(
+                f"shard spec must look like K/N (e.g. 0/4), got {spec!r}"
+            ) from None
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
 
 
 @dataclass(frozen=True)
@@ -126,9 +163,7 @@ class ExperimentPlan:
             for pattern in patterns:
                 cfg = base.with_(routing=routing).with_traffic(pattern=pattern)
                 for load in loads:
-                    cells.extend(
-                        _point_cells(cfg.with_traffic(load=load), seeds)
-                    )
+                    cells.extend(_point_cells(cfg.with_traffic(load=load), seeds))
         return cls(tuple(cells))
 
     @classmethod
@@ -149,6 +184,47 @@ class ExperimentPlan:
     def __iter__(self) -> Iterator[Cell]:
         return iter(self.cells)
 
+    # -- sharding -----------------------------------------------------------
+    @cached_property
+    def digest(self) -> str:
+        """Order-independent identity of the plan's unique cell set.
+
+        Two workers that built the "same" plan through different code
+        paths (grid vs merged sweeps, shuffled axes, repeated cells) get
+        the same digest iff they will simulate the same set of configs —
+        print it before launching shards to check the fleet agrees.
+        """
+        return plan_digest(cell.digest for cell in self.cells)
+
+    def cell_digests(self) -> tuple[str, ...]:
+        """Sorted unique digests of every cell in the plan."""
+        return tuple(sorted({cell.digest for cell in self.cells}))
+
+    def shard_digests(self, shard: Shard) -> frozenset[str]:
+        """The cell digests owned by *shard*.
+
+        The partition walks the sorted unique digests round-robin, so it
+        is deterministic, balanced to within one cell, and depends only
+        on the plan's cell *set* — never on grid construction order.
+        """
+        return frozenset(
+            digest
+            for i, digest in enumerate(self.cell_digests())
+            if i % shard.count == shard.index
+        )
+
+    def shard(self, index: int, count: int) -> "ExperimentPlan":
+        """The sub-plan owned by shard *index* of *count*.
+
+        ``shard(0, 1)`` is the identity. A plan with fewer unique cells
+        than *count* yields empty sub-plans for the surplus shards, which
+        run (and merge) cleanly as no-ops.
+        """
+        owned = self.shard_digests(Shard(index, count))
+        return ExperimentPlan(
+            tuple(cell for cell in self.cells if cell.digest in owned)
+        )
+
     # -- introspection ------------------------------------------------------
     def points(self) -> list[SimulationConfig]:
         """Unique parent configs, in first-appearance order."""
@@ -166,7 +242,8 @@ class ExperimentPlan:
         lines = [
             f"ExperimentPlan: {len(self.cells)} cells "
             f"({len(self.points())} points, {self.unique_cells()} unique "
-            "simulations)"
+            "simulations)",
+            f"  plan digest: {self.digest}",
         ]
         lines.extend(f"  [{i:3d}] {cell.label()}" for i, cell in enumerate(self.cells))
         return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""Plan execution: serial or process-parallel, with optional caching.
+"""Plan execution: serial, process-parallel, or sharded, with caching.
 
 The :class:`Runner` takes an :class:`repro.exec.plan.ExperimentPlan`,
 deduplicates its cells by config digest, loads whatever an attached
@@ -9,6 +9,15 @@ rest — inline when ``jobs <= 1``, otherwise fanned out over a
 Every cell is a pure deterministic function of its (fully seeded)
 config, so parallel and serial execution return bit-identical results;
 the executor only changes wall-clock time.
+
+Passing ``shard=Shard(k, n)`` to :meth:`Runner.run` executes only the
+cells the shard owns (a deterministic digest partition of the full plan)
+and records a :class:`repro.exec.store.ShardManifest` in the attached
+store, so N machines given the same plan and distinct ``k`` cover it
+exactly once and their stores merge back into the unsharded result.
+``offline=True`` inverts the contract: nothing may be computed — every
+needed cell must already be in the store (used to render figures from a
+merged store without re-simulation).
 """
 
 from __future__ import annotations
@@ -23,9 +32,9 @@ from repro.core.results import SimulationResult
 from repro.core.simulation import run_simulation
 from repro.errors import AnalysisError
 from repro.exec.aggregate import LoadSweepResult, SweepPoint, average_results
-from repro.exec.plan import ExperimentPlan
+from repro.exec.plan import ExperimentPlan, Shard
 from repro.exec.serialize import config_digest
-from repro.exec.store import ResultStore
+from repro.exec.store import ResultStore, ShardManifest, current_git_sha
 
 __all__ = ["Runner", "PlanResult", "default_jobs"]
 
@@ -51,6 +60,7 @@ class PlanResult:
     results: dict[str, SimulationResult]
     computed: int = 0
     cached: int = 0
+    shard: Shard | None = None
     _by_parent: dict[str, list[SimulationResult]] | None = field(
         default=None, repr=False, compare=False
     )
@@ -111,10 +121,15 @@ class PlanResult:
 
 @dataclass
 class Runner:
-    """Executes plans; ``jobs=None`` means :func:`default_jobs`."""
+    """Executes plans; ``jobs=None`` means :func:`default_jobs`.
+
+    ``offline=True`` forbids computation: every cell a run needs must
+    already be in the attached store (missing cells raise).
+    """
 
     jobs: int | None = None
     store: ResultStore | str | os.PathLike | None = None
+    offline: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs is None:
@@ -123,13 +138,31 @@ class Runner:
             raise AnalysisError(f"jobs must be >= 1, got {self.jobs}")
         if self.store is not None and not isinstance(self.store, ResultStore):
             self.store = ResultStore(self.store)
+        if self.offline and self.store is None:
+            raise AnalysisError("offline execution needs a store to read from")
 
-    def run(self, plan: ExperimentPlan) -> PlanResult:
-        """Execute *plan*, reusing cached results when a store is attached."""
+    def run(self, plan: ExperimentPlan, shard: Shard | None = None) -> PlanResult:
+        """Execute *plan*, reusing cached results when a store is attached.
+
+        With *shard*, only the owned sub-plan executes and a shard
+        manifest is written to the store (required); the returned
+        :class:`PlanResult` covers just the owned cells.  An empty owned
+        sub-plan (more shards than cells) is valid and writes a manifest
+        claiming no cells.
+        """
         if not len(plan):
             raise AnalysisError("cannot run an empty plan")
+        sub = plan
+        if shard is not None:
+            if self.store is None:
+                raise AnalysisError(
+                    "sharded runs need a store (the shard manifest and "
+                    "mergeable results live there)"
+                )
+            sub = plan.shard(shard.index, shard.count)
+
         unique: dict[str, SimulationConfig] = {}
-        for cell in plan:
+        for cell in sub:
             unique.setdefault(cell.digest, cell.config)
 
         results: dict[str, SimulationResult] = {}
@@ -142,6 +175,11 @@ class Runner:
                     cached += 1
 
         missing = [d for d in unique if d not in results]
+        if self.offline and missing:
+            raise AnalysisError(
+                f"offline run: store is missing {len(missing)} of "
+                f"{len(unique)} required cell(s)"
+            )
         configs = [unique[d] for d in missing]
         if self.jobs <= 1 or len(configs) <= 1:
             computed = [_run_cell(cfg) for cfg in configs]
@@ -154,6 +192,22 @@ class Runner:
             if self.store is not None:
                 self.store.save(digest, result)
 
+        if shard is not None:
+            self.store.write_manifest(
+                ShardManifest(
+                    plan_digest=plan.digest,
+                    shard_index=shard.index,
+                    shard_count=shard.count,
+                    plan_cells=plan.cell_digests(),
+                    cells=tuple(sorted(unique)),
+                    git_sha=current_git_sha(),
+                )
+            )
+
         return PlanResult(
-            plan=plan, results=results, computed=len(missing), cached=cached
+            plan=sub,
+            results=results,
+            computed=len(missing),
+            cached=cached,
+            shard=shard,
         )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Iterable
 from dataclasses import asdict
 from typing import Any
 
@@ -30,6 +31,7 @@ __all__ = [
     "config_digest",
     "config_to_dict",
     "config_from_dict",
+    "plan_digest",
     "result_to_dict",
     "result_from_dict",
 ]
@@ -59,9 +61,20 @@ def config_from_dict(data: dict[str, Any]) -> SimulationConfig:
 
 def config_digest(config: SimulationConfig) -> str:
     """Stable hex digest identifying *config* (equal configs, equal digest)."""
-    payload = json.dumps(
-        config_to_dict(config), sort_keys=True, separators=(",", ":")
-    )
+    payload = json.dumps(config_to_dict(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def plan_digest(cell_digests: Iterable[str]) -> str:
+    """Stable hex digest of a plan's *unique cell set*.
+
+    The digest is computed over the sorted, de-duplicated cell digests, so
+    it is independent of grid construction order, cell repetition, and the
+    machine computing it — any two workers that agree on this value agree
+    on the exact set of simulations a plan contains (the property shard
+    partitioning and merge verification rely on).
+    """
+    payload = "\n".join(sorted(set(cell_digests)))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

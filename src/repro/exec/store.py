@@ -1,4 +1,4 @@
-"""On-disk result cache keyed by config digest.
+"""On-disk result cache keyed by config digest, plus shard merging.
 
 One JSON file per simulated cell, named ``<digest>.json`` under the store
 root.  Re-running a plan against the same store only computes cells whose
@@ -10,6 +10,14 @@ The store embeds :data:`repro.exec.serialize.STORE_VERSION`; entries with
 a different version are ignored (treated as misses), so bumping the
 version after a semantics-changing simulator update invalidates stale
 results without manual cleanup.
+
+Sharded runs additionally write a :class:`ShardManifest` (``shard.json``)
+into their store: the plan digest, the shard coordinates, and the exact
+cell digests the shard owns.  :meth:`ResultStore.merge` unions shard
+stores back into one, using the manifests to verify that every cell of
+the plan is covered exactly once — missing shards, missing results,
+double-claimed cells and digest conflicts all fail loudly instead of
+producing a silently incomplete merged store.
 """
 
 from __future__ import annotations
@@ -17,16 +25,88 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import subprocess
 import tempfile
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.results import SimulationResult
+from repro.errors import AnalysisError
 from repro.exec.serialize import (
     STORE_VERSION,
     result_from_dict,
     result_to_dict,
 )
 
-__all__ = ["ResultStore"]
+__all__ = ["MANIFEST_NAME", "MergeReport", "ResultStore", "ShardManifest"]
+
+#: file name of the per-shard manifest inside a store directory.
+MANIFEST_NAME = "shard.json"
+
+
+def current_git_sha() -> str | None:
+    """HEAD commit of the enclosing checkout, or None outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Provenance record of one shard's slice of a plan.
+
+    ``plan_cells`` is the full plan's sorted unique cell digests and
+    ``cells`` the subset this shard owns; carrying both lets a merge
+    verify completeness without reconstructing the plan.
+    """
+
+    plan_digest: str
+    shard_index: int
+    shard_count: int
+    plan_cells: tuple[str, ...]
+    cells: tuple[str, ...]
+    git_sha: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plan_digest": self.plan_digest,
+            "shard": {"index": self.shard_index, "count": self.shard_count},
+            "plan_cells": list(self.plan_cells),
+            "cells": list(self.cells),
+            "git_sha": self.git_sha,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardManifest":
+        return cls(
+            plan_digest=data["plan_digest"],
+            shard_index=data["shard"]["index"],
+            shard_count=data["shard"]["count"],
+            plan_cells=tuple(data["plan_cells"]),
+            cells=tuple(data["cells"]),
+            git_sha=data.get("git_sha"),
+        )
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """Outcome of :meth:`ResultStore.merge`."""
+
+    manifest: ShardManifest
+    sources: int
+    copied: int
+    reused: int = 0
+    shard_git_shas: tuple[str | None, ...] = field(default=())
 
 
 class ResultStore:
@@ -56,11 +136,13 @@ class ResultStore:
 
     def save(self, digest: str, result: SimulationResult) -> pathlib.Path:
         """Persist *result* under *digest* (atomic, last-writer-wins)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self._path(digest)
         payload = json.dumps(
             {"version": STORE_VERSION, "result": result_to_dict(result)}
         )
+        return self._write_atomic(self._path(digest), payload)
+
+    def _write_atomic(self, path: pathlib.Path, payload: str) -> pathlib.Path:
+        self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as f:
@@ -77,4 +159,171 @@ class ResultStore:
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+        return len(self.digests())
+
+    def digests(self) -> list[str]:
+        """Digests of every result entry in the store (manifest excluded)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.stem for p in self.root.glob("*.json") if p.name != MANIFEST_NAME
+        )
+
+    def _read_payload(self, digest: str) -> str | None:
+        """Raw JSON text of one entry (byte-comparable), or None."""
+        try:
+            return self._path(digest).read_text()
+        except OSError:
+            return None
+
+    # -- shard manifests ----------------------------------------------------
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.root / MANIFEST_NAME
+
+    def write_manifest(self, manifest: ShardManifest) -> pathlib.Path:
+        """Persist the shard manifest for this store (atomic)."""
+        payload = json.dumps(
+            {"version": STORE_VERSION, "manifest": manifest.to_dict()},
+            indent=2,
+            sort_keys=True,
+        )
+        return self._write_atomic(self.manifest_path, payload)
+
+    def read_manifest(self) -> ShardManifest:
+        """Load this store's shard manifest; missing or foreign is an error.
+
+        Unlike result entries (where a bad file is just a cache miss), a
+        bad manifest means shard provenance is unknown, so merging must
+        not silently proceed.
+        """
+        try:
+            raw = self.manifest_path.read_text()
+        except OSError as exc:
+            raise AnalysisError(
+                f"no shard manifest at {self.manifest_path} — was this "
+                "store written by a sharded run?"
+            ) from exc
+        try:
+            data = json.loads(raw)
+            version = data.get("version")
+            manifest = ShardManifest.from_dict(data["manifest"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise AnalysisError(
+                f"unreadable shard manifest at {self.manifest_path}: {exc}"
+            ) from exc
+        if version != STORE_VERSION:
+            raise AnalysisError(
+                f"shard manifest {self.manifest_path} has store version "
+                f"{version!r}, expected {STORE_VERSION}"
+            )
+        return manifest
+
+    # -- merging ------------------------------------------------------------
+    def merge(self, paths: Sequence["ResultStore | str | os.PathLike"]) -> MergeReport:
+        """Union the shard stores at *paths* into this store.
+
+        Verifies — via the shard manifests — that all sources belong to
+        the same plan, that every shard of the partition is present
+        exactly once, that the owned cell sets are disjoint and cover the
+        plan, and that every claimed result exists.  Raises
+        :class:`repro.errors.AnalysisError` on any gap, duplicate claim,
+        or digest conflict (same cell, different result bytes).
+
+        On success the merged store gets its own ``shard.json`` marking
+        it a complete 1-shard store of the same plan, so it can be
+        status-checked, re-merged, or consumed offline like any other.
+        """
+        sources = [p if isinstance(p, ResultStore) else ResultStore(p) for p in paths]
+        if not sources:
+            raise AnalysisError("merge needs at least one shard store")
+        manifests = [src.read_manifest() for src in sources]
+
+        first = manifests[0]
+        for src, man in zip(sources, manifests):
+            if man.plan_digest != first.plan_digest:
+                raise AnalysisError(
+                    f"shard store {src.root} belongs to plan "
+                    f"{man.plan_digest[:12]}…, expected "
+                    f"{first.plan_digest[:12]}… — all shards must come "
+                    "from the same plan"
+                )
+            if man.shard_count != first.shard_count:
+                raise AnalysisError(
+                    f"shard store {src.root} was cut {man.shard_index}/"
+                    f"{man.shard_count}, expected a partition into "
+                    f"{first.shard_count} shard(s)"
+                )
+            if man.plan_cells != first.plan_cells:
+                raise AnalysisError(
+                    f"shard store {src.root} disagrees on the plan's cell "
+                    "set despite a matching plan digest (corrupt manifest?)"
+                )
+
+        indices = [man.shard_index for man in manifests]
+        if len(set(indices)) != len(indices):
+            dupes = sorted({i for i in indices if indices.count(i) > 1})
+            raise AnalysisError(f"duplicate shard index(es): {dupes}")
+        missing_shards = sorted(set(range(first.shard_count)) - set(indices))
+        if missing_shards:
+            raise AnalysisError(
+                f"missing shard(s) {missing_shards} of "
+                f"{first.shard_count}: got indices {sorted(indices)}"
+            )
+
+        claimed: dict[str, int] = {}
+        for man in manifests:
+            for digest in man.cells:
+                if digest in claimed:
+                    raise AnalysisError(
+                        f"cell {digest[:12]}… claimed by shards "
+                        f"{claimed[digest]} and {man.shard_index}"
+                    )
+                claimed[digest] = man.shard_index
+        uncovered = sorted(set(first.plan_cells) - set(claimed))
+        if uncovered:
+            raise AnalysisError(
+                f"{len(uncovered)} plan cell(s) not covered by any shard "
+                f"(first: {uncovered[0][:12]}…)"
+            )
+
+        copied = 0
+        reused = 0
+        for src, man in zip(sources, manifests):
+            for digest in man.cells:
+                payload = src._read_payload(digest)
+                if payload is None:
+                    raise AnalysisError(
+                        f"shard {man.shard_index} ({src.root}) is "
+                        f"incomplete: no result for claimed cell "
+                        f"{digest[:12]}…"
+                    )
+                existing = self._read_payload(digest)
+                if existing is not None:
+                    if existing != payload:
+                        raise AnalysisError(
+                            f"digest conflict for cell {digest[:12]}…: "
+                            f"{src.root} disagrees with already-merged "
+                            "bytes"
+                        )
+                    reused += 1
+                    continue
+                self._write_atomic(self._path(digest), payload)
+                copied += 1
+
+        merged = ShardManifest(
+            plan_digest=first.plan_digest,
+            shard_index=0,
+            shard_count=1,
+            plan_cells=first.plan_cells,
+            cells=first.plan_cells,
+            git_sha=current_git_sha(),
+        )
+        self.write_manifest(merged)
+        return MergeReport(
+            manifest=merged,
+            sources=len(sources),
+            copied=copied,
+            reused=reused,
+            shard_git_shas=tuple(man.git_sha for man in manifests),
+        )

@@ -208,9 +208,7 @@ class Router:
         # packet latency ledger: pipeline + serialisation + propagation.
         self._hop_cost = [0] * self.radix
         for port in range(self.radix):
-            self._hop_cost[port] = (
-                rc.pipeline_latency + psize + self._link_lat[port]
-            )
+            self._hop_cost[port] = rc.pipeline_latency + psize + self._link_lat[port]
 
     # ------------------------------------------------------------------
     # occupancy queries (used by adaptive routing)
@@ -448,10 +446,7 @@ class Router:
                             if pkt.plan:
                                 cache[key] = (pkt, dec, None)
                         elif cache_policy == 3:
-                            if (
-                                pkt.inter_group >= 0
-                                and my_group != pkt.dst_group
-                            ):
+                            if pkt.inter_group >= 0 and my_group != pkt.dst_group:
                                 cache[key] = (pkt, dec, None)
                             elif routing.last_decide_pure:
                                 cache[key] = (pkt, dec, epoch)
@@ -524,9 +519,7 @@ class Router:
                     continue  # strict priority masks the injection request
             else:
                 # A grant earlier in this pass may have consumed the port.
-                cands = [
-                    c for c in cands if in_port_free[key_port[c[0]]] <= now
-                ]
+                cands = [c for c in cands if in_port_free[key_port[c[0]]] <= now]
                 if transit_demand is not None and out_port in transit_demand:
                     # Strict priority: pending transit masks injections.
                     cands = [c for c in cands if c[0] >= boundary]
@@ -605,9 +598,7 @@ class Router:
         if self.credit_nvc[out_port]:
             ck = out_port * max_vcs + out_vc
             self.credits_used[ck] += size
-            if CHECK_INVARIANTS and (
-                self.credits_used[ck] > self.credit_cap[out_port]
-            ):
+            if CHECK_INVARIANTS and (self.credits_used[ck] > self.credit_cap[out_port]):
                 raise FlowControlError(
                     f"router {self.router_id}: credit overcommit on port "
                     f"{out_port} vc {out_vc}"
@@ -615,9 +606,7 @@ class Router:
 
         self.routing.commit(pkt, self, dec)
         pkt.service_sum += self._hop_cost[out_port]
-        engine.schedule(
-            self._pipe_lat, self._out_arrive, out_port, pkt, out_vc
-        )
+        engine.schedule(self._pipe_lat, self._out_arrive, out_port, pkt, out_vc)
 
     # ------------------------------------------------------------------
     # output stage
@@ -658,9 +647,7 @@ class Router:
             engine.schedule(size + latency, self._deliver, pkt)
         else:
             peer_router, peer_port = peer
-            engine.schedule(
-                size + latency, peer_router._in_arrive, peer_port, vc, pkt
-            )
+            engine.schedule(size + latency, peer_router._in_arrive, peer_port, vc, pkt)
         if fifo:
             # Stay pumping: the next head departs as soon as the link frees
             # (inlined _pump_output tail; the pumping flag stays set).

@@ -46,7 +46,7 @@ from repro.routing.misrouting import (
     nrg_candidates,
     rrg_candidates,
 )
-from repro.routing.vc import stage_global_vc, stage_local_vc
+from repro.routing.vc import stage_global_vc
 
 __all__ = ["InTransitAdaptiveRouting"]
 
@@ -151,9 +151,7 @@ class InTransitAdaptiveRouting(RoutingMechanism):
         first_global = self._first_global
         policy = self.policy
         if policy is MisroutePolicy.MM:
-            policy = (
-                MisroutePolicy.CRG if at_source_router else MisroutePolicy.NRG
-            )
+            policy = MisroutePolicy.CRG if at_source_router else MisroutePolicy.NRG
         if policy is MisroutePolicy.CRG:
             # Inlined _global_candidates CRG fast path (memoized list).
             cache_key = (router.router_id, pkt.src_group, pkt.dst_group)
@@ -319,9 +317,7 @@ class InTransitAdaptiveRouting(RoutingMechanism):
             # Intermediate group: OLM local misrouting of the hop towards
             # the gateway of the destination group.
             self._rng_used = False
-            alt = self._try_local_misroute(
-                pkt, router, min_port, min_vc, gw_pos
-            )
+            alt = self._try_local_misroute(pkt, router, min_port, min_vc, gw_pos)
             self.last_decide_pure = not self._rng_used
             if alt is not None:
                 return alt

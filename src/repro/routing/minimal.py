@@ -59,9 +59,7 @@ class MinimalRouting(RoutingMechanism):
             if pos == gw_pos:
                 out_port = self._gw_port[delta]
             else:
-                out_port = self._first_local + (
-                    gw_pos if gw_pos < pos else gw_pos - 1
-                )
+                out_port = self._first_local + (gw_pos if gw_pos < pos else gw_pos - 1)
         if out_port >= self._first_global:
             vc = pkt.global_hops
             if vc >= self.n_global_vcs:

@@ -54,10 +54,7 @@ class ObliviousValiantRouting(RoutingMechanism):
         topo = self.topo
         if self.variant == "crg":
             offsets = topo.global_neighbor_groups(router.pos)
-            groups = [
-                (router.group + off) % topo.groups
-                for off in offsets
-            ]
+            groups = [(router.group + off) % topo.groups for off in offsets]
             groups = [g for g in groups if g != pkt.dst_group]
             if not groups:
                 return -1

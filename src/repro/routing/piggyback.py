@@ -56,9 +56,7 @@ class PiggybackGroupState:
         self.psize = sim.config.traffic.packet_size
         self.t_global = sim.config.pb_threshold_global * self.psize
         a = sim.topo.a
-        self._routers = [
-            sim.routers[sim.topo.router_id(group, i)] for i in range(a)
-        ]
+        self._routers = [sim.routers[sim.topo.router_id(group, i)] for i in range(a)]
         self._snap_time = -1
         self._snap: list[list[int]] = [[] for _ in range(a)]
         self._snap_mean: list[float] = [0.0] * a
@@ -76,9 +74,7 @@ class PiggybackGroupState:
         mean = sum(occs) / len(occs)
         return occs[j] > mean + self.t_global
 
-    def saturated_global(
-        self, owner_pos: int, port_j: int, querier_pos: int
-    ) -> bool:
+    def saturated_global(self, owner_pos: int, port_j: int, querier_pos: int) -> bool:
         """Saturation belief for global port *port_j* of *owner_pos*."""
         if querier_pos == owner_pos:
             occs = self._routers[owner_pos].global_port_occupancies()
@@ -143,9 +139,7 @@ class PiggybackRouting(RoutingMechanism):
         state = self.groups_state[router.group]
         if self.variant == "crg":
             offsets = topo.global_neighbor_groups(router.pos)
-            groups = [
-                (router.group + off) % topo.groups for off in offsets
-            ]
+            groups = [(router.group + off) % topo.groups for off in offsets]
             groups = [g for g in groups if g != pkt.dst_group]
         else:
             groups = []

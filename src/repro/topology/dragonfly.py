@@ -170,19 +170,17 @@ class DragonflyTopology:
             raise TopologyError("no local port to self")
         if not (0 <= i < self.a and 0 <= target < self.a):
             raise TopologyError(f"router index out of range: {i}, {target}")
-        l = target if target < i else target - 1
-        return self.first_local_port + l
+        slot = target if target < i else target - 1
+        return self.first_local_port + slot
 
     def local_port_target(self, i: int, port: int) -> int:
         """Router-in-group reached from router *i* through local *port*."""
         if not self.is_local_port(port):
             raise TopologyError(f"port {port} is not a local port")
-        l = port - self.first_local_port
-        return l if l < i else l + 1
+        slot = port - self.first_local_port
+        return slot if slot < i else slot + 1
 
-    def global_port_peer(
-        self, group: int, i: int, port: int
-    ) -> tuple[int, int, int]:
+    def global_port_peer(self, group: int, i: int, port: int) -> tuple[int, int, int]:
         """(peer_group, peer_router_in_group, peer_port) over global *port*."""
         if not self.is_global_port(port):
             raise TopologyError(f"port {port} is not a global port")

@@ -25,9 +25,7 @@ class Hop(NamedTuple):
     kind: str  # 'local' | 'global' | 'node' (final ejection hop)
 
 
-def minimal_path(
-    topo: DragonflyTopology, src_node: int, dst_node: int
-) -> list[Hop]:
+def minimal_path(topo: DragonflyTopology, src_node: int, dst_node: int) -> list[Hop]:
     """Hop list of the unique minimal path between two nodes.
 
     Includes the final ejection hop to the destination node, so the length
@@ -51,17 +49,13 @@ def minimal_path(
         g, i = dst.group, topo.landing_router(src.group, dst.group)
 
     if i != dst.router:
-        hops.append(
-            Hop(topo.router_id(g, i), topo.local_port(i, dst.router), "local")
-        )
+        hops.append(Hop(topo.router_id(g, i), topo.local_port(i, dst.router), "local"))
         i = dst.router
     hops.append(Hop(topo.router_id(g, i), dst.node, "node"))
     return hops
 
 
-def minimal_path_length(
-    topo: DragonflyTopology, src_node: int, dst_node: int
-) -> int:
+def minimal_path_length(topo: DragonflyTopology, src_node: int, dst_node: int) -> int:
     """Number of router-to-router hops on the minimal path (0..3)."""
     return len(minimal_path(topo, src_node, dst_node)) - 1
 
@@ -116,9 +110,7 @@ def valiant_path(
         i = topo.landing_router(g, dst.group)
         g = dst.group
     if i != dst.router:
-        hops.append(
-            Hop(topo.router_id(g, i), topo.local_port(i, dst.router), "local")
-        )
+        hops.append(Hop(topo.router_id(g, i), topo.local_port(i, dst.router), "local"))
         i = dst.router
     hops.append(Hop(topo.router_id(g, i), dst.node, "node"))
     return hops

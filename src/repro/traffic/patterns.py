@@ -33,9 +33,7 @@ def pattern_name(conf: TrafficConfig) -> str:
     try:
         return _STATIC_PATTERN_NAMES[conf.pattern]
     except KeyError:
-        raise ConfigurationError(
-            f"unknown traffic pattern {conf.pattern!r}"
-        ) from None
+        raise ConfigurationError(f"unknown traffic pattern {conf.pattern!r}") from None
 
 
 class UniformTraffic(TrafficPattern):
@@ -89,9 +87,7 @@ class AdversarialConsecutiveTraffic(TrafficPattern):
 
     name = "ADVc"
 
-    def __init__(
-        self, topo: DragonflyTopology, bottleneck: int | None = None
-    ) -> None:
+    def __init__(self, topo: DragonflyTopology, bottleneck: int | None = None) -> None:
         super().__init__(topo)
         if bottleneck is None and topo.config.arrangement != "palmtree":
             bottleneck = topo.a - 1

@@ -30,12 +30,7 @@ def ascii_plot(
     series names.  Points outside a finite range are dropped.  Returns the
     rendered multi-line string (does not print).
     """
-    pts = [
-        (x, y)
-        for s in series.values()
-        for x, y in s
-        if _finite(x) and _finite(y)
-    ]
+    pts = [(x, y) for s in series.values() for x, y in s if _finite(x) and _finite(y)]
     if not pts:
         return (title or "") + "\n(no finite data points)"
     xs = [p[0] for p in pts]

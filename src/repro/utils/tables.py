@@ -36,9 +36,7 @@ def format_table(
     str_rows = [[_fmt_cell(c, ndigits) for c in row] for row in rows]
     for row in str_rows:
         if len(row) != len(headers):
-            raise ValueError(
-                f"row width {len(row)} != header width {len(headers)}"
-            )
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
     widths = [
         max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
         else len(headers[i])

@@ -71,9 +71,7 @@ class TestSimulationResult:
     def test_group_injections_slices(self, result):
         a = result.config.network.a
         groups = result.config.network.groups
-        total = sum(
-            sum(result.group_injections(g)) for g in range(groups)
-        )
+        total = sum(sum(result.group_injections(g)) for g in range(groups))
         assert total == sum(result.injected_per_router)
         assert len(result.group_injections(0)) == a
 
@@ -83,9 +81,7 @@ class TestSimulationResult:
         assert "offered=" in s and "accepted=" in s
 
     def test_fairness_computed_on_construction(self, result):
-        assert result.fairness.min_injected == min(
-            result.injected_per_router
-        )
+        assert result.fairness.min_injected == min(result.injected_per_router)
 
     def test_breakdown_components_sum_to_latency(self, result):
         total = sum(result.latency_breakdown.values())

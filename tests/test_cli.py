@@ -40,9 +40,7 @@ class TestParser:
 
     def test_plan_rejects_unknown_routing(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["plan", "--loads", "0.1", "--routings", "warp"]
-            )
+            build_parser().parse_args(["plan", "--loads", "0.1", "--routings", "warp"])
 
 
 class TestCommands:
@@ -154,6 +152,184 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "executed 1 cells" in out
         assert "min under UN" in out
+
+    def test_plan_dry_run_prints_digest_without_running(self, capsys):
+        rc = main(_fast(["plan", "--preset", "tiny", "--loads", "0.1", "0.2"]))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plan digest:" in out
+        assert "2 cells" in out
+        assert "dry run" in out
+        # Nothing executed: no result tables.
+        assert "executed" not in out
+
+    def test_plan_show_reports_shard_ownership(self, capsys):
+        rc = main(
+            _fast(
+                [
+                    "plan",
+                    "--preset",
+                    "tiny",
+                    "--loads",
+                    "0.1",
+                    "0.2",
+                    "--shard",
+                    "0/2",
+                ]
+            )
+        )
+        assert rc == 0
+        assert "shard 0/2: owns 1 of 2" in capsys.readouterr().out
+
+    def test_plan_shard_run_merge_status_round_trip(self, capsys, tmp_path):
+        grid = [
+            "--preset",
+            "tiny",
+            "--routings",
+            "min",
+            "obl-crg",
+            "--loads",
+            "0.1",
+            "0.2",
+        ]
+        for k in range(2):
+            shard = ["--shard", f"{k}/2", "--cache", str(tmp_path / f"s{k}")]
+            rc = main(_fast(["plan", "run"] + grid) + shard + ["--jobs", "1"])
+            assert rc == 0
+            assert "shard manifest:" in capsys.readouterr().out
+        rc = main(
+            [
+                "plan",
+                "merge",
+                str(tmp_path / "s0"),
+                str(tmp_path / "s1"),
+                "--out",
+                str(tmp_path / "merged"),
+            ]
+        )
+        assert rc == 0
+        assert "(complete)" in capsys.readouterr().out
+        rc = main(
+            _fast(["plan", "status"] + grid)
+            + ["--cache", str(tmp_path / "merged")]
+        )
+        assert rc == 0
+        assert "4/4 cells present" in capsys.readouterr().out
+        # An incomplete store reports the gap and exits non-zero.
+        rc = main(_fast(["plan", "status"] + grid) + ["--cache", str(tmp_path / "s0")])
+        assert rc == 1
+        assert "missing" in capsys.readouterr().out
+        # An entry no consumer could load (foreign store version) counts
+        # as missing too: status must agree with the offline contract.
+        victim = next(
+            p for p in (tmp_path / "merged").glob("*.json") if p.name != "shard.json"
+        )
+        victim.write_text('{"version": 99, "result": {}}')
+        rc = main(_fast(["plan", "status"] + grid) + ["--cache", str(tmp_path / "merged")])
+        assert rc == 1
+
+    def test_plan_merge_missing_shard_fails(self, capsys, tmp_path):
+        rc = main(
+            _fast(
+                [
+                    "plan",
+                    "run",
+                    "--preset",
+                    "tiny",
+                    "--loads",
+                    "0.1",
+                    "--shard",
+                    "0/2",
+                    "--cache",
+                    str(tmp_path / "s0"),
+                    "--jobs",
+                    "1",
+                ]
+            )
+        )
+        assert rc == 0
+        rc = main(
+            [
+                "plan",
+                "merge",
+                str(tmp_path / "s0"),
+                "--out",
+                str(tmp_path / "merged"),
+            ]
+        )
+        assert rc == 2
+        assert "missing shard" in capsys.readouterr().err
+
+    def test_plan_bad_shard_spec_fails_cleanly(self, capsys, tmp_path):
+        rc = main(
+            _fast(
+                [
+                    "plan",
+                    "run",
+                    "--preset",
+                    "tiny",
+                    "--loads",
+                    "0.1",
+                    "--shard",
+                    "2/2",
+                    "--cache",
+                    str(tmp_path),
+                ]
+            )
+        )
+        assert rc == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_figures_offline_from_store(self, capsys, tmp_path):
+        grid = ["--preset", "tiny", "--routings", "min", "--loads", "0.1"]
+        assert (
+            main(
+                _fast(["plan", "run"] + grid)
+                + ["--cache", str(tmp_path), "--jobs", "1"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(
+            _fast(
+                [
+                    "figures",
+                    "--preset",
+                    "tiny",
+                    "--routings",
+                    "min",
+                    "--loads",
+                    "0.1",
+                    "--cache",
+                    str(tmp_path),
+                    "--offline",
+                ]
+            )
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "average packet latency" in out
+        assert "accepted load" in out
+
+    def test_figures_offline_cold_store_fails(self, capsys, tmp_path):
+        rc = main(
+            _fast(
+                [
+                    "figures",
+                    "--preset",
+                    "tiny",
+                    "--routings",
+                    "min",
+                    "--loads",
+                    "0.1",
+                    "--cache",
+                    str(tmp_path),
+                    "--offline",
+                ]
+            )
+        )
+        assert rc == 2
+        assert "missing" in capsys.readouterr().err
 
     def test_no_priority_flag(self, capsys):
         rc = main(

@@ -18,7 +18,7 @@ from repro.analysis.paper_reference import (
     min_throughput_bound,
 )
 from repro.analysis.tables import fairness_table, format_fairness_table
-from repro.config import NetworkConfig, small_config, tiny_config
+from repro.config import NetworkConfig, small_config
 from repro.core.experiment import (
     average_results,
     run_load_sweep,
@@ -29,9 +29,7 @@ from repro.errors import AnalysisError
 
 
 def quick_cfg(**kw):
-    return small_config(
-        warmup_cycles=200, measure_cycles=600, **kw
-    )
+    return small_config(warmup_cycles=200, measure_cycles=600, **kw)
 
 
 class TestRunPoint:
@@ -41,9 +39,7 @@ class TestRunPoint:
         assert 0 < pt.accepted_load <= 0.3
 
     def test_multi_seed_averages(self):
-        pt = run_point(
-            quick_cfg(routing="min").with_traffic(load=0.2), seeds=2
-        )
+        pt = run_point(quick_cfg(routing="min").with_traffic(load=0.2), seeds=2)
         assert pt.seeds == 2
         assert pt.avg_latency > 0
 
@@ -63,9 +59,7 @@ class TestAverageResults:
     def test_fractional_min_inj_like_paper(self):
         """Averaged per-router counts may be fractional (paper: 31.67)."""
         r1 = run_simulation(quick_cfg(routing="min").with_traffic(load=0.2))
-        r2 = run_simulation(
-            quick_cfg(routing="min", seed=7).with_traffic(load=0.2)
-        )
+        r2 = run_simulation(quick_cfg(routing="min", seed=7).with_traffic(load=0.2))
         pt = average_results([r1, r2])
         assert pt.seeds == 2
         assert pt.fairness.mean_injected > 0
@@ -77,9 +71,7 @@ class TestAverageResults:
 
 class TestLoadSweep:
     def test_sweep_structure(self):
-        sweep = run_load_sweep(
-            quick_cfg(routing="min"), [0.1, 0.3]
-        )
+        sweep = run_load_sweep(quick_cfg(routing="min"), [0.1, 0.3])
         assert len(sweep.points) == 2
         assert sweep.routing == "min"
         assert sweep.pattern == "UN"
@@ -100,9 +92,7 @@ class TestPaperReference:
 
     def test_min_bound_values(self):
         net = NetworkConfig(p=6, a=12, h=6)
-        assert min_throughput_bound(net, "adversarial") == pytest.approx(
-            1 / 72
-        )
+        assert min_throughput_bound(net, "adversarial") == pytest.approx(1 / 72)
         assert min_throughput_bound(net, "advc") == pytest.approx(6 / 72)
         assert min_throughput_bound(net, "uniform") == 1.0
 
@@ -130,9 +120,7 @@ class TestAnalysisGenerators:
 
     def test_figure4(self):
         base = quick_cfg()
-        inj = figure4_injections(
-            base, mechanisms=("obl-crg",), load=0.3
-        )
+        inj = figure4_injections(base, mechanisms=("obl-crg",), load=0.3)
         assert len(inj["obl-crg"]) == base.network.a
         text = format_figure4(inj, title="fig4")
         assert "bottleneck" in text

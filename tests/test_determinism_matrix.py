@@ -66,9 +66,5 @@ def test_repeated_runs_identical(routing, priority):
 @pytest.mark.parametrize("routing", ROUTINGS)
 def test_uniform_runs_identical(routing):
     """Same guard under uniform traffic (different congestion geometry)."""
-    cfg = tiny_config(routing=routing).with_traffic(
-        pattern="uniform", load=0.5
-    )
-    assert _result_fields(run_simulation(cfg)) == _result_fields(
-        run_simulation(cfg)
-    )
+    cfg = tiny_config(routing=routing).with_traffic(pattern="uniform", load=0.5)
+    assert _result_fields(run_simulation(cfg)) == _result_fields(run_simulation(cfg))

@@ -92,9 +92,7 @@ class TestPlan:
 
 class TestSerialization:
     def test_config_round_trip(self):
-        cfg = quick_cfg(routing="in-trns-mm").with_traffic(
-            pattern="advc", load=0.35
-        )
+        cfg = quick_cfg(routing="in-trns-mm").with_traffic(pattern="advc", load=0.35)
         assert config_from_dict(config_to_dict(cfg)) == cfg
         assert config_digest(cfg) == config_digest(
             config_from_dict(config_to_dict(cfg))
@@ -103,9 +101,7 @@ class TestSerialization:
     def test_digest_distinguishes_configs(self):
         cfg = quick_cfg()
         assert config_digest(cfg) != config_digest(cfg.with_(seed=2))
-        assert config_digest(cfg) != config_digest(
-            cfg.with_traffic(load=0.31)
-        )
+        assert config_digest(cfg) != config_digest(cfg.with_traffic(load=0.31))
 
     def test_result_round_trip(self):
         r = run_simulation(quick_cfg().with_traffic(load=0.3))
@@ -158,9 +154,7 @@ class TestResultCache:
 
     def test_partial_miss_computes_only_new_cells(self, tmp_path):
         cfg = quick_cfg(routing="min")
-        Runner(jobs=1, store=tmp_path).run(
-            ExperimentPlan.sweep(cfg, [0.2], seeds=1)
-        )
+        Runner(jobs=1, store=tmp_path).run(ExperimentPlan.sweep(cfg, [0.2], seeds=1))
         res = Runner(jobs=1, store=tmp_path).run(
             ExperimentPlan.sweep(cfg, [0.2, 0.4], seeds=1)
         )
@@ -188,9 +182,7 @@ class TestResultCache:
     def test_store_len(self, tmp_path):
         store = ResultStore(tmp_path)
         assert len(store) == 0
-        Runner(jobs=1, store=store).run(
-            ExperimentPlan.point(quick_cfg(), seeds=2)
-        )
+        Runner(jobs=1, store=store).run(ExperimentPlan.point(quick_cfg(), seeds=2))
         assert len(store) == 2
 
 
@@ -215,9 +207,7 @@ class TestAverageResultsEdgeCases:
 
     def test_mismatched_breakdown_keys_raise(self):
         r = run_simulation(quick_cfg().with_traffic(load=0.3))
-        other = dataclasses.replace(
-            r, latency_breakdown={"base": 1.0}
-        )
+        other = dataclasses.replace(r, latency_breakdown={"base": 1.0})
         with pytest.raises(AnalysisError):
             average_results([r, other])
 

@@ -83,9 +83,7 @@ class TestSelectWinner:
 
     def test_injection_granted_when_no_transit(self):
         inj = self._c(2)
-        win = select_winner(
-            [inj], -1, 16, transit_priority=True, injection_boundary=4
-        )
+        win = select_winner([inj], -1, 16, transit_priority=True, injection_boundary=4)
         assert win is inj
 
     def test_round_robin_rotates(self):
@@ -161,9 +159,7 @@ class TestSelectWinner:
         """A lone injection candidate wins when no transit competes, even
         under transit priority (the mask lives in the router, not here)."""
         inj = self._c(0)
-        win = select_winner(
-            [inj], 7, 16, transit_priority=True, injection_boundary=4
-        )
+        win = select_winner([inj], 7, 16, transit_priority=True, injection_boundary=4)
         assert win is inj
 
     def test_priority_ignores_rotation_distance(self):

@@ -48,8 +48,7 @@ class TestBasicDelivery:
         res = sim.run()
         b = res.latency_breakdown
         assert res.avg_latency == pytest.approx(
-            b["base"] + b["injection"] + b["local"] + b["global"]
-            + b["misroute"],
+            b["base"] + b["injection"] + b["local"] + b["global"] + b["misroute"],
             rel=1e-9,
         )
         # queueing negligible at 1% load
@@ -57,8 +56,7 @@ class TestBasicDelivery:
         assert b["misroute"] == 0.0  # MIN never misroutes
 
     def test_latency_decomposition_exact_under_congestion(self):
-        cfg = small_config(routing="in-trns-mm", warmup_cycles=200,
-                           measure_cycles=1200)
+        cfg = small_config(routing="in-trns-mm", warmup_cycles=200, measure_cycles=1200)
         cfg = cfg.with_traffic(pattern="advc", load=0.5)
         # check_decomposition raises on any per-packet mismatch
         Simulation(cfg, check_decomposition=True).run()
@@ -66,8 +64,7 @@ class TestBasicDelivery:
 
 class TestInjectionCounting:
     def test_injections_counted_in_window_only(self):
-        cfg = small_config(routing="min", warmup_cycles=1000,
-                           measure_cycles=1000)
+        cfg = small_config(routing="min", warmup_cycles=1000, measure_cycles=1000)
         cfg = cfg.with_traffic(pattern="uniform", load=0.2)
         sim = Simulation(cfg)
         res = sim.run()
@@ -75,8 +72,7 @@ class TestInjectionCounting:
         assert 0 < window_inj < sim.stats.total_injected
 
     def test_every_router_injects_under_uniform(self):
-        cfg = small_config(routing="min", warmup_cycles=200,
-                           measure_cycles=2000)
+        cfg = small_config(routing="min", warmup_cycles=200, measure_cycles=2000)
         cfg = cfg.with_traffic(pattern="uniform", load=0.3)
         res = Simulation(cfg).run()
         assert all(c > 0 for c in res.injected_per_router)
@@ -92,10 +88,9 @@ class TestTransitPriority:
     def test_priority_starves_bottleneck_under_advc_min(self):
         """Under MIN/ADVc the bottleneck router is visibly depressed with
         the priority and not the *most* depressed without it."""
-        base = small_config(routing="min", warmup_cycles=800,
-                            measure_cycles=2000).with_traffic(
-            pattern="advc", load=0.4
-        )
+        base = small_config(
+            routing="min", warmup_cycles=800, measure_cycles=2000
+        ).with_traffic(pattern="advc", load=0.4)
         a = base.network.a
         with_prio = Simulation(base).run()
         g0 = with_prio.group_injections(0)

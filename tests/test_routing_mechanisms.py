@@ -46,9 +46,7 @@ class TestFactory:
         assert isinstance(make_routing("min", sim), MinimalRouting)
         assert isinstance(make_routing("obl-crg", sim), ObliviousValiantRouting)
         assert isinstance(make_routing("src-rrg", sim), PiggybackRouting)
-        assert isinstance(
-            make_routing("in-trns-mm", sim), InTransitAdaptiveRouting
-        )
+        assert isinstance(make_routing("in-trns-mm", sim), InTransitAdaptiveRouting)
 
 
 class TestMinimal:
@@ -86,9 +84,7 @@ class TestPiggyback:
         stays close to MIN (only residual misrouting from transient
         occupancy fluctuations)."""
         _s, res = run("src-rrg", load=0.3)
-        assert res.latency_breakdown["misroute"] < 0.1 * (
-            res.latency_breakdown["base"]
-        )
+        assert res.latency_breakdown["misroute"] < 0.1 * (res.latency_breakdown["base"])
 
     def test_pb_diverts_under_adv(self):
         _s, res = run("src-crg", pattern="adversarial", load=0.4)
@@ -110,25 +106,18 @@ class TestPiggyback:
 
 
 class TestInTransit:
-    @pytest.mark.parametrize(
-        "mech", ["in-trns-rrg", "in-trns-crg", "in-trns-mm"]
-    )
+    @pytest.mark.parametrize("mech", ["in-trns-rrg", "in-trns-crg", "in-trns-mm"])
     def test_low_load_behaves_minimal(self, mech):
         """Below the trigger the mechanism is as fast as MIN."""
         _s1, adaptive = run(mech, load=0.1)
         _s2, minimal = run("min", load=0.1)
-        assert adaptive.avg_latency == pytest.approx(
-            minimal.avg_latency, rel=0.1
-        )
+        assert adaptive.avg_latency == pytest.approx(minimal.avg_latency, rel=0.1)
         assert adaptive.latency_breakdown["misroute"] < 2.0
 
     def test_misroutes_under_advc(self):
         _s, res = run("in-trns-mm", pattern="advc", load=0.45)
         assert res.latency_breakdown["misroute"] > 5.0
-        cap = (
-            res.config.network.h
-            / (res.config.network.a * res.config.network.p)
-        )
+        cap = res.config.network.h / (res.config.network.a * res.config.network.p)
         assert res.accepted_load > cap * 1.2
 
     def test_best_throughput_under_advc(self):

@@ -85,11 +85,7 @@ class TestRandom:
     def test_seed_reproducible(self):
         a = RandomArrangement(4, 2, seed=5)
         b = RandomArrangement(4, 2, seed=5)
-        assert all(
-            a.offset(i, j) == b.offset(i, j)
-            for i in range(4)
-            for j in range(2)
-        )
+        assert all(a.offset(i, j) == b.offset(i, j) for i in range(4) for j in range(2))
 
     def test_seeds_differ(self):
         tables = set()
@@ -113,9 +109,7 @@ class TestQueries:
 
     def test_factory(self):
         assert isinstance(make_arrangement("palmtree", 4, 2), PalmtreeArrangement)
-        assert isinstance(
-            make_arrangement("consecutive", 4, 2), ConsecutiveArrangement
-        )
+        assert isinstance(make_arrangement("consecutive", 4, 2), ConsecutiveArrangement)
         assert isinstance(make_arrangement("random", 4, 2), RandomArrangement)
         with pytest.raises(TopologyError):
             make_arrangement("moebius", 4, 2)

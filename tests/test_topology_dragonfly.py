@@ -32,8 +32,7 @@ class TestShape:
         assert topo.first_local_port == 2
         assert topo.first_global_port == 5
         kinds = topo.port_kind
-        assert kinds == ["node", "node", "local", "local", "local",
-                         "global", "global"]
+        assert kinds == ["node", "node", "local", "local", "local", "global", "global"]
 
     def test_paper_radix(self, paper_topo):
         # Table I: 23 ports (6 global, 6 injection, 11 local)
@@ -147,9 +146,7 @@ class TestGateways:
         assert topo.advc_offsets() == [1, 2]
 
     def test_advc_offsets_random_arrangement(self):
-        t = DragonflyTopology(
-            NetworkConfig(p=2, a=4, h=2, arrangement="random")
-        )
+        t = DragonflyTopology(NetworkConfig(p=2, a=4, h=2, arrangement="random"))
         offs = t.advc_offsets(t.a - 1)
         # the returned offsets must be a valid single-owner set
         assert t.bottleneck_router(0, offs) == t.a - 1

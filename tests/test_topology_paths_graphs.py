@@ -118,9 +118,7 @@ class TestValiantPath:
         src, dst = 0, 40
         sr = topo.node_router(src)
         path = valiant_path(topo, src, dst, sr)
-        assert [h.kind for h in path] == [
-            h.kind for h in minimal_path(topo, src, dst)
-        ]
+        assert [h.kind for h in path] == [h.kind for h in minimal_path(topo, src, dst)]
 
 
 class TestGraphs:
@@ -144,9 +142,7 @@ class TestGraphs:
 
     def test_local_edges_count(self, topo):
         g = _ROUTER_GRAPH
-        locals_ = [
-            1 for _u, _v, d in g.edges(data=True) if d["kind"] == "local"
-        ]
+        locals_ = [1 for _u, _v, d in g.edges(data=True) if d["kind"] == "local"]
         expected = topo.groups * topo.a * (topo.a - 1) // 2
         assert len(locals_) == expected
 

@@ -96,9 +96,7 @@ class TestAdvc:
         assert t.bottleneck == topo.a - 1
 
     def test_works_with_random_arrangement(self):
-        topo = DragonflyTopology(
-            NetworkConfig(p=2, a=4, h=2, arrangement="random")
-        )
+        topo = DragonflyTopology(NetworkConfig(p=2, a=4, h=2, arrangement="random"))
         t = AdversarialConsecutiveTraffic(topo)
         # all offsets' gateways concentrate on the designated router
         assert topo.bottleneck_router(0, t.offsets) == t.bottleneck

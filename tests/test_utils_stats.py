@@ -121,9 +121,7 @@ class TestOnlineStats:
         s.extend(xs)
         assert s.n == len(xs)
         assert s.mean == pytest.approx(statistics.fmean(xs), rel=1e-9, abs=1e-6)
-        assert s.std == pytest.approx(
-            statistics.pstdev(xs), rel=1e-6, abs=1e-4
-        )
+        assert s.std == pytest.approx(statistics.pstdev(xs), rel=1e-6, abs=1e-4)
         assert s.min == min(xs)
         assert s.max == max(xs)
 
