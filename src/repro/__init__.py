@@ -21,6 +21,7 @@ reproduction harness.
 """
 
 from repro.config import (
+    JobSpec,
     NetworkConfig,
     RouterConfig,
     SimulationConfig,
@@ -43,16 +44,28 @@ from repro.errors import (
     AnalysisError,
     ConfigurationError,
     FlowControlError,
+    OracleError,
     ReproError,
     RoutingError,
     SimulationError,
     TopologyError,
 )
 from repro.exec import ExperimentPlan, PlanResult, ResultStore, Runner, Shard
-from repro.metrics import FairnessMetrics, fairness_from_counts
+from repro.metrics import (
+    FairnessMetrics,
+    OracleReport,
+    SimOracle,
+    fairness_from_counts,
+)
 from repro.routing import ROUTING_NAMES
 from repro.topology import DragonflyTopology
-from repro.traffic import pattern_name
+from repro.traffic import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    pattern_name,
+    scenario_names,
+)
 
 __version__ = "1.0.0"
 
@@ -63,8 +76,11 @@ __all__ = [
     "ExperimentPlan",
     "FairnessMetrics",
     "FlowControlError",
+    "JobSpec",
     "LoadSweepResult",
     "NetworkConfig",
+    "OracleError",
+    "OracleReport",
     "PlanResult",
     "ROUTING_NAMES",
     "ReproError",
@@ -72,7 +88,10 @@ __all__ = [
     "RouterConfig",
     "RoutingError",
     "Runner",
+    "SCENARIOS",
+    "Scenario",
     "Shard",
+    "SimOracle",
     "Simulation",
     "SimulationConfig",
     "SimulationError",
@@ -81,12 +100,14 @@ __all__ = [
     "TopologyError",
     "TrafficConfig",
     "fairness_from_counts",
+    "get_scenario",
     "medium_config",
     "paper_config",
     "pattern_name",
     "run_load_sweep",
     "run_point",
     "run_simulation",
+    "scenario_names",
     "small_config",
     "tiny_config",
 ]

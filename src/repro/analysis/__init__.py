@@ -13,6 +13,11 @@ from repro.analysis.figures import (
     format_figure3,
     format_figure4,
 )
+from repro.analysis.interference import (
+    interference_report,
+    job_router_ids,
+    per_job_counts,
+)
 from repro.analysis.tables import fairness_table, format_fairness_table
 
 __all__ = [
@@ -26,5 +31,8 @@ __all__ = [
     "format_figure2",
     "format_figure3",
     "format_figure4",
+    "interference_report",
+    "job_router_ids",
     "min_throughput_bound",
+    "per_job_counts",
 ]

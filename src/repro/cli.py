@@ -15,6 +15,14 @@ Show the fairness profile of one group (paper Figure 4 style)::
 
     python -m repro.cli fairness --pattern advc --load 0.4 --no-priority
 
+List the registered workload scenarios, then sweep one with the
+simulation oracle auditing every cell::
+
+    python -m repro.cli scenarios
+    python -m repro.cli scenarios multi_job_interference
+    python -m repro.cli plan run --scenario multi_job_interference \
+        --routings min in-trns-mm --oracle
+
 Profile the engine hot path under one configuration (perf workflow)::
 
     python -m repro.cli profile --routing in-trns-mm --pattern advc \
@@ -48,7 +56,7 @@ from collections.abc import Sequence
 
 from repro.analysis.figures import figure2_sweeps, format_figure2
 from repro.config import (
-    PATTERN_CHOICES,
+    BASE_PATTERN_CHOICES,
     SimulationConfig,
     medium_config,
     paper_config,
@@ -61,6 +69,12 @@ from repro.exec.plan import ExperimentPlan, Shard
 from repro.exec.runner import Runner
 from repro.exec.store import ResultStore
 from repro.routing.factory import ROUTING_NAMES
+from repro.traffic.scenarios import (
+    SCENARIOS,
+    describe_scenario,
+    get_scenario,
+    scenario_names,
+)
 from repro.utils.profiling import PROFILE_SORTS, profile_simulation
 from repro.utils.tables import format_table
 
@@ -73,7 +87,9 @@ _PRESETS = {
     "paper": paper_config,
 }
 
-_PATTERNS = list(PATTERN_CHOICES)
+# Patterns expressible through flags alone; the scenario layers (phased,
+# multi_job, burst/ramp modifiers) are reached via --scenario.
+_PATTERNS = list(BASE_PATTERN_CHOICES)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +116,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sp.add_argument("--warmup", type=int, default=None)
         sp.add_argument("--measure", type=int, default=None)
+        sp.add_argument(
+            "--oracle",
+            action="store_true",
+            help="audit each run with the simulation oracle (drain the "
+            "network, verify conservation invariants, record the verdict)",
+        )
+
+    def scenario_opt(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--scenario",
+            choices=scenario_names(),
+            default=None,
+            help="use a registered workload scenario instead of --pattern "
+            "(see `repro scenarios`)",
+        )
 
     def common(sp: argparse.ArgumentParser) -> None:
         common_base(sp)
@@ -109,7 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
             default="min",
             help="routing mechanism (paper legend name)",
         )
-        sp.add_argument("--pattern", default="uniform", choices=_PATTERNS)
+        # Default None so an explicit --pattern can be rejected when it
+        # would be silently overridden by --scenario.
+        sp.add_argument(
+            "--pattern",
+            default=None,
+            choices=_PATTERNS,
+            help="traffic pattern (default: uniform; exclusive with --scenario)",
+        )
+        scenario_opt(sp)
 
     def exec_opts(sp: argparse.ArgumentParser) -> None:
         sp.add_argument(
@@ -199,9 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--patterns",
         nargs="+",
         choices=_PATTERNS,
-        default=["uniform"],
-        help="traffic patterns to cross",
+        default=None,
+        help="traffic patterns to cross (default: uniform; exclusive "
+        "with --scenario)",
     )
+    scenario_opt(plan_p)
     plan_p.add_argument("--loads", type=float, nargs="+", default=None)
     plan_p.add_argument("--seeds", type=int, default=1)
     plan_p.add_argument(
@@ -247,6 +288,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. a store merged from sharded CI runs)",
     )
 
+    scen_p = sub.add_parser(
+        "scenarios",
+        help="list the registered workload scenarios, or describe one",
+    )
+    scen_p.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="scenario to describe in detail (default: list all)",
+    )
+
     return p
 
 
@@ -258,12 +310,21 @@ def _base_config(args: argparse.Namespace) -> SimulationConfig:
         cfg = cfg.with_(warmup_cycles=args.warmup)
     if args.measure is not None:
         cfg = cfg.with_(measure_cycles=args.measure)
+    if getattr(args, "oracle", False):
+        cfg = cfg.with_(oracle=True)
     return cfg
 
 
 def _config(args: argparse.Namespace) -> SimulationConfig:
     cfg = _base_config(args).with_(routing=args.routing)
-    return cfg.with_traffic(pattern=args.pattern)
+    if getattr(args, "scenario", None):
+        if args.pattern is not None:
+            raise ReproError(
+                "--pattern and --scenario are mutually exclusive (the "
+                "scenario fixes the traffic)"
+            )
+        return get_scenario(args.scenario).apply(cfg)
+    return cfg.with_traffic(pattern=args.pattern or "uniform")
 
 
 def _sweep_table(sweep) -> str:
@@ -295,6 +356,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             "latency breakdown:",
             {k: round(v, 2) for k, v in result.latency_breakdown.items()},
         )
+        if result.oracle is not None:
+            state = "passed" if result.oracle["passed"] else "FAILED"
+            print(f"oracle: {state} ({len(result.oracle['checks'])} checks)")
         return 0
 
     if args.command == "profile":
@@ -313,7 +377,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         plan = ExperimentPlan.sweep(cfg, args.loads, seeds=args.seeds)
         res = Runner(jobs=args.jobs, store=args.cache).run(plan)
         print(_sweep_table(res.sweep(cfg, args.loads)))
-        return 0
+        return 1 if _print_oracle_verdicts(res) else 0
+
+    if args.command == "scenarios":
+        try:
+            if args.name:
+                print(describe_scenario(get_scenario(args.name)))
+            else:
+                print(f"{len(SCENARIOS)} registered scenarios:")
+                for name in scenario_names():
+                    print(f"  {name:24s} {SCENARIOS[name].description}")
+                print(
+                    "use `repro scenarios NAME` for details; run one with "
+                    "`repro sweep --scenario NAME ...` or "
+                    "`repro plan run --scenario NAME ...`"
+                )
+            return 0
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "fairness":
         cfg = _config(args)
@@ -325,7 +407,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 [[f"R{i}", c] for i, c in enumerate(counts)],
                 title=(
                     f"group {args.group} injections "
-                    f"({cfg.routing}, {args.pattern}@{args.load}, "
+                    f"({cfg.routing}, {cfg.traffic.pattern}@{args.load}, "
                     f"priority={'off' if args.no_priority else 'on'})"
                 ),
             )
@@ -354,18 +436,58 @@ def main(argv: Sequence[str] | None = None) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
-def _grid_plan(args: argparse.Namespace) -> tuple[SimulationConfig, ExperimentPlan]:
-    if not args.loads:
-        raise ReproError(f"plan {args.action} needs --loads")
+def _print_oracle_verdicts(res) -> int:
+    """Report per-cell oracle verdicts; returns the number of failures.
+
+    Failed verdicts can only come out of a store (a live oracle failure
+    raises mid-run), but a corrupted or adversarial cache must not pass
+    silently.
+    """
+    verdicts = res.oracle_verdicts()
+    if not verdicts:
+        return 0
+    ok = sum(1 for passed in verdicts.values() if passed)
+    print(f"oracle: {ok}/{len(verdicts)} audited cells passed")
+    for digest, passed in sorted(verdicts.items()):
+        if not passed:
+            print(f"  FAILED {digest[:12]}…")
+    return len(verdicts) - ok
+
+
+def _grid_plan(
+    args: argparse.Namespace,
+) -> tuple[SimulationConfig, ExperimentPlan, list[float], list[str] | None]:
+    """Build the plan a grid-shaped action describes.
+
+    Returns ``(base, plan, loads, patterns)``; ``patterns`` is ``None``
+    when a scenario fixes the traffic (the grid keeps the base's
+    pattern and the sweep tables group by routing only).
+    """
     base = _base_config(args)
+    patterns: list[str] | None = args.patterns
+    loads = args.loads
+    if getattr(args, "scenario", None):
+        if patterns is not None:
+            raise ReproError(
+                "--patterns and --scenario are mutually exclusive (the "
+                "scenario fixes the traffic)"
+            )
+        scenario = get_scenario(args.scenario)
+        base = scenario.apply(base)
+        if loads is None:
+            loads = list(scenario.loads)
+    elif patterns is None:
+        patterns = ["uniform"]
+    if not loads:
+        raise ReproError(f"plan {args.action} needs --loads")
     plan = ExperimentPlan.grid(
         base,
         routings=args.routings,
-        patterns=args.patterns,
-        loads=args.loads,
+        patterns=patterns,
+        loads=loads,
         seeds=args.seeds,
     )
-    return base, plan
+    return base, plan, loads, patterns
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -389,7 +511,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(f"covered cells: {len(man.plan_cells)} (complete)")
         return 0
 
-    base, plan = _grid_plan(args)
+    base, plan, loads, patterns = _grid_plan(args)
     shard = Shard.parse(args.shard) if args.shard else None
 
     if action == "show":
@@ -430,17 +552,19 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             f"({len(res.plan)} of {len(plan)} plan cells owned)"
         )
         print(f"shard manifest: {runner.store.manifest_path}")
-        return 0
+        return 1 if _print_oracle_verdicts(res) else 0
     print(
         f"executed {res.computed} cells with jobs={runner.jobs}"
         + (f", {res.cached} from cache" if args.cache else "")
     )
     for routing in args.routings:
-        for pattern in args.patterns:
-            cfg = base.with_(routing=routing).with_traffic(pattern=pattern)
+        for pattern in patterns if patterns is not None else [None]:
+            cfg = base.with_(routing=routing)
+            if pattern is not None:
+                cfg = cfg.with_traffic(pattern=pattern)
             print()
-            print(_sweep_table(res.sweep(cfg, args.loads)))
-    return 0
+            print(_sweep_table(res.sweep(cfg, loads)))
+    return 1 if _print_oracle_verdicts(res) else 0
 
 
 def _unique_cells(plan: ExperimentPlan):

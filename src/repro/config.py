@@ -18,11 +18,15 @@ fast unit tests.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "BASE_PATTERN_CHOICES",
+    "JobSpec",
+    "resolve_job_groups",
     "NetworkConfig",
     "PATTERN_CHOICES",
     "RouterConfig",
@@ -34,8 +38,8 @@ __all__ = [
     "tiny_config",
 ]
 
-#: valid ``TrafficConfig.pattern`` values (public: CLI choices etc.).
-PATTERN_CHOICES = (
+#: static single-phase patterns (legal inside ``phase_patterns``).
+BASE_PATTERN_CHOICES = (
     "uniform",
     "adversarial",
     "advc",
@@ -43,6 +47,102 @@ PATTERN_CHOICES = (
     "hotspot",
     "job",
 )
+
+#: valid ``TrafficConfig.pattern`` values (public: CLI choices etc.).
+#: ``phased`` switches between base patterns every ``phase_length`` cycles;
+#: ``multi_job`` places the ``jobs`` specs on disjoint group ranges.
+PATTERN_CHOICES = BASE_PATTERN_CHOICES + (
+    "phased",
+    "multi_job",
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job of a ``multi_job`` workload (see traffic.scenarios).
+
+    Attributes
+    ----------
+    first_group:
+        First group of the job's consecutive (wrapping) group range.
+    groups:
+        Number of consecutive groups the job occupies.
+    pattern:
+        Communication inside the job: ``"uniform"`` (uniform over the
+        job's nodes) or ``"adversarial"`` (group ``k`` of the job sends
+        to group ``k+1`` of the job, ADV-style).
+    load_scale:
+        Per-job thinning factor in ``(0, 1]`` applied on top of the
+        global offered load (1.0 = full load).
+    start_cycle:
+        The job is idle before this cycle (staggered start).
+    """
+
+    first_group: int = 0
+    groups: int = 2
+    pattern: str = "uniform"
+    load_scale: float = 1.0
+    start_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.first_group, int) or self.first_group < 0:
+            raise ConfigurationError(
+                f"job first_group must be an int >= 0, got {self.first_group!r}"
+            )
+        if not isinstance(self.groups, int) or self.groups < 1:
+            raise ConfigurationError(
+                f"job groups must be an int >= 1, got {self.groups!r}"
+            )
+        if self.pattern not in ("uniform", "adversarial"):
+            raise ConfigurationError(
+                f"job pattern must be 'uniform' or 'adversarial', "
+                f"got {self.pattern!r}"
+            )
+        if self.pattern == "adversarial" and self.groups < 2:
+            raise ConfigurationError("an adversarial job needs at least 2 groups")
+        if not (0.0 < self.load_scale <= 1.0):
+            raise ConfigurationError(
+                f"job load_scale must be in (0, 1], got {self.load_scale}"
+            )
+        if not isinstance(self.start_cycle, int) or self.start_cycle < 0:
+            raise ConfigurationError(
+                f"job start_cycle must be an int >= 0, got {self.start_cycle!r}"
+            )
+
+
+def resolve_job_groups(
+    jobs: Sequence[JobSpec], total_groups: int, nodes_per_group: int
+) -> list[list[int]]:
+    """Resolve and validate multi-job placement on a network shape.
+
+    Returns one (wrapped) group-id list per job; raises
+    :class:`repro.errors.ConfigurationError` when a job does not fit,
+    is too small to communicate, or overlaps another job.  Shared by
+    config cross-validation (which knows the shape but not the
+    topology) and :class:`repro.traffic.scenarios.MultiJobTraffic`.
+    """
+    claimed: dict[int, int] = {}
+    resolved: list[list[int]] = []
+    for idx, job in enumerate(jobs):
+        if job.groups > total_groups:
+            raise ConfigurationError(
+                f"job {idx} spans {job.groups} groups but the network "
+                f"has only {total_groups}"
+            )
+        if job.groups * nodes_per_group < 2:
+            raise ConfigurationError(
+                f"job {idx} has fewer than 2 nodes; it cannot communicate"
+            )
+        groups = [(job.first_group + k) % total_groups for k in range(job.groups)]
+        for g in groups:
+            if g in claimed:
+                raise ConfigurationError(
+                    f"jobs {claimed[g]} and {idx} both claim group {g}; "
+                    "multi_job jobs must occupy disjoint group ranges"
+                )
+            claimed[g] = idx
+        resolved.append(groups)
+    return resolved
 
 
 @dataclass(frozen=True)
@@ -222,6 +322,21 @@ class TrafficConfig:
         (default ``h + 1``, the paper's motivating case).
     hotspot_fraction:
         For ``"hotspot"``: fraction of traffic aimed at the hot node.
+    burst_on / burst_off:
+        On/off bursty injection: nodes generate for ``burst_on`` cycles,
+        stay silent for ``burst_off`` cycles, repeating.  Both zero (the
+        default) disables bursting; otherwise both must be positive.
+        Applies on top of any pattern.
+    ramp_cycles:
+        Ramped load: the effective injection probability rises linearly
+        from 0 to the configured ``load`` over the first ``ramp_cycles``
+        cycles (0 disables).  Applies on top of any pattern.
+    phase_patterns / phase_length:
+        For ``"phased"``: the base patterns cycled through, switching
+        every ``phase_length`` cycles.
+    jobs:
+        For ``"multi_job"``: one :class:`JobSpec` per job; jobs must
+        occupy disjoint group ranges.
     """
 
     pattern: str = "uniform"
@@ -230,6 +345,12 @@ class TrafficConfig:
     adv_offset: int = 1
     job_groups: int | None = None
     hotspot_fraction: float = 0.2
+    burst_on: int = 0
+    burst_off: int = 0
+    ramp_cycles: int = 0
+    phase_patterns: tuple[str, ...] = ()
+    phase_length: int = 0
+    jobs: tuple[JobSpec, ...] = ()
 
     _PATTERNS = PATTERN_CHOICES
 
@@ -255,6 +376,49 @@ class TrafficConfig:
             )
         if self.job_groups is not None and self.job_groups < 2:
             raise ConfigurationError("job_groups must be >= 2 (or None)")
+        self._validate_scenario_fields()
+
+    def _validate_scenario_fields(self) -> None:
+        # Normalise sequences (JSON round-trips deliver lists of dicts).
+        object.__setattr__(self, "phase_patterns", tuple(self.phase_patterns))
+        object.__setattr__(
+            self,
+            "jobs",
+            tuple(j if isinstance(j, JobSpec) else JobSpec(**j) for j in self.jobs),
+        )
+        for name in ("burst_on", "burst_off", "ramp_cycles"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v < 0:
+                raise ConfigurationError(f"{name} must be an int >= 0, got {v!r}")
+        if (self.burst_on > 0) != (self.burst_off > 0):
+            raise ConfigurationError(
+                "burst_on and burst_off must both be zero (no bursting) "
+                "or both positive (on/off windows)"
+            )
+        if self.pattern == "phased":
+            if not self.phase_patterns or self.phase_length < 1:
+                raise ConfigurationError(
+                    "pattern 'phased' needs non-empty phase_patterns and "
+                    "phase_length >= 1"
+                )
+            for p in self.phase_patterns:
+                if p not in BASE_PATTERN_CHOICES:
+                    raise ConfigurationError(
+                        f"phase pattern {p!r} must be one of "
+                        f"{BASE_PATTERN_CHOICES} (no nesting)"
+                    )
+        elif self.phase_patterns or self.phase_length:
+            raise ConfigurationError(
+                "phase_patterns/phase_length are only valid with "
+                "pattern 'phased'"
+            )
+        if self.pattern == "multi_job":
+            if not self.jobs:
+                raise ConfigurationError(
+                    "pattern 'multi_job' needs at least one JobSpec in jobs"
+                )
+        elif self.jobs:
+            raise ConfigurationError("jobs is only valid with pattern 'multi_job'")
 
 
 @dataclass(frozen=True)
@@ -287,6 +451,15 @@ class SimulationConfig:
         Watchdog: raise :class:`repro.errors.SimulationError` if packets
         are in flight but nothing is delivered or moved for this many
         cycles.
+    oracle:
+        Run the :class:`repro.metrics.oracle.SimOracle` alongside the
+        stats collector: after the measurement window the network is
+        drained and end-of-run conservation invariants (packet
+        conservation, credit balance, per-job closure) are verified,
+        raising :class:`repro.errors.OracleError` on any violation.
+        Draining changes ``in_flight_at_end``/``events_processed`` (never
+        the measurement-window metrics), so the flag is part of the
+        config digest.
     """
 
     network: NetworkConfig = field(default_factory=NetworkConfig)
@@ -301,6 +474,7 @@ class SimulationConfig:
     pb_threshold_global: int = 3
     pb_update_period: int = 8
     deadlock_cycles: int = 50_000
+    oracle: bool = False
 
     _ROUTINGS = (
         "min",
@@ -334,19 +508,34 @@ class SimulationConfig:
         if self.deadlock_cycles < 1000:
             raise ConfigurationError("deadlock_cycles must be >= 1000")
         # Cross-checks: the traffic pattern must fit the topology.
-        if self.traffic.pattern == "adversarial":
+        patterns_used = (
+            self.traffic.phase_patterns
+            if self.traffic.pattern == "phased"
+            else (self.traffic.pattern,)
+        )
+        if "adversarial" in patterns_used:
             if abs(self.traffic.adv_offset) >= self.network.groups:
                 raise ConfigurationError(
                     "adv_offset must be smaller than the number of groups"
                 )
-        if self.traffic.pattern == "job":
+        if "job" in patterns_used:
             jg = self.traffic.job_groups or (self.network.h + 1)
             if jg > self.network.groups:
                 raise ConfigurationError(
                     f"job_groups={jg} exceeds total groups {self.network.groups}"
                 )
+        if self.traffic.pattern == "multi_job":
+            self._validate_jobs()
         if self.network.num_nodes < 2:
             raise ConfigurationError("network must have at least 2 nodes")
+
+    def _validate_jobs(self) -> None:
+        """Multi-job placement must fit the network on disjoint groups."""
+        resolve_job_groups(
+            self.traffic.jobs,
+            self.network.groups,
+            self.network.a * self.network.p,
+        )
 
     # -- convenience --------------------------------------------------------
     @property

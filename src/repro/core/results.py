@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.config import SimulationConfig
 from repro.metrics.fairness import FairnessMetrics, fairness_from_counts
@@ -16,7 +17,9 @@ class SimulationResult:
 
     ``latency_breakdown`` holds the five Figure-3 component means;
     ``injected_per_router`` is the Figure-4/6 series; ``fairness`` the
-    Table-II/III row.
+    Table-II/III row.  ``oracle`` is the simulation oracle's verdict
+    (:meth:`repro.metrics.oracle.OracleReport.to_dict`) when the run was
+    audited (``config.oracle``), else ``None``.
     """
 
     config: SimulationConfig
@@ -34,6 +37,7 @@ class SimulationResult:
     delivered_per_router: list[int]
     in_flight_at_end: int
     events_processed: int
+    oracle: dict[str, Any] | None = None
     fairness: FairnessMetrics = field(init=False)
 
     def __post_init__(self) -> None:

@@ -12,10 +12,11 @@ from __future__ import annotations
 from repro.config import SimulationConfig
 from repro.core.results import SimulationResult
 from repro.engine import EventQueue
-from repro.errors import SimulationError
+from repro.errors import OracleError, SimulationError
 from repro.hardware.packet import Packet
 from repro.hardware.router import Router
 from repro.metrics.collector import StatsCollector
+from repro.metrics.oracle import SimOracle
 from repro.routing.factory import make_routing
 from repro.topology.dragonfly import DragonflyTopology
 from repro.traffic.patterns import make_traffic
@@ -63,12 +64,15 @@ class Simulation:
             r.routing = self.routing
             r._bind_hot()
 
-        # Traffic.
+        # Traffic.  Time-varying scenario patterns read the engine clock.
         self.traffic = make_traffic(
             config.traffic, self.topo, seed=split_seed(config.seed, _STREAM_PATTERN)
         )
+        self.traffic.bind_clock(self.engine)
+        self.oracle = SimOracle(self.traffic) if config.oracle else None
         self._gen_prob = config.traffic.load / config.traffic.packet_size
         self._pid = 0
+        self._num_nodes = self.topo.num_nodes
         self._end_time = config.total_cycles
         # node -> (its router, its node port): saves two divmods per
         # generated packet in the generator event.
@@ -154,9 +158,20 @@ class Simulation:
             return
         rng = self.rng_traffic
         dst = self.traffic.dest(node, rng)
-        if dst is not None and dst != node:
+        if dst is not None:
+            # Engine-boundary contract: a non-None destination must be a
+            # valid foreign node id (see repro.traffic.base); None means
+            # "generate nothing this cycle" and is always legal.
+            if dst == node or dst < 0 or dst >= self._num_nodes:
+                raise SimulationError(
+                    f"traffic pattern {self.traffic.name!r} returned invalid "
+                    f"destination {dst} for source node {node} "
+                    f"(valid: [0, {self._num_nodes}) excluding the source)"
+                )
             pkt = self._make_packet(node, dst, now)
             self.stats.on_generate(now, pkt.size)
+            if self.oracle is not None:
+                self.oracle.on_generate(pkt)
             router, node_port = self._inject_map[node]
             router.inject(node_port, pkt)
         gap = geometric_gap(rng, self._gen_prob)
@@ -165,7 +180,10 @@ class Simulation:
     # ------------------------------------------------------------------
     def deliver(self, pkt: Packet) -> None:
         """Sink callback: a packet's tail reached its destination node."""
-        self.stats.on_delivery(pkt, self.engine.now)
+        now = self.engine.now
+        self.stats.on_delivery(pkt, now)
+        if self.oracle is not None:
+            self.oracle.on_delivery(pkt, now)
 
     # ------------------------------------------------------------------
     def _watchdog(self) -> None:
@@ -197,6 +215,11 @@ class Simulation:
         self.engine.schedule(self.config.deadlock_cycles, self._watchdog)
         self.engine.run_until(self._end_time)
 
+        oracle_verdict = None
+        if self.oracle is not None:
+            self._drain()
+            oracle_verdict = self.oracle.verify(self).to_dict()
+
         stats = self.stats
         return SimulationResult(
             config=self.config,
@@ -214,7 +237,28 @@ class Simulation:
             delivered_per_router=list(stats.delivered_per_router),
             in_flight_at_end=stats.in_flight(),
             events_processed=self.engine.processed,
+            oracle=oracle_verdict,
         )
+
+    def _drain(self) -> None:
+        """Flush the network after the horizon so the oracle can audit it.
+
+        Generators stop rescheduling at ``_end_time`` and no component
+        self-perpetuates, so the event queue empties once every in-flight
+        packet lands.  A queue still busy ``deadlock_cycles`` past the
+        horizon means something is stuck or leaking events — that is an
+        oracle failure in its own right.
+        """
+        limit = self._end_time + self.config.deadlock_cycles
+        if not self.engine.drain(limit):
+            raise OracleError(
+                f"network failed to drain within {self.config.deadlock_cycles}"
+                f" cycles past the horizon: {self.engine.pending} events "
+                f"still pending, {self.stats.in_flight()} packets in flight "
+                f"(routing={self.config.routing}, "
+                f"pattern={self.traffic.name}, "
+                f"load={self.config.traffic.load})"
+            )
 
 
 def run_simulation(

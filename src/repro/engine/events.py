@@ -121,6 +121,19 @@ class EventQueue:
                     heappush(times, t)
         self.now = t_end
 
+    def drain(self, t_max: int) -> bool:
+        """Process every remaining event with ``time <= t_max``.
+
+        Used by the simulation oracle to flush the network after the
+        measurement horizon: generators have stopped rescheduling by
+        then, so the queue empties once all in-flight packets land.
+        Returns ``True`` when the queue is empty afterwards; ``False``
+        means events remain beyond *t_max* (something is still feeding
+        the queue — the caller treats that as a failed drain).
+        """
+        self.run_until(t_max)
+        return not self._times
+
     def run_next(self) -> bool:
         """Process the single earliest event; False if the queue is empty."""
         times = self._times

@@ -48,6 +48,17 @@ class SimulationError(ReproError, RuntimeError):
     """
 
 
+class OracleError(SimulationError):
+    """The simulation oracle detected a broken end-of-run invariant.
+
+    Raised by :class:`repro.metrics.oracle.SimOracle` when packet
+    conservation, credit balance, delivery-time monotonicity, or per-job
+    accounting closure fails to hold after the network has drained.
+    A subclass of :class:`SimulationError`: an oracle violation means the
+    simulation itself is untrustworthy, not just its analysis.
+    """
+
+
 class FlowControlError(ReproError, RuntimeError):
     """A credit/buffer invariant was violated (overflow or negative count).
 

@@ -96,6 +96,20 @@ class PlanResult:
             )
         return out
 
+    # -- oracle verdicts ----------------------------------------------------
+    def oracle_verdicts(self) -> dict[str, bool]:
+        """Per-cell oracle verdict (digest -> passed) of audited cells.
+
+        Cells run without ``config.oracle`` carry no verdict and are
+        absent; an empty dict therefore means "nothing was audited",
+        not "everything passed".
+        """
+        return {
+            digest: bool(result.oracle["passed"])
+            for digest, result in self.results.items()
+            if result.oracle is not None
+        }
+
     # -- aggregation --------------------------------------------------------
     def point(self, config: SimulationConfig) -> SweepPoint:
         """Seed-averaged :class:`SweepPoint` of the logical point *config*."""

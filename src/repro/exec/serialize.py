@@ -38,7 +38,8 @@ __all__ = [
 
 #: bump when the simulator's semantics change in a way that invalidates
 #: previously stored results (checked by the result store).
-STORE_VERSION = 1
+#: v2: scenario fields in TrafficConfig + oracle flag/verdict (PR 4).
+STORE_VERSION = 2
 
 
 def config_to_dict(config: SimulationConfig) -> dict[str, Any]:
@@ -96,6 +97,7 @@ def result_to_dict(result: SimulationResult) -> dict[str, Any]:
         "delivered_per_router": result.delivered_per_router,
         "in_flight_at_end": result.in_flight_at_end,
         "events_processed": result.events_processed,
+        "oracle": result.oracle,
     }
 
 

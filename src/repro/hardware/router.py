@@ -689,5 +689,16 @@ class Router:
         """Total packets waiting in this router's input queues (debug)."""
         return sum(len(q) for q in self.in_q if q)
 
+    def injection_backlog(self) -> int:
+        """Packets waiting in this router's injection (node-port) FIFOs.
+
+        The oracle's conservation check uses this: after a full drain
+        nothing may remain queued at injection.
+        """
+        return sum(
+            len(self.in_q[port * self.max_vcs])
+            for port in range(self._num_node_ports)
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Router({self.router_id}, g{self.group}r{self.pos})"

@@ -1,12 +1,16 @@
-"""Measurement: throughput, latency (with breakdown) and fairness metrics."""
+"""Measurement: throughput, latency, fairness — and the simulation oracle."""
 
 from repro.metrics.collector import StatsCollector
 from repro.metrics.fairness import FairnessMetrics, fairness_from_counts
 from repro.metrics.latency import LatencyBreakdown
+from repro.metrics.oracle import OracleCheck, OracleReport, SimOracle
 
 __all__ = [
     "FairnessMetrics",
     "LatencyBreakdown",
+    "OracleCheck",
+    "OracleReport",
+    "SimOracle",
     "StatsCollector",
     "fairness_from_counts",
 ]

@@ -17,6 +17,17 @@ Extensions (motivating scenarios and stress tests):
 * :class:`JobTraffic` — an application job placed on consecutive groups
   with uniform traffic *inside the job*: the real-world allocation that
   Section III argues induces ADVc at the network level.
+
+Scenario layers (:mod:`repro.traffic.scenarios` — time-varying wrappers
+and multi-job placement, all composable over the patterns above):
+
+* :class:`BurstyTraffic` — synchronised on/off injection windows.
+* :class:`RampedLoadTraffic` — linear load ramp from zero.
+* :class:`PhasedTraffic` — epoch-switched base patterns (UN → ADVc → …).
+* :class:`MultiJobTraffic` — N jobs on disjoint group ranges with
+  per-job pattern/load/start-time.
+* :data:`SCENARIOS` — the named scenario catalog behind the
+  ``repro scenarios`` CLI action.
 """
 
 from repro.traffic.base import TrafficPattern
@@ -27,18 +38,40 @@ from repro.traffic.patterns import (
     JobTraffic,
     PermutationTraffic,
     UniformTraffic,
+    make_base_pattern,
     make_traffic,
     pattern_name,
+)
+from repro.traffic.scenarios import (
+    SCENARIOS,
+    BurstyTraffic,
+    MultiJobTraffic,
+    PhasedTraffic,
+    RampedLoadTraffic,
+    Scenario,
+    describe_scenario,
+    get_scenario,
+    scenario_names,
 )
 
 __all__ = [
     "AdversarialConsecutiveTraffic",
     "AdversarialTraffic",
+    "BurstyTraffic",
     "HotspotTraffic",
     "JobTraffic",
+    "MultiJobTraffic",
     "PermutationTraffic",
+    "PhasedTraffic",
+    "RampedLoadTraffic",
+    "SCENARIOS",
+    "Scenario",
     "TrafficPattern",
     "UniformTraffic",
+    "describe_scenario",
+    "get_scenario",
+    "make_base_pattern",
     "make_traffic",
     "pattern_name",
+    "scenario_names",
 ]

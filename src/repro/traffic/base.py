@@ -3,9 +3,26 @@
 A pattern is a destination chooser: given a source node and an RNG it
 returns the destination node id for one packet, or ``None`` when the
 source generates nothing this time (used by partial-occupancy patterns
-like :class:`repro.traffic.JobTraffic`).  Patterns also expose
+like :class:`repro.traffic.JobTraffic` and the time-varying scenario
+wrappers in :mod:`repro.traffic.scenarios`).  Patterns also expose
 :meth:`active` so the generator can skip scheduling event chains for
 permanently idle nodes.
+
+Contract of :meth:`TrafficPattern.dest` (enforced at the engine
+boundary by :class:`repro.core.simulation.Simulation`):
+
+* a non-``None`` return value must be a valid node id in
+  ``[0, topo.num_nodes)`` and must differ from ``src_node`` — the
+  engine raises :class:`repro.errors.SimulationError` otherwise;
+* ``None`` means "this source generates nothing right now" and is
+  always legal: permanently idle nodes (``active() is False``), nodes
+  outside a burst window, jobs that have not started yet, or load
+  thinning.  The engine silently skips the cycle.
+
+Time-varying patterns additionally need a clock: the simulation calls
+:meth:`bind_clock` with its event engine after construction, and the
+wrapper reads ``engine.now`` inside ``dest``.  Patterns that never look
+at the clock inherit the no-op default.
 """
 
 from __future__ import annotations
@@ -34,6 +51,21 @@ class TrafficPattern(ABC):
     def active(self, node: int) -> bool:
         """Whether *node* ever generates traffic (default: yes)."""
         return True
+
+    def bind_clock(self, engine) -> None:
+        """Attach the event engine whose ``now`` time-varying patterns read.
+
+        Called once by the simulation after construction; the default is
+        a no-op for time-invariant patterns.
+        """
+
+    def job_of(self, node: int) -> int | None:
+        """Index of the job *node* belongs to, or ``None``.
+
+        Patterns without job structure return ``None`` for every node;
+        the simulation oracle uses this hook for per-job accounting.
+        """
+        return None
 
     def describe(self) -> str:
         """Readable name for reports."""

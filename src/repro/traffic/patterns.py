@@ -16,6 +16,7 @@ __all__ = [
     "PermutationTraffic",
     "HotspotTraffic",
     "JobTraffic",
+    "make_base_pattern",
     "make_traffic",
     "pattern_name",
 ]
@@ -24,12 +25,33 @@ __all__ = [
 def pattern_name(conf: TrafficConfig) -> str:
     """Display name (figure-legend style) of the pattern *conf* describes.
 
-    Matches the ``name`` attribute of the concrete pattern class without
-    constructing a topology or a pattern instance, so callers that only
-    need a label (sweep aggregation, plan listings) stay cheap.
+    Matches the ``name`` attribute of the concrete pattern instance
+    :func:`make_traffic` would build — including scenario decorations
+    (``+ramp``, ``+burst``, ``PH(...)``, ``MJOBn``) — without
+    constructing a topology or a pattern, so callers that only need a
+    label (sweep aggregation, plan listings) stay cheap.
     """
+    name = _base_pattern_name(conf)
+    if conf.ramp_cycles:
+        name += "+ramp"
+    if conf.burst_on:
+        name += "+burst"
+    return name
+
+
+def _base_pattern_name(conf: TrafficConfig) -> str:
     if conf.pattern == "adversarial":
         return AdversarialTraffic.name_for(conf.adv_offset)
+    if conf.pattern == "phased":
+        inner = [
+            AdversarialTraffic.name_for(conf.adv_offset)
+            if p == "adversarial"
+            else _STATIC_PATTERN_NAMES[p]
+            for p in conf.phase_patterns
+        ]
+        return "PH(" + ">".join(inner) + ")"
+    if conf.pattern == "multi_job":
+        return f"MJOB{len(conf.jobs)}"
     try:
         return _STATIC_PATTERN_NAMES[conf.pattern]
     except KeyError:
@@ -198,6 +220,9 @@ class JobTraffic(TrafficPattern):
     def active(self, node: int) -> bool:
         return node in self._job_set
 
+    def job_of(self, node: int) -> int | None:
+        return 0 if node in self._job_set else None
+
     def dest(self, src_node: int, rng: random.Random) -> int | None:
         if src_node not in self._job_set:
             return None
@@ -219,10 +244,10 @@ _STATIC_PATTERN_NAMES = {
 }
 
 
-def make_traffic(
+def make_base_pattern(
     conf: TrafficConfig, topo: DragonflyTopology, *, seed: int = 0
 ) -> TrafficPattern:
-    """Build the pattern described by *conf* on *topo*."""
+    """Build one of the six stationary base patterns (no scenario layers)."""
     if conf.pattern == "uniform":
         return UniformTraffic(topo)
     if conf.pattern == "adversarial":
@@ -236,3 +261,28 @@ def make_traffic(
     if conf.pattern == "job":
         return JobTraffic(topo, job_groups=conf.job_groups)
     raise ConfigurationError(f"unknown traffic pattern {conf.pattern!r}")
+
+
+def make_traffic(
+    conf: TrafficConfig, topo: DragonflyTopology, *, seed: int = 0
+) -> TrafficPattern:
+    """Build the pattern described by *conf* on *topo*.
+
+    Scenario layers (phased switching, multi-job placement, ramp and
+    burst gating — see :mod:`repro.traffic.scenarios`) are applied here,
+    so every consumer of ``TrafficConfig`` gets them for free.
+    """
+    # Imported lazily: scenarios imports this module's base patterns.
+    from repro.traffic import scenarios
+
+    if conf.pattern == "phased":
+        pattern = scenarios.build_phased(conf, topo, seed)
+    elif conf.pattern == "multi_job":
+        pattern = scenarios.MultiJobTraffic(topo, conf.jobs)
+    else:
+        pattern = make_base_pattern(conf, topo, seed=seed)
+    if conf.ramp_cycles:
+        pattern = scenarios.RampedLoadTraffic(pattern, conf.ramp_cycles)
+    if conf.burst_on:
+        pattern = scenarios.BurstyTraffic(pattern, conf.burst_on, conf.burst_off)
+    return pattern

@@ -1,0 +1,458 @@
+"""Composable workload scenarios: time-varying wrappers and multi-job traffic.
+
+The paper's synthetic patterns are *stationary*: every node draws
+destinations from the same distribution at every cycle.  Real systems are
+not — applications burst, alternate communication phases, ramp up, and
+share the machine with other jobs.  This module adds that axis as thin,
+composable layers over any :class:`repro.traffic.TrafficPattern`:
+
+* :class:`BurstyTraffic` — on/off injection windows (``burst_on`` /
+  ``burst_off`` cycles), the classic worst case for congestion-control
+  reaction time;
+* :class:`RampedLoadTraffic` — effective load rises linearly from zero
+  over ``ramp_cycles``, exposing warmup/transient behaviour;
+* :class:`PhasedTraffic` — switches between base patterns every
+  ``phase_length`` cycles (e.g. UN → ADVc → UN), modelling applications
+  whose communication pattern changes between computation phases;
+* :class:`MultiJobTraffic` — N jobs on disjoint consecutive group
+  ranges, each with its own internal pattern, load scale and start
+  time: the multi-job interference scenario the ROADMAP names.
+
+All wrappers are seed-reproducible (they only consume the generator RNG
+stream that is already per-run seeded) and are configured declaratively
+through :class:`repro.config.TrafficConfig`, so they participate in
+plans, sharding, and the result store like any other pattern.
+
+A small catalog of named :class:`Scenario` presets (pattern + suggested
+load grid + suggested mechanisms) is registered in :data:`SCENARIOS` and
+exposed through the ``repro scenarios`` CLI action.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+from repro.config import (
+    JobSpec,
+    SimulationConfig,
+    TrafficConfig,
+    resolve_job_groups,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic.base import TrafficPattern
+from repro.utils.rng import split_seed
+
+__all__ = [
+    "BurstyTraffic",
+    "MultiJobTraffic",
+    "PhasedTraffic",
+    "RampedLoadTraffic",
+    "SCENARIOS",
+    "Scenario",
+    "build_phased",
+    "describe_scenario",
+    "get_scenario",
+    "scenario_names",
+]
+
+#: RNG sub-stream base for per-phase pattern seeds (phased patterns).
+_PHASE_SEED_BASE = 11
+
+
+class _TimedPattern(TrafficPattern):
+    """Base for patterns that read the simulation clock.
+
+    The simulation attaches its event engine via :meth:`bind_clock`;
+    reading the clock before that is a hard error (a silently frozen
+    clock would make every time-varying scenario degenerate).
+    """
+
+    def __init__(self, topo: DragonflyTopology) -> None:
+        super().__init__(topo)
+        self._engine = None
+
+    def bind_clock(self, engine) -> None:
+        self._engine = engine
+
+    def _now(self) -> int:
+        engine = self._engine
+        if engine is None:
+            raise SimulationError(
+                f"time-varying pattern {self.name!r} was asked for a "
+                "destination without a clock; Simulation binds its engine "
+                "automatically — direct users must call bind_clock()"
+            )
+        return engine.now
+
+
+class BurstyTraffic(_TimedPattern):
+    """On/off burst gating over any inner pattern.
+
+    All nodes share the global burst windows (synchronised bursts are
+    the adversarial case: the whole machine hammers the network, then
+    goes silent).  During an off window every ``dest`` call returns
+    ``None``; the offered load averages ``on/(on+off)`` of the inner
+    pattern's.
+    """
+
+    def __init__(self, inner: TrafficPattern, on: int, off: int) -> None:
+        super().__init__(inner.topo)
+        if on < 1 or off < 1:
+            raise ConfigurationError(
+                f"burst windows must be positive, got on={on}, off={off}"
+            )
+        self.inner = inner
+        self.on = on
+        self.period = on + off
+        self.name = inner.name + "+burst"
+
+    def bind_clock(self, engine) -> None:
+        super().bind_clock(engine)
+        self.inner.bind_clock(engine)
+
+    def active(self, node: int) -> bool:
+        return self.inner.active(node)
+
+    def job_of(self, node: int) -> int | None:
+        return self.inner.job_of(node)
+
+    def dest(self, src_node: int, rng: random.Random) -> int | None:
+        if self._now() % self.period >= self.on:
+            return None
+        return self.inner.dest(src_node, rng)
+
+
+class RampedLoadTraffic(_TimedPattern):
+    """Linear load ramp-up over any inner pattern.
+
+    Thins generation with probability ``now / ramp_cycles`` during the
+    ramp (one extra RNG draw per attempt while ramping, none after), so
+    the effective offered load rises linearly from 0 to the configured
+    load.
+    """
+
+    def __init__(self, inner: TrafficPattern, ramp_cycles: int) -> None:
+        super().__init__(inner.topo)
+        if ramp_cycles < 1:
+            raise ConfigurationError(f"ramp_cycles must be positive, got {ramp_cycles}")
+        self.inner = inner
+        self.ramp_cycles = ramp_cycles
+        self.name = inner.name + "+ramp"
+
+    def bind_clock(self, engine) -> None:
+        super().bind_clock(engine)
+        self.inner.bind_clock(engine)
+
+    def active(self, node: int) -> bool:
+        return self.inner.active(node)
+
+    def job_of(self, node: int) -> int | None:
+        return self.inner.job_of(node)
+
+    def dest(self, src_node: int, rng: random.Random) -> int | None:
+        now = self._now()
+        if now < self.ramp_cycles and rng.random() >= now / self.ramp_cycles:
+            return None
+        return self.inner.dest(src_node, rng)
+
+
+class PhasedTraffic(_TimedPattern):
+    """Epoch-switched pattern: phase ``(now // phase_length) % N`` is live.
+
+    A node is :meth:`active` if it is active in *any* phase; during
+    phases where it is inactive its ``dest`` returns ``None``.
+    """
+
+    def __init__(
+        self,
+        topo: DragonflyTopology,
+        patterns: Sequence[TrafficPattern],
+        phase_length: int,
+    ) -> None:
+        super().__init__(topo)
+        if not patterns:
+            raise ConfigurationError("PhasedTraffic needs at least one pattern")
+        if phase_length < 1:
+            raise ConfigurationError(
+                f"phase_length must be positive, got {phase_length}"
+            )
+        self.patterns = list(patterns)
+        self.phase_length = phase_length
+        self.name = "PH(" + ">".join(p.name for p in self.patterns) + ")"
+
+    def bind_clock(self, engine) -> None:
+        super().bind_clock(engine)
+        for p in self.patterns:
+            p.bind_clock(engine)
+
+    def active(self, node: int) -> bool:
+        return any(p.active(node) for p in self.patterns)
+
+    def current_phase(self, now: int) -> int:
+        """Index of the pattern live at cycle *now*."""
+        return (now // self.phase_length) % len(self.patterns)
+
+    def dest(self, src_node: int, rng: random.Random) -> int | None:
+        return self.patterns[self.current_phase(self._now())].dest(src_node, rng)
+
+
+class MultiJobTraffic(_TimedPattern):
+    """N jobs on disjoint consecutive group ranges, independent workloads.
+
+    Each :class:`repro.config.JobSpec` places one job on ``groups``
+    consecutive (wrapping) groups starting at ``first_group``.  Inside a
+    job, traffic is either uniform over the job's nodes or adversarial
+    between the job's own groups (group ``k`` of the job sends to group
+    ``k+1``); ``load_scale`` thins the job's injection and
+    ``start_cycle`` delays it.  Nodes outside every job are idle.
+
+    :meth:`job_of` exposes the node→job map; the simulation oracle uses
+    it to verify per-job accounting closure, and analysis uses the group
+    ranges to slice per-router counters into per-job series.
+    """
+
+    def __init__(self, topo: DragonflyTopology, jobs: Sequence[JobSpec]) -> None:
+        super().__init__(topo)
+        if not jobs:
+            raise ConfigurationError("MultiJobTraffic needs at least one job")
+        self.specs = tuple(j if isinstance(j, JobSpec) else JobSpec(**j) for j in jobs)
+        per = topo.a * topo.p
+        self._node_job: dict[int, int] = {}
+        self._node_index: dict[int, int] = {}
+        self._node_group_pos: dict[int, int] = {}
+        self.job_nodes: list[list[int]] = []
+        self.job_groups = resolve_job_groups(self.specs, topo.groups, per)
+        self._group_nodes: list[list[list[int]]] = []
+        for idx, groups in enumerate(self.job_groups):
+            nodes: list[int] = []
+            per_group: list[list[int]] = []
+            for pos, g in enumerate(groups):
+                members = list(range(g * per, (g + 1) * per))
+                per_group.append(members)
+                for n in members:
+                    self._node_job[n] = idx
+                    self._node_index[n] = len(nodes)
+                    self._node_group_pos[n] = pos
+                    nodes.append(n)
+            self.job_nodes.append(nodes)
+            self._group_nodes.append(per_group)
+        self.name = f"MJOB{len(self.specs)}"
+
+    def active(self, node: int) -> bool:
+        return node in self._node_job
+
+    def job_of(self, node: int) -> int | None:
+        return self._node_job.get(node)
+
+    def dest(self, src_node: int, rng: random.Random) -> int | None:
+        j = self._node_job.get(src_node)
+        if j is None:
+            return None
+        spec = self.specs[j]
+        if spec.start_cycle and self._now() < spec.start_cycle:
+            return None
+        if spec.load_scale < 1.0 and rng.random() >= spec.load_scale:
+            return None
+        if spec.pattern == "adversarial":
+            groups = self._group_nodes[j]
+            target = groups[(self._node_group_pos[src_node] + 1) % len(groups)]
+            return target[rng.randrange(len(target))]
+        nodes = self.job_nodes[j]
+        d = rng.randrange(len(nodes) - 1)
+        if d >= self._node_index[src_node]:
+            d += 1
+        return nodes[d]
+
+
+def build_phased(
+    conf: TrafficConfig, topo: DragonflyTopology, seed: int
+) -> PhasedTraffic:
+    """Build the :class:`PhasedTraffic` a ``pattern="phased"`` config asks for.
+
+    Each phase's pattern gets an independent child seed so e.g. two
+    ``permutation`` phases use different (but reproducible) permutations.
+    """
+    from repro.traffic.patterns import make_base_pattern
+
+    inners = [
+        make_base_pattern(
+            replace(conf, pattern=name, phase_patterns=(), phase_length=0),
+            topo,
+            seed=split_seed(seed, _PHASE_SEED_BASE + i),
+        )
+        for i, name in enumerate(conf.phase_patterns)
+    ]
+    return PhasedTraffic(topo, inners, conf.phase_length)
+
+
+# ---------------------------------------------------------------------------
+# Scenario catalog
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, documented workload preset for plans and the CLI.
+
+    ``traffic`` carries everything but the offered load and packet size
+    (those come from the experiment's base config / sweep grid);
+    ``loads`` and ``routings`` are the suggested sweep axes; and
+    ``min_groups`` the smallest network the scenario fits (the
+    ``multi_job`` placements need room).
+    """
+
+    name: str
+    description: str
+    traffic: TrafficConfig
+    loads: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4)
+    routings: tuple[str, ...] = ("min", "in-trns-mm")
+    min_groups: int = 2
+
+    def apply(self, config: SimulationConfig) -> SimulationConfig:
+        """Return *config* with this scenario's traffic (load/size kept)."""
+        if config.network.groups < self.min_groups:
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs >= {self.min_groups} groups; "
+                f"the network has {config.network.groups}"
+            )
+        traffic = replace(
+            self.traffic,
+            load=config.traffic.load,
+            packet_size=config.traffic.packet_size,
+        )
+        return config.with_(traffic=traffic)
+
+
+#: registered scenarios, in catalog order (the ``repro scenarios`` listing).
+SCENARIOS: dict[str, Scenario] = {
+    sc.name: sc
+    for sc in (
+        Scenario(
+            name="bursty_uniform",
+            description=(
+                "Uniform traffic gated by synchronised 300-on/300-off "
+                "burst windows: the whole machine alternates between "
+                "hammering the network at full load and going silent."
+            ),
+            traffic=TrafficConfig(pattern="uniform", burst_on=300, burst_off=300),
+        ),
+        Scenario(
+            name="bursty_adv",
+            description=(
+                "ADV+1 adversarial traffic in synchronised 400-on/400-off "
+                "bursts: each burst slams every group's single minimal "
+                "global link, then releases it — stressing how fast "
+                "adaptive routing reacts to congestion onset and decay."
+            ),
+            traffic=TrafficConfig(pattern="adversarial", burst_on=400, burst_off=400),
+            loads=(0.1, 0.2, 0.3, 0.4, 0.5),
+            routings=("min", "obl-crg", "in-trns-mm"),
+        ),
+        Scenario(
+            name="phased_un_advc",
+            description=(
+                "Application phase behaviour: 1000-cycle epochs "
+                "alternating uniform (compute/halo exchange) and ADVc "
+                "(transpose-like) communication."
+            ),
+            traffic=TrafficConfig(
+                pattern="phased",
+                phase_patterns=("uniform", "advc"),
+                phase_length=1000,
+            ),
+        ),
+        Scenario(
+            name="ramped_advc",
+            description=(
+                "ADVc with the offered load ramping linearly from zero "
+                "over the first 2000 cycles: exposes transient behaviour "
+                "as the bottleneck congestion builds from cold."
+            ),
+            traffic=TrafficConfig(pattern="advc", ramp_cycles=2000),
+        ),
+        Scenario(
+            name="hotspot_burst",
+            description=(
+                "Hotspot traffic (20% of packets target node 0) in "
+                "250-on/500-off bursts: a periodically flash-crowded "
+                "service node."
+            ),
+            traffic=TrafficConfig(pattern="hotspot", burst_on=250, burst_off=500),
+            routings=("min", "in-trns-mm"),
+        ),
+        Scenario(
+            name="multi_job_interference",
+            description=(
+                "Two jobs on disjoint group ranges: job 0 (groups 0-2) "
+                "runs uniform internal traffic from cycle 0; job 1 "
+                "(groups 3-5) starts adversarial internal traffic at "
+                "cycle 600 at 80% load. Measures how much the late "
+                "adversarial neighbour degrades the well-behaved job."
+            ),
+            traffic=TrafficConfig(
+                pattern="multi_job",
+                jobs=(
+                    JobSpec(first_group=0, groups=3, pattern="uniform"),
+                    JobSpec(
+                        first_group=3,
+                        groups=3,
+                        pattern="adversarial",
+                        load_scale=0.8,
+                        start_cycle=600,
+                    ),
+                ),
+            ),
+            loads=(0.1, 0.2, 0.3, 0.4),
+            routings=("min", "in-trns-mm"),
+            min_groups=6,
+        ),
+    )
+}
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, in catalog order."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario; unknown names fail with the catalog."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: "
+            + ", ".join(scenario_names())
+        ) from None
+
+
+def describe_scenario(sc: Scenario) -> str:
+    """Multi-line human-readable description of one scenario."""
+    t = sc.traffic
+    lines = [
+        f"{sc.name}: {sc.description}",
+        f"  pattern: {t.pattern}",
+    ]
+    if t.burst_on:
+        lines.append(f"  bursts: {t.burst_on} on / {t.burst_off} off cycles")
+    if t.ramp_cycles:
+        lines.append(f"  ramp: 0 -> full load over {t.ramp_cycles} cycles")
+    if t.phase_patterns:
+        lines.append(
+            f"  phases: {' -> '.join(t.phase_patterns)} every "
+            f"{t.phase_length} cycles"
+        )
+    for i, job in enumerate(t.jobs):
+        # Count-based phrasing: the concrete group ids depend on the
+        # network's group count (ranges wrap), unknown here.
+        lines.append(
+            f"  job {i}: {job.groups} consecutive groups from group "
+            f"{job.first_group}, {job.pattern}, load x{job.load_scale:g}, "
+            f"starts at cycle {job.start_cycle}"
+        )
+    lines.append(f"  suggested loads: {', '.join(f'{x:g}' for x in sc.loads)}")
+    lines.append(f"  suggested routings: {', '.join(sc.routings)}")
+    lines.append(f"  needs >= {sc.min_groups} groups")
+    return "\n".join(lines)

@@ -20,7 +20,8 @@ class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run"])
         assert args.routing == "min"
-        assert args.pattern == "uniform"
+        # None means "defaulted": resolved to uniform unless --scenario.
+        assert args.pattern is None
         assert args.preset == "small"
 
     def test_rejects_unknown_routing(self):
@@ -34,7 +35,7 @@ class TestParser:
     def test_plan_defaults(self):
         args = build_parser().parse_args(["plan", "--loads", "0.1"])
         assert args.routings == ["min"]
-        assert args.patterns == ["uniform"]
+        assert args.patterns is None  # resolved to uniform unless --scenario
         assert args.jobs is None
         assert not args.execute
 
@@ -346,3 +347,133 @@ class TestCommands:
         )
         assert rc == 0
         assert "priority=off" in capsys.readouterr().out
+
+
+class TestScenariosCommand:
+    def test_lists_catalog(self, capsys):
+        rc = main(["scenarios"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bursty_adv" in out
+        assert "multi_job_interference" in out
+
+    def test_describes_one(self, capsys):
+        rc = main(["scenarios", "multi_job_interference"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "job 0" in out and "job 1" in out
+        assert "suggested loads" in out
+
+    def test_unknown_name_fails(self, capsys):
+        rc = main(["scenarios", "nope"])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_parser_rejects_unknown_scenario_flag_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "nope"])
+
+    def test_pattern_and_scenario_are_exclusive(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="mutually exclusive"):
+            main(
+                _fast(
+                    [
+                        "run",
+                        "--scenario",
+                        "bursty_uniform",
+                        "--pattern",
+                        "advc",
+                        "--preset",
+                        "tiny",
+                    ]
+                )
+            )
+
+    def test_patterns_and_scenario_are_exclusive_in_plan(self, capsys):
+        rc = main(
+            [
+                "plan",
+                "--scenario",
+                "bursty_uniform",
+                "--patterns",
+                "advc",
+                "--loads",
+                "0.1",
+            ]
+        )
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestScenarioRuns:
+    def test_run_with_scenario_and_oracle(self, capsys):
+        rc = main(
+            _fast(
+                [
+                    "run",
+                    "--scenario",
+                    "bursty_uniform",
+                    "--preset",
+                    "tiny",
+                    "--load",
+                    "0.2",
+                    "--oracle",
+                ]
+            )
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "UN+burst" in out
+        assert "oracle: passed" in out
+
+    def test_plan_dry_run_with_scenario_defaults_loads(self, capsys):
+        rc = main(["plan", "--scenario", "ramped_advc", "--preset", "tiny"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ADVc+ramp" in out
+        assert "dry run" in out
+
+    def test_plan_run_scenario_grid_reports_oracle(self, capsys):
+        rc = main(
+            _fast(
+                [
+                    "plan",
+                    "run",
+                    "--scenario",
+                    "bursty_uniform",
+                    "--preset",
+                    "tiny",
+                    "--loads",
+                    "0.1",
+                    "0.2",
+                    "--oracle",
+                    "--jobs",
+                    "1",
+                ]
+            )
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "UN+burst" in out
+        assert "oracle: 2/2 audited cells passed" in out
+
+    def test_sweep_scenario_without_oracle_has_no_verdict_line(self, capsys):
+        rc = main(
+            _fast(
+                [
+                    "sweep",
+                    "--scenario",
+                    "bursty_uniform",
+                    "--preset",
+                    "tiny",
+                    "--loads",
+                    "0.2",
+                    "--jobs",
+                    "1",
+                ]
+            )
+        )
+        assert rc == 0
+        assert "oracle:" not in capsys.readouterr().out

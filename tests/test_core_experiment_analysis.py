@@ -17,8 +17,13 @@ from repro.analysis.paper_reference import (
     PAPER_TABLE_III,
     min_throughput_bound,
 )
+from repro.analysis.interference import (
+    interference_report,
+    job_router_ids,
+    per_job_counts,
+)
 from repro.analysis.tables import fairness_table, format_fairness_table
-from repro.config import NetworkConfig, small_config
+from repro.config import JobSpec, NetworkConfig, small_config
 from repro.core.experiment import (
     average_results,
     run_load_sweep,
@@ -133,3 +138,94 @@ class TestAnalysisGenerators:
         assert "obl-crg" in text
         text3 = format_fairness_table(table, priority=False)
         assert "Table III" in text3
+
+
+class TestOfflineErrorPaths:
+    """``offline=True`` generators must fail instead of simulating."""
+
+    def test_figure2_offline_without_store_raises(self):
+        base = quick_cfg().with_traffic(pattern="uniform")
+        with pytest.raises(AnalysisError, match="store"):
+            figure2_sweeps(base, [0.2], mechanisms=("min",), offline=True)
+
+    def test_figure2_offline_cold_store_raises(self, tmp_path):
+        base = quick_cfg().with_traffic(pattern="uniform")
+        with pytest.raises(AnalysisError, match="missing"):
+            figure2_sweeps(
+                base,
+                [0.2],
+                mechanisms=("min",),
+                store=tmp_path / "empty",
+                offline=True,
+            )
+
+    def test_figure2_offline_partial_store_raises(self, tmp_path):
+        """A store holding only part of the plan is an error, not a
+        silent partial render."""
+        base = quick_cfg().with_traffic(pattern="uniform")
+        store = tmp_path / "partial"
+        figure2_sweeps(base, [0.2], mechanisms=("min",), store=store)
+        with pytest.raises(AnalysisError, match="missing 1 of 2"):
+            figure2_sweeps(
+                base, [0.2, 0.3], mechanisms=("min",), store=store, offline=True
+            )
+
+    def test_figure3_and_4_offline_cold_store_raise(self, tmp_path):
+        base = quick_cfg()
+        with pytest.raises(AnalysisError, match="missing"):
+            figure3_breakdown(base, [0.2], store=tmp_path / "c3", offline=True)
+        with pytest.raises(AnalysisError, match="missing"):
+            figure4_injections(
+                base,
+                mechanisms=("obl-crg",),
+                load=0.3,
+                store=tmp_path / "c4",
+                offline=True,
+            )
+
+    def test_figure2_offline_warm_store_renders(self, tmp_path):
+        base = quick_cfg().with_traffic(pattern="uniform")
+        store = tmp_path / "warm"
+        online = figure2_sweeps(base, [0.2], mechanisms=("min",), store=store)
+        offline = figure2_sweeps(
+            base, [0.2], mechanisms=("min",), store=store, offline=True
+        )
+        assert format_figure2(offline, title="t") == format_figure2(online, title="t")
+
+
+class TestInterference:
+    def _base(self):
+        return quick_cfg(oracle=True).with_traffic(
+            pattern="multi_job",
+            jobs=(
+                JobSpec(0, 3, "uniform"),
+                JobSpec(3, 3, "adversarial", 1.0, 300),
+            ),
+        )
+
+    def test_job_router_ids_wraps(self):
+        net = NetworkConfig(p=2, a=4, h=2)  # 9 groups
+        ids = job_router_ids(net, JobSpec(first_group=8, groups=2))
+        assert ids == [32, 33, 34, 35, 0, 1, 2, 3]
+
+    def test_per_job_counts_sum_to_totals(self):
+        result = run_simulation(self._base().with_traffic(load=0.25))
+        counts = per_job_counts(result)
+        assert [c["job"] for c in counts] == [0, 1]
+        assert sum(c["injected"] for c in counts) == sum(result.injected_per_router)
+        assert sum(c["delivered"] for c in counts) == sum(result.delivered_per_router)
+
+    def test_per_job_counts_needs_jobs(self):
+        result = run_simulation(quick_cfg().with_traffic(load=0.2))
+        with pytest.raises(AnalysisError):
+            per_job_counts(result)
+
+    def test_report_renders(self):
+        text = interference_report(self._base(), [0.2], seeds=1)
+        assert "job0" in text and "job1" in text
+        assert "adversarial" in text
+        assert "ok" in text  # oracle verdict column
+
+    def test_report_needs_multi_job(self):
+        with pytest.raises(AnalysisError):
+            interference_report(quick_cfg(), [0.2])

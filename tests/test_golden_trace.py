@@ -1,0 +1,61 @@
+"""Golden-trace regression tests: two end-to-end runs must replay
+bit-identically.
+
+The digests below fingerprint the *complete* serialized result (config,
+every counter, per-router arrays, latency breakdown, oracle verdict) of
+two small runs — one static paper pattern, one time-varying scenario.
+Any engine, routing, traffic or metrics change that perturbs simulation
+behaviour in any way changes a digest and fails here loudly.
+
+This is the guard rail for future perf work: optimisations must be
+bit-identical (see README "Performance"), and these constants are the
+cheapest end-to-end witness of that.  If a change is *intended* to
+alter results (a semantics change, not an optimisation), update the
+constants — and bump ``repro.exec.serialize.STORE_VERSION`` in the same
+commit, because every cached result is stale too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.config import tiny_config
+from repro.core.simulation import run_simulation
+from repro.exec.serialize import result_to_dict
+
+# Static paper workload: ADVc under in-transit adaptive MM routing.
+STATIC_CONFIG = tiny_config(seed=3, routing="in-trns-mm").with_traffic(
+    pattern="advc", load=0.4
+)
+STATIC_DIGEST = "ce99e9996c605db20344e433a1aad2f86a5dab3aa678520fe706e298e3444da2"
+
+# Time-varying scenario workload: bursty adversarial, oracle-audited
+# (also pins the drain path's determinism).
+BURSTY_CONFIG = tiny_config(seed=5, oracle=True).with_traffic(
+    pattern="adversarial", load=0.35, burst_on=120, burst_off=80
+)
+BURSTY_DIGEST = "4b773616008ced249d9a962f53c0e1a1cd4c60302b8caf73d54051c51ba7597b"
+
+
+def _run_digest(cfg) -> str:
+    result = run_simulation(cfg)
+    payload = json.dumps(result_to_dict(result), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def test_static_trace_replays_bit_identically():
+    assert _run_digest(STATIC_CONFIG) == STATIC_DIGEST
+
+
+def test_bursty_trace_replays_bit_identically():
+    assert _run_digest(BURSTY_CONFIG) == BURSTY_DIGEST
+
+
+def test_golden_runs_are_nontrivial():
+    """The fingerprinted runs actually exercise the network."""
+    static = run_simulation(STATIC_CONFIG)
+    bursty = run_simulation(BURSTY_CONFIG)
+    assert static.delivered_packets > 50
+    assert bursty.delivered_packets > 50
+    assert bursty.oracle is not None and bursty.oracle["passed"]

@@ -1,0 +1,295 @@
+"""Tests for the scenario layer: wrappers, multi-job traffic, registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import JobSpec, NetworkConfig, TrafficConfig, small_config
+from repro.core.simulation import Simulation, run_simulation
+from repro.errors import ConfigurationError, SimulationError
+from repro.topology.dragonfly import DragonflyTopology
+from repro.traffic import (
+    SCENARIOS,
+    BurstyTraffic,
+    MultiJobTraffic,
+    RampedLoadTraffic,
+    UniformTraffic,
+    describe_scenario,
+    get_scenario,
+    make_traffic,
+    pattern_name,
+    scenario_names,
+)
+
+
+class Clock:
+    """Minimal engine stand-in for direct pattern tests."""
+
+    def __init__(self, now: int = 0) -> None:
+        self.now = now
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return DragonflyTopology(NetworkConfig(p=2, a=4, h=2))
+
+
+class TestBursty:
+    def test_on_off_windows(self, topo):
+        t = BurstyTraffic(UniformTraffic(topo), on=10, off=5)
+        clock = Clock()
+        t.bind_clock(clock)
+        rng = random.Random(0)
+        cases = [(0, True), (9, True), (10, False), (14, False), (15, True)]
+        for now, expect_on in cases:
+            clock.now = now
+            d = t.dest(3, rng)
+            assert (d is not None) == expect_on
+
+    def test_requires_clock(self, topo):
+        t = BurstyTraffic(UniformTraffic(topo), on=10, off=5)
+        with pytest.raises(SimulationError):
+            t.dest(0, random.Random(0))
+
+    def test_bad_windows(self, topo):
+        with pytest.raises(ConfigurationError):
+            BurstyTraffic(UniformTraffic(topo), on=0, off=5)
+
+    def test_name_and_config_name_agree(self, topo):
+        conf = TrafficConfig(pattern="uniform", burst_on=10, burst_off=5)
+        assert make_traffic(conf, topo).name == pattern_name(conf) == "UN+burst"
+
+    def test_config_rejects_one_sided_burst(self):
+        with pytest.raises(ConfigurationError):
+            TrafficConfig(pattern="uniform", burst_on=10)
+
+
+class TestRamped:
+    def test_thins_early_fully_open_late(self, topo):
+        t = RampedLoadTraffic(UniformTraffic(topo), ramp_cycles=1000)
+        clock = Clock(0)
+        t.bind_clock(clock)
+        rng = random.Random(1)
+        # At cycle 0 the ramp factor is 0: nothing may generate.
+        assert all(t.dest(0, rng) is None for _ in range(50))
+        clock.now = 2000
+        # Past the ramp no thinning happens (and no RNG draw is burned).
+        assert all(t.dest(0, rng) is not None for _ in range(50))
+
+    def test_halfway_rate(self, topo):
+        t = RampedLoadTraffic(UniformTraffic(topo), ramp_cycles=1000)
+        t.bind_clock(Clock(500))
+        rng = random.Random(2)
+        hits = sum(t.dest(0, rng) is not None for _ in range(2000))
+        assert 0.4 < hits / 2000 < 0.6
+
+    def test_name(self, topo):
+        conf = TrafficConfig(pattern="advc", ramp_cycles=100)
+        assert make_traffic(conf, topo).name == pattern_name(conf) == "ADVc+ramp"
+
+
+class TestPhased:
+    def test_switches_at_epochs(self, topo):
+        conf = TrafficConfig(
+            pattern="phased", phase_patterns=("uniform", "advc"), phase_length=100
+        )
+        t = make_traffic(conf, topo)
+        clock = Clock()
+        t.bind_clock(clock)
+        per = topo.a * topo.p
+        rng = random.Random(0)
+        clock.now = 50  # phase 0: uniform reaches every group
+        groups = {t.dest(0, rng) // per for _ in range(500)}
+        assert len(groups) > 2
+        clock.now = 150  # phase 1: ADVc only reaches groups 1..h
+        groups = {t.dest(0, rng) // per for _ in range(500)}
+        assert groups == {1, 2}
+        clock.now = 250  # wraps back to phase 0
+        assert t.current_phase(clock.now) == 0
+
+    def test_name(self, topo):
+        conf = TrafficConfig(
+            pattern="phased", phase_patterns=("uniform", "advc"), phase_length=100
+        )
+        assert make_traffic(conf, topo).name == pattern_name(conf) == "PH(UN>ADVc)"
+
+    def test_config_requires_phases(self):
+        with pytest.raises(ConfigurationError):
+            TrafficConfig(pattern="phased", phase_length=10)
+        with pytest.raises(ConfigurationError):
+            TrafficConfig(pattern="phased", phase_patterns=("uniform",), phase_length=0)
+        with pytest.raises(ConfigurationError):
+            TrafficConfig(
+                pattern="phased",
+                phase_patterns=("phased",),
+                phase_length=10,
+            )
+
+    def test_phase_fields_rejected_elsewhere(self):
+        with pytest.raises(ConfigurationError):
+            TrafficConfig(pattern="uniform", phase_patterns=("advc",))
+
+
+class TestMultiJob:
+    @pytest.fixture()
+    def jobs(self):
+        return (
+            JobSpec(first_group=0, groups=3, pattern="uniform"),
+            JobSpec(
+                first_group=3,
+                groups=3,
+                pattern="adversarial",
+                load_scale=0.5,
+                start_cycle=100,
+            ),
+        )
+
+    def test_placement_and_job_of(self, topo, jobs):
+        t = MultiJobTraffic(topo, jobs)
+        per = topo.a * topo.p
+        assert t.job_of(0) == 0
+        assert t.job_of(3 * per) == 1
+        assert t.job_of(6 * per) is None
+        assert t.active(0) and not t.active(6 * per)
+
+    def test_uniform_job_stays_inside(self, topo, jobs):
+        t = MultiJobTraffic(topo, jobs)
+        t.bind_clock(Clock(0))
+        rng = random.Random(0)
+        for _ in range(300):
+            d = t.dest(5, rng)
+            assert d is not None and d != 5
+            assert t.job_of(d) == 0
+
+    def test_adversarial_job_targets_next_job_group(self, topo, jobs):
+        t = MultiJobTraffic(topo, jobs)
+        t.bind_clock(Clock(500))
+        per = topo.a * topo.p
+        rng = random.Random(0)
+        dests = set()
+        for _ in range(500):
+            d = t.dest(3 * per, rng)  # first node of job 1's first group
+            if d is not None:
+                dests.add(d // per)
+        assert dests == {4}  # group k=0 of the job sends to group k=1
+
+    def test_start_cycle_gates(self, topo, jobs):
+        t = MultiJobTraffic(topo, jobs)
+        clock = Clock(0)
+        t.bind_clock(clock)
+        per = topo.a * topo.p
+        rng = random.Random(0)
+        assert all(t.dest(3 * per, rng) is None for _ in range(50))
+        clock.now = 100
+        assert any(t.dest(3 * per, rng) is not None for _ in range(50))
+
+    def test_load_scale_thins(self, topo, jobs):
+        t = MultiJobTraffic(topo, jobs)
+        t.bind_clock(Clock(500))
+        per = topo.a * topo.p
+        rng = random.Random(3)
+        hits = sum(t.dest(3 * per, rng) is not None for _ in range(2000))
+        assert 0.4 < hits / 2000 < 0.6
+
+    def test_overlapping_jobs_rejected(self, topo):
+        with pytest.raises(ConfigurationError):
+            MultiJobTraffic(topo, (JobSpec(0, 3), JobSpec(2, 2)))
+
+    def test_config_level_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_config().with_traffic(
+                pattern="multi_job",
+                jobs=(JobSpec(0, 3), JobSpec(2, 2)),
+            )
+
+    def test_wrapping_placement(self, topo):
+        t = MultiJobTraffic(topo, (JobSpec(first_group=topo.groups - 1, groups=2),))
+        per = topo.a * topo.p
+        assert t.active((topo.groups - 1) * per) and t.active(0)
+
+    def test_jobspec_validation(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec(groups=0)
+        with pytest.raises(ConfigurationError):
+            JobSpec(pattern="advc")
+        with pytest.raises(ConfigurationError):
+            JobSpec(pattern="adversarial", groups=1)
+        with pytest.raises(ConfigurationError):
+            JobSpec(load_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            JobSpec(start_cycle=-1)
+
+    def test_jobs_from_dicts_normalised(self):
+        conf = TrafficConfig(
+            pattern="multi_job",
+            jobs=[{"first_group": 0, "groups": 2}],
+        )
+        assert conf.jobs == (JobSpec(first_group=0, groups=2),)
+
+
+class TestEngineBoundaryContract:
+    """The Simulation enforces the dest() contract loudly."""
+
+    @pytest.mark.parametrize("bad", [-1, 10**6, "self"])
+    def test_invalid_destination_raises(self, bad):
+        cfg = small_config(warmup_cycles=100, measure_cycles=100)
+        sim = Simulation(cfg)
+
+        class Bad(UniformTraffic):
+            def dest(self, src, rng):
+                return src if bad == "self" else bad
+
+        sim.traffic = Bad(sim.topo)
+        with pytest.raises(SimulationError, match="invalid destination"):
+            sim.run()
+
+    def test_none_is_skipped_silently(self):
+        """JobTraffic's None for inactive nodes generates nothing."""
+        cfg = small_config(warmup_cycles=200, measure_cycles=400).with_traffic(
+            pattern="job", load=0.3
+        )
+        result = run_simulation(cfg)
+        # Nodes outside the job (groups h+1..) injected nothing.
+        a = cfg.network.a
+        idle_routers = range((cfg.network.h + 1) * a, cfg.network.num_routers)
+        assert all(result.injected_per_router[r] == 0 for r in idle_routers)
+        assert result.delivered_packets > 0
+
+
+class TestScenarioRegistry:
+    def test_catalog_nonempty_and_described(self):
+        assert len(SCENARIOS) >= 5
+        for name in scenario_names():
+            sc = get_scenario(name)
+            text = describe_scenario(sc)
+            assert name in text and sc.description in text
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_apply_keeps_load_and_packet_size(self):
+        base = small_config().with_traffic(load=0.35, packet_size=4)
+        cfg = get_scenario("bursty_adv").apply(base)
+        assert cfg.traffic.load == 0.35
+        assert cfg.traffic.packet_size == 4
+        assert cfg.traffic.pattern == "adversarial"
+        assert cfg.traffic.burst_on == 400
+
+    def test_apply_rejects_too_small_network(self):
+        from repro.config import tiny_config
+
+        with pytest.raises(ConfigurationError, match="needs >="):
+            get_scenario("multi_job_interference").apply(tiny_config())
+
+    def test_every_scenario_simulates_on_small(self):
+        """Each catalog entry runs end-to-end (short window, oracle on)."""
+        base = small_config(
+            oracle=True, warmup_cycles=200, measure_cycles=300
+        ).with_traffic(load=0.2)
+        for name in scenario_names():
+            cfg = get_scenario(name).apply(base)
+            result = run_simulation(cfg)
+            assert result.oracle is not None and result.oracle["passed"], name

@@ -59,3 +59,62 @@ class TestAsciiPlot:
     def test_title_rendered(self):
         out = ascii_plot({"s": [(0, 1)]}, title="Figure 2c")
         assert out.splitlines()[0] == "Figure 2c"
+
+    def test_axis_labels_rendered(self):
+        out = ascii_plot(
+            {"s": [(0, 0), (1, 1)]},
+            xlabel="offered load",
+            ylabel="latency",
+            width=30,
+            height=5,
+        )
+        assert "offered load" in out
+        # ylabel influences the left-margin padding width.
+        pad = max(len("1"), len("0"), len("latency"))
+        assert out.splitlines()[0].index("|") == pad + 1
+
+    def test_nan_points_dropped(self):
+        out = ascii_plot({"s": [(0, float("nan")), (1, 2.0), (2, 3.0)]})
+        assert "legend:" in out and "no finite data" not in out
+
+    def test_all_nonfinite_is_no_data(self):
+        out = ascii_plot({"s": [(float("inf"), 1.0), (0.0, float("nan"))]}, title="t")
+        assert "no finite data" in out
+
+    def test_marker_cycle_wraps_past_eight_series(self):
+        series = {f"s{i}": [(i, i)] for i in range(10)}
+        out = ascii_plot(series, width=30, height=5)
+        legend = out.splitlines()[-1]
+        # Series 8 and 9 reuse the first two markers.
+        assert "o=s8" in legend and "x=s9" in legend
+
+    def test_axis_range_labels(self):
+        out = ascii_plot({"s": [(0.5, 10.0), (2.5, 40.0)]}, width=30, height=5)
+        assert "0.5" in out and "2.5" in out
+        assert "10" in out and "40" in out
+
+
+class TestFormatTableNumerics:
+    def test_scientific_for_tiny_values(self):
+        out = format_table(["v"], [[0.0000123]])
+        assert "1.23e-05" in out or "1.2e-05" in out
+
+    def test_plain_for_moderate_values(self):
+        out = format_table(["v"], [[585.69]])
+        assert "585.6900" in out
+
+    def test_g_format_for_huge_values(self):
+        out = format_table(["v"], [[123456.0]])
+        assert "1.235e+05" in out
+
+    def test_zero_stays_fixed_point(self):
+        out = format_table(["v"], [[0.0]])
+        assert "0.0000" in out
+
+    def test_ndigits_respected(self):
+        out = format_table(["v"], [[1.23456]], ndigits=2)
+        assert "1.23" in out and "1.235" not in out
+
+    def test_non_numeric_cells_passthrough(self):
+        out = format_table(["a", "b"], [["x", None]])
+        assert "x" in out and "None" in out
