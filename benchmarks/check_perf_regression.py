@@ -42,11 +42,13 @@ def load(path: str) -> dict:
 def compare(artifact: dict, baseline: dict, *, tolerance: float, raw: bool) -> int:
     metric = "events_per_s" if raw else "events_per_cal"
     failures = []
+    summary_rows = []
     print(f"perf gate: metric={metric} tolerance={tolerance:.0%}")
     for label, base_cfg in sorted(baseline.get("configs", {}).items()):
         cur_cfg = artifact.get("configs", {}).get(label)
         if cur_cfg is None:
             failures.append(f"{label}: missing from artifact")
+            summary_rows.append((label, "-", "-", "-", "MISSING"))
             continue
         base = base_cfg[metric]
         cur = cur_cfg[metric]
@@ -59,6 +61,10 @@ def compare(artifact: dict, baseline: dict, *, tolerance: float, raw: bool) -> i
                 f"({base:.4g} -> {cur:.4g})"
             )
         print(f"  [{status:>4}] {label}: {base:.4g} -> {cur:.4g} ({change:+.1%})")
+        summary_rows.append(
+            (label, f"{base:.4g}", f"{cur:.4g}", f"{change:+.1%}", status)
+        )
+    write_step_summary(metric, tolerance, summary_rows, failed=bool(failures))
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for f in failures:
@@ -66,6 +72,34 @@ def compare(artifact: dict, baseline: dict, *, tolerance: float, raw: bool) -> i
         return 1
     print("perf gate passed")
     return 0
+
+
+def write_step_summary(
+    metric: str, tolerance: float, rows: list[tuple], *, failed: bool
+) -> None:
+    """Append the comparison as a markdown table to $GITHUB_STEP_SUMMARY.
+
+    No-op outside GitHub Actions (the env var is unset).  The table is
+    the same information the job log prints, rendered where reviewers
+    look first.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    verdict = "failed ❌" if failed else "passed ✅"
+    lines = [
+        f"### Perf gate {verdict}",
+        "",
+        f"Metric: `{metric}` (calibration-normalised events/s), "
+        f"tolerance {tolerance:.0%}.",
+        "",
+        "| config | baseline | current | change | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for label, base, cur, change, status in rows:
+        lines.append(f"| {label} | {base} | {cur} | {change} | {status} |")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
 
 
 def update_baseline(artifact: dict, baseline_path: str) -> int:

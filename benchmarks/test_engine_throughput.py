@@ -37,7 +37,7 @@ from bench_common import (
     write_result,
 )
 from repro.config import tiny_config
-from repro.core.simulation import run_simulation
+from repro.core.simulation import Simulation
 from repro.utils.tables import format_table
 
 ARTIFACT_PATH = (
@@ -93,21 +93,24 @@ def throughput_cases():
 def _measure(label, cfg, reps: int = 3):
     """Best-of-*reps* wall clock: the minimum is the least noisy estimator
     of intrinsic cost on shared/throttled hosts (results are identical
-    across reps by the determinism guarantee)."""
+    across reps by the determinism guarantee).  Timing includes the
+    simulation build (same contract as the committed history)."""
     elapsed = float("inf")
     for _ in range(reps):
         start = time.perf_counter()
-        result = run_simulation(cfg)
+        sim = Simulation(cfg)
+        result = sim.run()
         elapsed = min(elapsed, time.perf_counter() - start)
-    return label, cfg, result, elapsed
+    return label, cfg, result, sim.engine.activations, elapsed
 
 
-def _baseline_history() -> dict:
-    """events/s per config recorded at PR 1 (from perf_baseline.json)."""
+def _baseline_history() -> tuple[dict, dict]:
+    """events/s per config recorded at PR 1 and PR 4 (pre-activation
+    engine), from perf_baseline.json's history block."""
     if not BASELINE_PATH.exists():
-        return {}
-    data = json.loads(BASELINE_PATH.read_text())
-    return data.get("history", {}).get("pr1", {})
+        return {}, {}
+    history = json.loads(BASELINE_PATH.read_text()).get("history", {})
+    return history.get("pr1", {}), history.get("pr4", {})
 
 
 def test_engine_throughput(benchmark):
@@ -119,28 +122,33 @@ def test_engine_throughput(benchmark):
 
     measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    pr1 = _baseline_history()
+    pr1, pr4 = _baseline_history()
     rows = []
     artifact_configs = {}
-    for label, cfg, result, elapsed in measured:
+    for label, cfg, result, activations, elapsed in measured:
         eps = result.events_processed / elapsed
+        aps = activations / elapsed
         row = [
             label,
             result.events_processed,
-            cfg.total_cycles,
+            activations,
             f"{eps:,.0f}",
+            f"{aps:,.0f}",
             f"{cfg.total_cycles / elapsed:,.0f}",
             f"{elapsed:.3f}",
         ]
         base = pr1.get(label)
-        row.append(f"{base:,.0f}" if base else "-")
         row.append(f"{eps / base:.2f}x" if base else "-")
+        base4 = pr4.get(label)
+        row.append(f"{eps / base4:.2f}x" if base4 else "-")
         rows.append(row)
         artifact_configs[label] = {
             "events": result.events_processed,
+            "activations": activations,
             "cycles": cfg.total_cycles,
             "wall_s": elapsed,
             "events_per_s": eps,
+            "activations_per_s": aps,
             "events_per_cal": eps / cal,
         }
 
@@ -150,15 +158,17 @@ def test_engine_throughput(benchmark):
             [
                 "config",
                 "events",
-                "cycles",
+                "activations",
                 "events/s",
+                "activations/s",
                 "cycles/s",
                 "wall(s)",
-                "PR-1 ev/s",
-                "speedup",
+                "vs PR-1",
+                "vs PR-4",
             ],
             rows,
-            title="Engine throughput (single process; before/after vs PR-1)",
+            title="Engine throughput (single process; speedup vs PR-1 and "
+            "the PR-4 per-event engine)",
         )
         + "\n" + metadata_lines(),
     )
@@ -167,7 +177,7 @@ def test_engine_throughput(benchmark):
     ARTIFACT_PATH.write_text(
         json.dumps(
             {
-                "schema": 1,
+                "schema": 2,
                 "git_sha": git_sha(),
                 "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
                 "machine": machine_metadata(),
@@ -180,8 +190,9 @@ def test_engine_throughput(benchmark):
         + "\n"
     )
 
-    for label, _cfg, result, elapsed in measured:
+    for label, _cfg, result, activations, elapsed in measured:
         assert result.events_processed > 0, label
+        assert 0 < activations <= result.events_processed, label
         assert elapsed > 0.0, label
         # Floor: an event loop slower than 10k events/s on any host would
         # signal a broken hot path, not a slow machine.

@@ -363,10 +363,17 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "profile":
         cfg = _config(args).with_traffic(load=args.load)
-        result, report = profile_simulation(
+        result, report, metrics = profile_simulation(
             cfg, sort=args.sort, limit=args.limit, dump_path=args.output
         )
         print(report, end="")
+        print(
+            f"engine: {metrics['events']} events "
+            f"({metrics['events_per_s']:,.0f}/s) in "
+            f"{metrics['activations']} activations "
+            f"({metrics['activations_per_s']:,.0f}/s) "
+            "[profiled rates]"
+        )
         print(result.summary())
         if args.output:
             print(f"raw profile written to {args.output}")

@@ -9,9 +9,11 @@ one traffic pattern and one stats collector.  ``run()`` executes
 
 from __future__ import annotations
 
+from math import log
+
 from repro.config import SimulationConfig
 from repro.core.results import SimulationResult
-from repro.engine import EventQueue
+from repro.engine import OP_GEN, EventQueue
 from repro.errors import OracleError, SimulationError
 from repro.hardware.packet import Packet
 from repro.hardware.router import Router
@@ -40,6 +42,9 @@ class Simulation:
         check_decomposition: bool = False,
     ) -> None:
         self.config = config
+        # Strict timestamp validation defaults on (REPRO_ENGINE_STRICT=0
+        # disables it for production sweeps); the typed activation path
+        # the routers use never validates either way.
         self.engine = EventQueue()
         self.topo = DragonflyTopology(
             config.network, arrangement_seed=split_seed(config.seed, 7)
@@ -71,16 +76,30 @@ class Simulation:
         self.traffic.bind_clock(self.engine)
         self.oracle = SimOracle(self.traffic) if config.oracle else None
         self._gen_prob = config.traffic.load / config.traffic.packet_size
+        # Precomputed log(1 - p) for the inlined geometric-gap draw in
+        # _gen_event (same division as utils.rng.geometric_gap, so the
+        # sampled gaps are bit-identical; None when p == 1).
+        self._log_q = log(1.0 - self._gen_prob) if self._gen_prob < 1.0 else None
         self._pid = 0
         self._num_nodes = self.topo.num_nodes
         self._end_time = config.total_cycles
+        # Phase-boundary hooks: the queue dispatches ejections (OP_DELIVER)
+        # into the collector (directly when no oracle audits deliveries)
+        # and generator activations (OP_GEN) into `_gen_event` — no
+        # per-event callback tuples on either path.
+        self.engine.bind_sink(
+            self.stats.on_delivery if self.oracle is None else self.deliver
+        )
+        self.engine.bind_gen(self._gen_event)
         # node -> (its router, its node port): saves two divmods per
-        # generated packet in the generator event.
+        # generated packet in the generator activation, and one constant
+        # (OP_GEN, node) record per node so rescheduling never allocates.
         p = self.topo.p
         self._inject_map = [
             (self.routers[node // p], node % p)
             for node in range(self.topo.num_nodes)
         ]
+        self._gen_recs = [(OP_GEN, node) for node in range(self.topo.num_nodes)]
 
         # Contention-free hop service costs for the latency ledger.
         psize = config.traffic.packet_size
@@ -89,6 +108,10 @@ class Simulation:
         self._c_local = pipe + psize + net.local_link_latency
         self._c_global = pipe + psize + net.global_link_latency
         self._c_eject = pipe + psize + net.node_link_latency
+        self._psize = psize
+        # Memoized minimal-path base latencies (src_router, dst_router are
+        # a small dense pair space; generation hits the same pairs often).
+        self._min_service_cache: dict[int, int] = {}
 
         # Deadlock watchdog state.
         self._watch_delivered = -1
@@ -134,25 +157,32 @@ class Simulation:
     def _make_packet(self, src_node: int, dst_node: int, now: int) -> Packet:
         topo = self.topo
         p = topo.p
+        a = topo.a
         src_router = src_node // p
         dst_router = dst_node // p
-        self._pid += 1
+        pair = src_router * topo.num_routers + dst_router
+        base = self._min_service_cache.get(pair)
+        if base is None:
+            base = self._min_service(src_router, dst_router)
+            self._min_service_cache[pair] = base
+        self._pid = pid = self._pid + 1
         return Packet(
-            pid=self._pid,
-            size=self.config.traffic.packet_size,
-            src_node=src_node,
-            src_router=src_router,
-            src_group=src_router // topo.a,
-            dst_node=dst_node,
-            dst_router=dst_router,
-            dst_group=dst_router // topo.a,
-            dst_local_router=dst_router % topo.a,
-            dst_node_port=dst_node % p,
-            gen_time=now,
-            base_latency=self._min_service(src_router, dst_router),
+            pid,
+            self._psize,
+            src_node,
+            src_router,
+            src_router // a,
+            dst_node,
+            dst_router,
+            dst_router // a,
+            dst_router % a,
+            dst_node % p,
+            now,
+            base,
         )
 
     def _gen_event(self, node: int) -> None:
+        """Generator activation (OP_GEN): one Bernoulli-process firing."""
         now = self.engine.now
         if now >= self._end_time:
             return
@@ -168,19 +198,61 @@ class Simulation:
                     f"destination {dst} for source node {node} "
                     f"(valid: [0, {self._num_nodes}) excluding the source)"
                 )
-            pkt = self._make_packet(node, dst, now)
+            # Inlined _make_packet (the helper remains the documented
+            # reference and the path for direct callers).
+            topo = self.topo
+            p = topo.p
+            a = topo.a
+            src_router = node // p
+            dst_router = dst // p
+            pair = src_router * topo.num_routers + dst_router
+            base = self._min_service_cache.get(pair)
+            if base is None:
+                base = self._min_service(src_router, dst_router)
+                self._min_service_cache[pair] = base
+            self._pid = pid = self._pid + 1
+            pkt = Packet(
+                pid,
+                self._psize,
+                node,
+                src_router,
+                src_router // a,
+                dst,
+                dst_router,
+                dst_router // a,
+                dst_router % a,
+                dst % p,
+                now,
+                base,
+            )
             self.stats.on_generate(now, pkt.size)
             if self.oracle is not None:
                 self.oracle.on_generate(pkt)
             router, node_port = self._inject_map[node]
-            router.inject(node_port, pkt)
-        gap = geometric_gap(rng, self._gen_prob)
-        self.engine.schedule(gap, self._gen_event, node)
+            router.inject(node_port, pkt, now)
+        # Inlined geometric_gap(rng, self._gen_prob) over the precomputed
+        # log(1 - p) — identical draws, one RNG call, no math.log(1 - p).
+        log_q = self._log_q
+        if log_q is None:
+            gap = 1
+        else:
+            u = rng.random()
+            if u == 0.0:
+                gap = 1
+            else:
+                gap = int(log(u) / log_q) + 1
+                if gap < 1:
+                    gap = 1
+        self.engine.post(now + gap, self._gen_recs[node])
 
     # ------------------------------------------------------------------
-    def deliver(self, pkt: Packet) -> None:
-        """Sink callback: a packet's tail reached its destination node."""
-        now = self.engine.now
+    def deliver(self, pkt: Packet, now: int | None = None) -> None:
+        """Sink callback: a packet's tail reached its destination node.
+
+        The engine passes the current cycle; direct callers may omit it.
+        """
+        if now is None:
+            now = self.engine.now
         self.stats.on_delivery(pkt, now)
         if self.oracle is not None:
             self.oracle.on_delivery(pkt, now)
@@ -211,7 +283,7 @@ class Simulation:
             if not self.traffic.active(node):
                 continue
             offset = geometric_gap(self.rng_traffic, self._gen_prob) - 1
-            self.engine.schedule(offset, self._gen_event, node)
+            self.engine.post(offset, self._gen_recs[node])
         self.engine.schedule(self.config.deadlock_cycles, self._watchdog)
         self.engine.run_until(self._end_time)
 

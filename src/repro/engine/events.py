@@ -1,58 +1,201 @@
-"""A minimal, fast event queue for cycle-quantised simulation.
+"""The activation queue: phase-batched core of the cycle-quantised engine.
 
 Design notes (hot path — see the HPC guide's "measure, then make the
 bottleneck cheap" workflow):
 
 * **Calendar/bucket layout.**  Cycle timestamps are integers, so instead
-  of keeping every event on one binary heap (one ``heappush``/``heappop``
-  with tuple comparisons *per event*), events live in per-cycle FIFO
-  buckets (``dict[int, list]``) and only the *distinct* pending cycle
-  numbers sit on a small helper heap.  A cycle with dozens of events
-  costs one heap pop for the whole bucket plus an O(1) list append per
-  event — the heap shrinks from "all pending events" to "all pending
-  distinct times", which is typically 1-2 orders of magnitude smaller
-  under load.
-* **Ordering contract** (unchanged from the heap version): events run in
-  time order; events sharing a cycle run in scheduling order (FIFO);
-  scheduling "now" is allowed and runs within the current cycle after
-  every already-queued event of that cycle (buckets are drained with a
+  of keeping every pending item on one binary heap (one
+  ``heappush``/``heappop`` with tuple comparisons *per item*), items live
+  in per-cycle FIFO buckets (``dict[int, list]``) and only the *distinct*
+  pending cycle numbers sit on a small helper heap.  A cycle with dozens
+  of items costs one heap pop for the whole bucket plus an O(1) list
+  append per item.
+
+* **Typed activation records.**  The queue's unit of work is not a
+  ``(callback, args)`` pair but a small tuple whose first element is an
+  integer opcode (``OP_*`` below).  The drain loop dispatches on the
+  opcode with an inline comparison chain ordered by measured frequency
+  and calls the target component's *phase handler* directly with
+  positional arguments — no per-event argument tuple unpacking, no bound
+  method construction, and (because hot records like a router's
+  activation token are immutable constants) usually no per-event
+  allocation at all.  Generic callbacks still exist (``OP_CALL``, used by
+  :meth:`schedule`/:meth:`schedule_at`) for cool paths such as the
+  deadlock watchdog and for tests.
+
+* **Router activations, deduplicated.**  The hottest record kind is
+  ``OP_STEP`` — "run router R's allocation pipeline this cycle".  A
+  router posts its constant ``(OP_STEP, self)`` token under its own dirty
+  mark (``router._arb_time``), so each (router × cycle) pair is *armed*
+  at most once no matter how many arrivals/credit releases request it;
+  the drain loop re-checks the mark so stale tokens cost one integer
+  compare instead of a Python frame.  :meth:`Router.step
+  <repro.hardware.router.Router.step>` then runs the whole
+  arbitration → commit pipeline in a single call.
+
+* **Ordering contract** (unchanged from the callback engine, and the
+  foundation of the bit-identical replay guarantee): records run in time
+  order; records sharing a cycle run in posting order (FIFO); posting
+  "now" is allowed and runs within the current cycle after every
+  already-queued record of that cycle (buckets are drained with a
   growing-list cursor, so same-cycle appends are picked up in order).
-* **Integer timestamps are enforced.**  A float delay would silently
-  create a bucket that the integer bucket lookup can never coalesce with
-  (and under the old heap it silently broke FIFO-within-cycle by
-  interleaving float and int keys), so non-``int`` delays/times raise
-  :class:`~repro.errors.SimulationError` up front.
-* no cancellation — components use generation counters / flags instead,
-  which is cheaper than queue surgery.
+  Merged records (``OP_LINK`` = link release + next transmission) stand
+  exactly where their first legacy event stood and their two halves were
+  always adjacent in the legacy bucket, so the visible operation sequence
+  — and therefore every simulation result — is bit-identical to the
+  per-event engine.  ``processed`` counts *semantic events* (an
+  ``OP_LINK`` counts 2), ``activations`` counts dispatched records.
+
+* **Integer timestamps.**  A float timestamp would silently create a
+  bucket that the integer bucket lookup can never coalesce with, so the
+  generic ``schedule``/``schedule_at`` API validates timestamps up front
+  — gated behind *strict mode* (default on; disable for production
+  sweeps with ``REPRO_ENGINE_STRICT=0``) so trusted hot paths never pay
+  for it.  The typed :meth:`post` path is internal and never validates.
+
+* no cancellation — components use generation counters / dirty marks
+  instead, which is cheaper than queue surgery.
 """
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from collections.abc import Callable
 
 from repro.errors import SimulationError
 
-__all__ = ["EventQueue"]
+__all__ = [
+    "EventQueue",
+    "OP_CALL",
+    "OP_STEP",
+    "OP_ARRIVE",
+    "OP_OUT_ARRIVE",
+    "OP_SEND",
+    "OP_LINK",
+    "OP_RELEASE",
+    "OP_CREDIT",
+    "OP_DELIVER",
+    "OP_GEN",
+]
+
+# Activation opcodes.  Record layouts (dispatch is positional):
+#   (OP_CALL, fn, args)                  generic callback, args unpacked
+#   (OP_STEP, router)                    router activation (arb+commit pipeline)
+#   (OP_ARRIVE, router, port, vc, pkt)   packet tail reached an input buffer
+#   (OP_OUT_ARRIVE, router, port, pkt, vc)  crossed the switch into an output FIFO
+#   (OP_SEND, router, port)              first transmission on an idle link
+#   (OP_LINK, router, port, size)        tail release + next transmission (weight 2)
+#   (OP_RELEASE, router, port, size)     tail release, link goes idle
+#   (OP_CREDIT, router, port, vc, size)  credit return to an upstream router
+#   (OP_DELIVER, pkt)                    ejection into the simulation sink
+#   (OP_GEN, node)                       traffic generator activation
+OP_CALL = 0
+OP_STEP = 1
+OP_ARRIVE = 2
+OP_OUT_ARRIVE = 3
+OP_SEND = 4
+OP_LINK = 5
+OP_RELEASE = 6
+OP_CREDIT = 7
+OP_DELIVER = 8
+OP_GEN = 9
+
+#: per-record semantic-event weight (OP_LINK merges two legacy events).
+_WEIGHT_2 = OP_LINK
+
+
+def _strict_default() -> bool:
+    """Strict mode default: on unless REPRO_ENGINE_STRICT is falsy."""
+    return os.environ.get("REPRO_ENGINE_STRICT", "1").lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
 
 
 class EventQueue:
-    """Calendar (bucket) event queue with integer cycle timestamps."""
+    """Calendar (bucket) activation queue with integer cycle timestamps."""
 
-    __slots__ = ("now", "_buckets", "_times", "_processed", "_get_bucket")
+    __slots__ = (
+        "now",
+        "strict",
+        "_buckets",
+        "_times",
+        "_processed",
+        "_activations",
+        "_get_bucket",
+        "_sink",
+        "_gen",
+        "schedule",
+        "schedule_at",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, *, strict: bool | None = None) -> None:
         self.now: int = 0
-        # _buckets[t] is the FIFO list of (fn, args) for cycle t; _times is
-        # a min-heap of the distinct keys of _buckets (never empty buckets).
-        self._buckets: dict[int, list[tuple[Callable, tuple]]] = {}
+        self.strict: bool = _strict_default() if strict is None else strict
+        # _buckets[t] is the FIFO list of activation records for cycle t;
+        # _times is a min-heap of the distinct keys of _buckets (never
+        # empty buckets).
+        self._buckets: dict[int, list[tuple]] = {}
         self._times: list[int] = []
         self._processed: int = 0
+        self._activations: int = 0
         # The dict is never reassigned, so its bound .get is safe to cache
-        # (one attribute load fewer per schedule call).
+        # (one attribute load fewer per post).
         self._get_bucket = self._buckets.get
+        self._sink: Callable = _unbound_sink
+        self._gen: Callable = _unbound_gen
+        # Strict mode selects the validated generic API per instance
+        # (``schedule`` shadows nothing: it is a slot, not a method).
+        if self.strict:
+            self.schedule = self._schedule_checked
+            self.schedule_at = self._schedule_at_checked
+        else:
+            self.schedule = self._schedule_fast
+            self.schedule_at = self._schedule_at_fast
 
-    def schedule(self, delay: int, fn: Callable, *args) -> None:
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind_sink(self, fn: Callable) -> None:
+        """Set the ejection sink called as ``fn(pkt, now)`` for
+        ``OP_DELIVER`` records."""
+        self._sink = fn
+
+    def bind_gen(self, fn: Callable) -> None:
+        """Set the generator handler called for ``OP_GEN`` records."""
+        self._gen = fn
+
+    def hot_interface(self) -> tuple[dict, Callable, list]:
+        """``(buckets, buckets.get, times)`` for trusted inline posting.
+
+        Handed to routers in ``_bind_hot`` so the per-hop phase handlers
+        can append activation records without a function call.  The three
+        objects are mutated in place and never reassigned, so the refs
+        stay live for the queue's lifetime.
+        """
+        return self._buckets, self._get_bucket, self._times
+
+    # ------------------------------------------------------------------
+    # posting
+    # ------------------------------------------------------------------
+    def post(self, time: int, record: tuple) -> None:
+        """Append activation *record* to the cycle-*time* bucket (trusted).
+
+        No validation: callers are internal components that construct
+        well-formed records with integer times ``>= now``.  External code
+        and tests should use :meth:`schedule`/:meth:`schedule_at`.
+        """
+        bucket = self._get_bucket(time)
+        if bucket is None:
+            self._buckets[time] = [record]
+            heappush(self._times, time)
+        else:
+            bucket.append(record)
+
+    def _schedule_checked(self, delay: int, fn: Callable, *args) -> None:
         """Run ``fn(*args)`` *delay* cycles from now (integer delay >= 0)."""
         if delay.__class__ is not int and not isinstance(delay, int):
             raise SimulationError(
@@ -62,15 +205,9 @@ class EventQueue:
             )
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} cycles in the past")
-        t = self.now + delay
-        bucket = self._get_bucket(t)
-        if bucket is None:
-            self._buckets[t] = [(fn, args)]
-            heappush(self._times, t)
-        else:
-            bucket.append((fn, args))
+        self.post(self.now + delay, (0, fn, args))
 
-    def schedule_at(self, time: int, fn: Callable, *args) -> None:
+    def _schedule_at_checked(self, time: int, fn: Callable, *args) -> None:
         """Run ``fn(*args)`` at absolute integer cycle *time* (>= now)."""
         if time.__class__ is not int and not isinstance(time, int):
             raise SimulationError(
@@ -82,84 +219,194 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self.now}"
             )
-        bucket = self._get_bucket(time)
-        if bucket is None:
-            self._buckets[time] = [(fn, args)]
-            heappush(self._times, time)
-        else:
-            bucket.append((fn, args))
+        self.post(time, (0, fn, args))
 
+    def _schedule_fast(self, delay: int, fn: Callable, *args) -> None:
+        """Unvalidated :meth:`schedule` (strict mode off)."""
+        self.post(self.now + delay, (0, fn, args))
+
+    def _schedule_at_fast(self, time: int, fn: Callable, *args) -> None:
+        """Unvalidated :meth:`schedule_at` (strict mode off)."""
+        self.post(time, (0, fn, args))
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
     def run_until(self, t_end: int) -> None:
-        """Process events with ``time <= t_end``; sets ``now = t_end``.
+        """Process activations with ``time <= t_end``; sets ``now = t_end``.
 
-        Events scheduled during processing are honoured if they fall within
-        the horizon.
+        Records posted during processing are honoured if they fall within
+        the horizon.  This is the engine's inner loop: one bucket pop per
+        distinct cycle, then an opcode-dispatched scan over the bucket
+        with the comparison chain ordered by measured record frequency.
         """
         buckets = self._buckets
         times = self._times
+        sink = self._sink
+        gen = self._gen
         while times and times[0] <= t_end:
             t = heappop(times)
             bucket = buckets[t]
             self.now = t
             i = 0
+            extra = 0
+            n = len(bucket)
             try:
                 # The bucket may grow while we drain it (same-cycle
-                # scheduling); re-checking len() after each batch picks the
-                # appended events up in order without a len() per event.
-                n = len(bucket)
-                while i < n:
-                    for fn, args in bucket[i:n]:
+                # posting); re-checking len() after each batch picks the
+                # appended records up in order without a len() per record.
+                while True:
+                    for rec in bucket[i:n]:
                         i += 1
-                        fn(*args)
+                        op = rec[0]
+                        # Comparison chain ordered by measured record
+                        # frequency across the gate configs.
+                        if op == 1:  # OP_STEP: router activation
+                            r = rec[1]
+                            if r._arb_time == t:
+                                r._arb_time = None
+                                if r.active_keys:
+                                    r.step(t)
+                                # an idle router woken by a release costs
+                                # two attribute loads, no Python frame
+                            # stale token (superseded arming): 1 compare
+                        elif op == 3:  # OP_OUT_ARRIVE
+                            rec[1].output_enqueue(rec[2], rec[3], rec[4], t)
+                        elif op == 2:  # OP_ARRIVE
+                            rec[1].arrive(rec[2], rec[3], rec[4], t)
+                        elif op == 7:  # OP_CREDIT
+                            rec[1].release_credit(rec[2], rec[3], rec[4], t)
+                        elif op == 6:  # OP_RELEASE
+                            rec[1].release_output(rec[2], rec[3], t)
+                        elif op == 4:  # OP_SEND
+                            rec[1].send(rec[2], t)
+                        elif op == 5:  # OP_LINK (weight 2)
+                            extra += 1
+                            rec[1].link_step(rec[2], rec[3], t)
+                        elif op == 9:  # OP_GEN
+                            gen(rec[1])
+                        elif op == 8:  # OP_DELIVER
+                            sink(rec[1], t)
+                        else:  # OP_CALL: generic callback
+                            rec[1](*rec[2])
                     n = len(bucket)
+                    if i == n:
+                        break
             finally:
-                self._processed += i
+                # Semantic-event accounting: a raised record is consumed
+                # (i was already advanced past it) and the remainder of
+                # the bucket survives for a later drain.
+                self._processed += i + extra
+                self._activations += i
                 if i == len(bucket):
                     del buckets[t]
-                else:  # an event raised mid-bucket: keep the remainder
+                else:
                     del bucket[:i]
                     heappush(times, t)
         self.now = t_end
 
     def drain(self, t_max: int) -> bool:
-        """Process every remaining event with ``time <= t_max``.
+        """Process every remaining activation with ``time <= t_max``.
 
         Used by the simulation oracle to flush the network after the
         measurement horizon: generators have stopped rescheduling by
         then, so the queue empties once all in-flight packets land.
         Returns ``True`` when the queue is empty afterwards; ``False``
-        means events remain beyond *t_max* (something is still feeding
-        the queue — the caller treats that as a failed drain).
+        means activations remain beyond *t_max* (something is still
+        feeding the queue — the caller treats that as a failed drain).
         """
         self.run_until(t_max)
         return not self._times
 
     def run_next(self) -> bool:
-        """Process the single earliest event; False if the queue is empty."""
+        """Process the single earliest record; False if the queue is empty.
+
+        A merged ``OP_LINK`` record executes both of its phases (release
+        and next transmission) and counts 2 processed events.
+        """
         times = self._times
         if not times:
             return False
         t = times[0]
         bucket = self._buckets[t]
-        fn, args = bucket.pop(0)
+        rec = bucket.pop(0)
+        self.now = t
+        self._activations += 1
+        op = rec[0]
+        self._processed += 2 if op == _WEIGHT_2 else 1
+        if op == 1:
+            r = rec[1]
+            if r._arb_time == t:
+                r._arb_time = None
+                if r.active_keys:
+                    r.step(t)
+        elif op == 3:
+            rec[1].output_enqueue(rec[2], rec[3], rec[4], t)
+        elif op == 5:
+            rec[1].link_step(rec[2], rec[3], t)
+        elif op == 2:
+            rec[1].arrive(rec[2], rec[3], rec[4], t)
+        elif op == 9:
+            self._gen(rec[1])
+        elif op == 7:
+            rec[1].release_credit(rec[2], rec[3], rec[4], t)
+        elif op == 6:
+            rec[1].release_output(rec[2], rec[3], t)
+        elif op == 8:
+            self._sink(rec[1], t)
+        elif op == 4:
+            rec[1].send(rec[2], t)
+        else:
+            rec[1](*rec[2])
+        # Deleting the bucket only after dispatch lets typed handlers
+        # append same-cycle follow-ups (e.g. a release re-arming a step).
         if not bucket:
             heappop(times)
             del self._buckets[t]
-        self.now = t
-        self._processed += 1
-        fn(*args)
         return True
 
+    # ------------------------------------------------------------------
+    # introspection (not on the hot path)
+    # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of queued events (computed; not on the hot path)."""
-        return sum(map(len, self._buckets.values()))
+        """Number of queued semantic events (merged records count 2)."""
+        return sum(
+            len(bucket) + sum(1 for rec in bucket if rec[0] == _WEIGHT_2)
+            for bucket in self._buckets.values()
+        )
 
     @property
     def processed(self) -> int:
-        """Total events executed so far (engine health metric)."""
+        """Total semantic events executed so far (engine health metric).
+
+        Counts exactly what the per-event engine counted: each phase of a
+        merged record is one event, so the figure is directly comparable
+        across engine generations (and pinned by the golden traces).
+        """
         return self._processed
 
+    @property
+    def activations(self) -> int:
+        """Total activation records dispatched (``<= processed``).
+
+        The gap to :attr:`processed` measures how much per-event dispatch
+        the phase-batched layout avoided.
+        """
+        return self._activations
+
     def peek_time(self) -> int | None:
-        """Timestamp of the earliest queued event, or None when empty."""
+        """Timestamp of the earliest queued record, or None when empty."""
         return self._times[0] if self._times else None
+
+
+def _unbound_sink(pkt, now) -> None:  # pragma: no cover - wiring error guard
+    raise SimulationError(
+        "OP_DELIVER dispatched before EventQueue.bind_sink() was called"
+    )
+
+
+def _unbound_gen(node) -> None:  # pragma: no cover - wiring error guard
+    raise SimulationError(
+        "OP_GEN dispatched before EventQueue.bind_gen() was called"
+    )

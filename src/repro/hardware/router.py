@@ -12,9 +12,10 @@ Model summary (DESIGN.md Sections 4-5):
   of the switch for ``size/speedup`` cycles), (b) output FIFO space, and
   (c) downstream credit for the selected VC.  Winner selection implements
   optional transit-over-injection priority (see
-  :mod:`repro.hardware.allocator`).  Passes are self-scheduling: a pass
-  that leaves time-blocked work reschedules itself at the earliest release
-  time; resource-blocked work is re-woken by credit/buffer release events.
+  :mod:`repro.hardware.allocator`).  Activations are self-scheduling: a
+  pass that leaves time-blocked work re-arms itself at the earliest
+  release time; resource-blocked work is re-woken by credit/buffer
+  release activations.
 * **Output side** — a FIFO per port drains onto the link at 1 phit/cycle
   (8 cycles per packet) after the 5-cycle pipeline; propagation latency is
   added on top.  Ejection (node) ports deliver to the simulation sink.
@@ -26,6 +27,30 @@ The router knows nothing about routing policies: it calls
 ``routing.decide(pkt, router)`` for heads and ``routing.commit(...)`` for
 winners, keeping the mechanism/microarchitecture separation of FOGSim.
 
+Activation model (the phase-batched engine core; see README "Engine
+architecture"):
+
+* The engine dispatches typed activation records to the *phase handlers*
+  :meth:`arrive` (input arrival), :meth:`step` (the consolidated
+  arbitration → commit pipeline), :meth:`output_enqueue` (switch
+  traversal into an output FIFO), :meth:`send`/:meth:`link_step` (link
+  transmission; ``link_step`` is the merged tail-release + next
+  transmission of a busy link) and :meth:`release_output` /
+  :meth:`release_credit` (resource releases that re-arm the pipeline).
+* A pipeline activation is requested through :meth:`schedule_arb`, which
+  posts the router's constant ``(OP_STEP, self)`` token under the
+  ``_arb_time`` dirty mark — each (router × cycle) pair is armed at most
+  once, and the engine's dispatch loop skips stale tokens with a single
+  integer compare.  The intra-cycle order of phases is exactly the FIFO
+  order in which their records were posted, which reproduces the
+  per-event engine's interleaving bit for bit (merged records stand
+  where their first legacy event stood and their halves were adjacent).
+* Handlers post follow-up records inline through the engine's
+  ``hot_interface()`` (bucket dict + helper heap) — no scheduling call,
+  and the hottest records (activation token, per-port send/link records,
+  per-input credit returns) are prebuilt constants, so steady-state
+  forwarding allocates one tuple per link traversal.
+
 Hot-path layout (the allocation pass dominates simulation wall-clock):
 
 * per-port and per-(port, VC) state is kept in flat pre-sized lists —
@@ -33,7 +58,7 @@ Hot-path layout (the allocation pass dominates simulation wall-clock):
   says how many VCs are credited; 0 for node ports) so the inner loop does
   one list index instead of chasing a list-of-lists;
 * ``routing.decide`` results are memoized per input key while the same
-  packet stays at the head of that FIFO (see ``_dec_cache``).  A cached
+  packet stays at the head of that FIFO (see the ``_dc_*`` arrays).  A cached
   decision is only stored when the mechanism's
   :meth:`~repro.routing.base.RoutingMechanism.decision_stable` contract
   says re-deciding would provably return the same tuple without consuming
@@ -41,13 +66,27 @@ Hot-path layout (the allocation pass dominates simulation wall-clock):
   are invalidated on commit (the head changes); a packet's routing state
   only mutates in ``commit``/``on_arrival``, never while it waits at a
   head, so the packet-identity check covers arrivals behind the head.
+  The cache is keyed per activation: epoch-conditioned entries reuse a
+  decision across activations only while the router's congestion epoch
+  (bumped at every commit/release phase boundary) is unchanged.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 
-from repro.errors import FlowControlError
+from repro.engine.events import (
+    OP_ARRIVE,
+    OP_CREDIT,
+    OP_DELIVER,
+    OP_LINK,
+    OP_OUT_ARRIVE,
+    OP_RELEASE,
+    OP_SEND,
+    OP_STEP,
+)
+from repro.errors import FlowControlError, RoutingError
 from repro.hardware.allocator import select_winner
 from repro.hardware.packet import Packet
 
@@ -98,14 +137,27 @@ class Router:
         "_local_in",
         "_global_out",
         "_num_node_ports",
-        "_dec_cache",
+        "_dc_pkt",
+        "_dc_dec",
+        "_dc_cond",
         "_key_port",
         "_pipe_lat",
         "_on_injection",
-        "_deliver",
         "_hot",
+        "_hot2",
+        "_hot3",
+        "_hot_in",
         "_cong_epoch",
         "transit_priority",
+        "_psize",
+        "_eq_buckets",
+        "_eq_get",
+        "_eq_times",
+        "_token",
+        "_send_recs",
+        "_link_recs",
+        "_rel_recs",
+        "_credit_recs",
     )
 
     def __init__(self, sim, router_id: int) -> None:
@@ -123,6 +175,7 @@ class Router:
         self.injection_boundary = topo.p * self.max_vcs
         # A packet crosses the 2x-speedup crossbar in size/speedup cycles.
         psize = sim.config.traffic.packet_size
+        self._psize = psize
         self.internal_cycles = max(1, -(-psize // rc.speedup))
 
         # ---- input side ------------------------------------------------
@@ -179,15 +232,21 @@ class Router:
         self.upstream: list[tuple["Router", int] | None] = [None] * self.radix
         self.routing = None  # set by Simulation (then _bind_hot())
         self._hot: tuple | None = None
+        self._hot2: tuple | None = None
+        self._hot3: tuple | None = None
+        self._hot_in: tuple | None = None
         self.transit_priority = rc.transit_priority
         self._arb_time: int | None = None
 
-        # Memoized head decisions: _dec_cache[key] is (pkt, dec, cond)
-        # while the mechanism vouches the decision is repeatable for that
-        # head, else None.  cond is None for unconditionally-stable
-        # decisions, or the congestion epoch the decision was computed at
-        # for RNG-free adaptive decisions (valid while the epoch holds).
-        self._dec_cache: list[tuple | None] = [None] * self.nkeys
+        # Memoized head decisions in parallel arrays (no tuple
+        # allocation per memo write): _dc_pkt[key] is the head packet the
+        # cached _dc_dec[key] belongs to (None = no valid entry), and
+        # _dc_cond[key] is None for unconditionally-stable decisions or
+        # the congestion epoch the decision was computed at for RNG-free
+        # adaptive decisions (valid while the epoch holds).
+        self._dc_pkt: list = [None] * self.nkeys
+        self._dc_dec: list = [None] * self.nkeys
+        self._dc_cond: list = [None] * self.nkeys
         # Bumped whenever out_occ / credits_used change (commit, output
         # release, credit release): the invalidation signal for
         # epoch-conditioned cached decisions.
@@ -202,7 +261,23 @@ class Router:
         self._global_out = [k == "global" for k in topo.port_kind]
         self._pipe_lat = rc.pipeline_latency
         self._on_injection = sim.stats.on_injection
-        self._deliver = sim.deliver
+
+        # Engine hot interface (bucket dict, dict.get, time heap) for
+        # inline posting, plus the prebuilt constant activation records.
+        self._eq_buckets, self._eq_get, self._eq_times = (
+            sim.engine.hot_interface()
+        )
+        self._token = (OP_STEP, self)  # this router's activation token
+        self._send_recs = [(OP_SEND, self, port) for port in range(self.radix)]
+        self._link_recs = [
+            (OP_LINK, self, port, psize) for port in range(self.radix)
+        ]
+        self._rel_recs = [
+            (OP_RELEASE, self, port, psize) for port in range(self.radix)
+        ]
+        # OP_CREDIT records to the upstream router, per input key; built
+        # in _bind_hot once the Simulation has wired `upstream`.
+        self._credit_recs: list[tuple | None] = [None] * self.nkeys
 
         # Contention-free per-hop service cost by port kind, used for the
         # packet latency ledger: pipeline + serialisation + propagation.
@@ -290,54 +365,91 @@ class Router:
         ]
 
     # ------------------------------------------------------------------
-    # ingress
+    # ingress phase
     # ------------------------------------------------------------------
-    def inject(self, node_port: int, pkt: Packet) -> None:
+    def inject(self, node_port: int, pkt: Packet, now: int | None = None) -> None:
         """Enqueue a freshly generated packet on a node (injection) port."""
+        if now is None:
+            now = self.engine.now
         key = node_port * self.max_vcs
-        pkt.t_enq = self.engine.now
+        pkt.t_enq = now
         self.in_q[key].append(pkt)
         self.active_keys.add(key)
-        self.schedule_arb(self.engine.now)
+        # Inlined schedule_arb(now).
+        t = self._arb_time
+        if t is None or t > now:
+            self._arb_time = now
+            bucket = self._eq_get(now)
+            if bucket is None:
+                self._eq_buckets[now] = [self._token]
+                heappush(self._eq_times, now)
+            else:
+                bucket.append(self._token)
 
-    def _in_arrive(self, port: int, vc: int, pkt: Packet) -> None:
-        """A packet's tail reached input buffer (port, vc)."""
-        key = port * self.max_vcs + vc
-        now = self.engine.now
-        q = self.in_q[key]
+    def arrive(self, port: int, vc: int, pkt: Packet, now: int) -> None:
+        """Phase handler: a packet's tail reached input buffer (port, vc)."""
+        (
+            in_q,
+            in_occ,
+            on_arrival,
+            in_port_free,
+            active_keys,
+            max_vcs,
+        ) = self._hot_in
+        key = port * max_vcs + vc
+        q = in_q[key]
         if q is None:
             raise FlowControlError(
                 f"router {self.router_id}: arrival on invalid VC "
                 f"(port {port}, vc {vc})"
             )
-        self.in_occ[key] += pkt.size
-        if CHECK_INVARIANTS and self.in_occ[key] > self.in_cap[key]:
+        in_occ[key] += pkt.size
+        if CHECK_INVARIANTS and in_occ[key] > self.in_cap[key]:
             raise FlowControlError(
                 f"router {self.router_id}: input buffer overflow on port "
-                f"{port} vc {vc}: {self.in_occ[key]} > {self.in_cap[key]}"
+                f"{port} vc {vc}: {in_occ[key]} > {self.in_cap[key]}"
             )
         pkt.t_enq = now
-        self.routing.on_arrival(pkt, self, port)
+        if on_arrival is None:
+            # Inlined RoutingMechanism.on_arrival (group transitions and
+            # source-routed plan updates).
+            group = self.group
+            if group != pkt.current_group:
+                pkt.current_group = group
+                pkt.group_local_hops = 0
+                if pkt.inter_group == group:
+                    pkt.inter_group = -1  # intermediate group reached
+            if pkt.plan == 2 and self.router_id == pkt.inter_router:
+                pkt.plan = 1  # intermediate router reached; minimal onwards
+        else:
+            on_arrival(pkt, self, port)
         q.append(pkt)
-        self.active_keys.add(key)
+        active_keys.add(key)
         # Inlined schedule_arb(max(now, in_port_free[port])).
-        time = self.in_port_free[port]
+        time = in_port_free[port]
         if time < now:
             time = now
         t = self._arb_time
         if t is None or t > time:
             self._arb_time = time
-            self.engine.schedule_at(time, self._arb_event)
+            bucket = self._eq_get(time)
+            if bucket is None:
+                self._eq_buckets[time] = [self._token]
+                heappush(self._eq_times, time)
+            else:
+                bucket.append(self._token)
 
     # ------------------------------------------------------------------
-    # allocation
+    # allocation phase
     # ------------------------------------------------------------------
     def _bind_hot(self) -> None:
         """Freeze the allocation pass's working set into one tuple.
 
-        Called by the Simulation once ``routing`` is wired.  ``_arb_pass``
+        Called by the Simulation once ``routing`` is wired.  ``step``
         unpacks this single attribute instead of a dozen — every list here
         is mutated in place and never reassigned, so the refs stay live.
+        Also prebuilds the per-input-key OP_CREDIT records (the upstream
+        wiring is final by now).
         """
         routing = self.routing
         self._hot = (
@@ -349,31 +461,115 @@ class Router:
             self.credits_used,
             self.credit_cap,
             self.credit_nvc,
-            self._dec_cache,
+            self._dc_pkt,
+            self._dc_dec,
+            self._dc_cond,
             self._key_port,
             routing.decide,
             routing.cache_policy,
             routing,
         )
+        # Arrival-phase working set.  The base arrival bookkeeping is
+        # inlined in `arrive`; a mechanism that overrides
+        # RoutingMechanism.on_arrival (none in-tree) is detected here and
+        # called through the slow path instead.
+        arr_fn = type(routing).on_arrival
+        arr_is_base = arr_fn.__qualname__ == "RoutingMechanism.on_arrival"
+        self._hot_in = (
+            self.in_q,
+            self.in_occ,
+            None if arr_is_base else routing.on_arrival,
+            self.in_port_free,
+            self.active_keys,
+            self.max_vcs,
+        )
+        # Output/link-phase working set.
+        self._hot3 = (
+            self.out_fifo,
+            self.out_pumping,
+            self.link_free,
+            self._global_out,
+            self._send_recs,
+            self._link_recs,
+            self._rel_recs,
+            self.out_peer,
+            self._link_lat,
+            self._psize,
+            self._eq_buckets,
+            self._eq_get,
+            self._eq_times,
+        )
+        # The base hop-accounting commit is inlined in _commit; a
+        # mechanism that overrides RoutingMechanism.commit (none in-tree)
+        # is detected here and called through the slow path instead.
+        commit_fn = type(routing).commit
+        commit_is_base = commit_fn.__qualname__ == "RoutingMechanism.commit"
+        # Commit-phase working set (same liveness argument as _hot).
+        self._hot2 = (
+            self.active_keys,
+            self._dc_pkt,
+            self.in_port_free,
+            self.switch_free,
+            self.out_occ,
+            self.in_occ,
+            self.credits_used,
+            self.credit_nvc,
+            self.credit_cap,
+            self._credit_recs,
+            self._eq_buckets,
+            self._eq_get,
+            self._eq_times,
+            self._local_in,
+            self._link_lat,
+            self._hop_cost,
+            None if commit_is_base else routing.commit,
+            self._on_injection,
+            self.max_vcs,
+            self.internal_cycles,
+            self._num_node_ports,
+            self._psize,
+            self._pipe_lat,
+        )
+        psize = self._psize
+        max_vcs = self.max_vcs
+        for key in range(self.nkeys):
+            port = key // max_vcs
+            up = self.upstream[port]
+            if up is not None and port >= self._num_node_ports:
+                up_router, up_port = up
+                self._credit_recs[key] = (
+                    OP_CREDIT,
+                    up_router,
+                    up_port,
+                    key - port * max_vcs,
+                    psize,
+                )
 
     def schedule_arb(self, time: int) -> None:
-        """Request an allocation pass at cycle *time* (deduplicated)."""
+        """Arm a pipeline activation at cycle *time* (dirty-deduplicated).
+
+        Posts the router's constant ``(OP_STEP, self)`` token unless an
+        activation at or before *time* is already armed; the engine's
+        dispatch loop re-checks ``_arb_time`` so superseded tokens are
+        skipped with one integer compare.
+        """
         t = self._arb_time
         if t is not None and t <= time:
             return
         self._arb_time = time
-        self.engine.schedule_at(time, self._arb_event)
+        bucket = self._eq_get(time)
+        if bucket is None:
+            self._eq_buckets[time] = [self._token]
+            heappush(self._eq_times, time)
+        else:
+            bucket.append(self._token)
 
-    def _arb_event(self) -> None:
-        # The event fires exactly at its scheduled cycle, so engine.now
-        # identifies it; a mismatch means an earlier pass superseded it.
-        if self._arb_time != self.engine.now:
-            return
-        self._arb_time = None
-        self._arb_pass()
+    def step(self, now: int) -> None:
+        """Consolidated pipeline activation: arbitrate and commit at *now*.
 
-    def _arb_pass(self) -> None:
-        """One allocation pass over all active input heads.
+        One activation runs the whole allocation pass over all active
+        input heads and commits every grant (switch traversal, credit
+        consumption, downstream scheduling) in a single call.
 
         With ``transit_priority`` the priority is *strict* (Blue Gene
         style): an injection candidate is suppressed whenever any transit
@@ -384,15 +580,11 @@ class Router:
         paper attributes to its transit-over-injection configuration and
         the origin of the bottleneck-router starvation (Section V-B).
         """
+        self._arb_time = None
         active_keys = self.active_keys
         if not active_keys:
-            return  # a release event woke an idle router: nothing to do
-        now = self.engine.now
-        next_time: int | None = None
-        granted = False
-        cand_by_out: dict[int, list] = {}
+            return  # a release activation woke an idle router: nothing to do
         use_priority = self.transit_priority
-        transit_demand: set[int] | None = None  # lazily created set
         max_vcs = self.max_vcs
         boundary = self.injection_boundary
         (
@@ -404,7 +596,9 @@ class Router:
             credits_used,
             credit_cap,
             credit_nvc,
-            cache,
+            dc_pkt,
+            dc_dec,
+            dc_cond,
             key_port,
             decide,
             cache_policy,
@@ -412,6 +606,152 @@ class Router:
         ) = self._hot
         my_group = self.group
         epoch = self._cong_epoch  # stable through the scan (no commits yet)
+
+        if len(active_keys) == 1:
+            # Uncontended fast path (the most common activation shape):
+            # one head, no output competition, no intermediate lists.
+            # Byte-for-byte the same decisions, cache writes and RNG
+            # consumption as the general scan below restricted to one key.
+            for key in active_keys:
+                break
+            q = in_q[key]
+            if not q:
+                active_keys.discard(key)
+                return
+            pkt = q[0]
+            t_free = in_port_free[key_port[key]]
+            if t_free > now:
+                if key >= boundary and use_priority:
+                    # Assert the head's demand (cache write + possible RNG
+                    # draw happen exactly as in the general scan; with no
+                    # competing injection head the mask itself is moot).
+                    if not (
+                        dc_pkt[key] is pkt
+                        and (
+                            (cond := dc_cond[key]) is None
+                            or cond == epoch
+                            or (
+                                cond.__class__ is tuple
+                                and (
+                                    credits_used[cond[1]]
+                                    if cond[0]
+                                    else out_occ[cond[1]]
+                                )
+                                == cond[2]
+                            )
+                        )
+                    ):
+                        dec = decide(pkt, self)
+                        if cache_policy == 1:
+                            dc_pkt[key] = pkt
+                            dc_dec[key] = dec
+                            dc_cond[key] = None
+                        elif cache_policy == 2:
+                            if pkt.plan:
+                                dc_pkt[key] = pkt
+                                dc_dec[key] = dec
+                                dc_cond[key] = None
+                        elif cache_policy == 3:
+                            if pkt.inter_group >= 0 and my_group != pkt.dst_group:
+                                dc_pkt[key] = pkt
+                                dc_dec[key] = dec
+                                dc_cond[key] = None
+                            elif routing.last_decide_pure:
+                                dc_pkt[key] = pkt
+                                dc_dec[key] = dec
+                                g = routing.last_decide_guard
+                                if g is None:
+                                    dc_cond[key] = epoch
+                                elif g:
+                                    dc_cond[key] = g  # single-counter guard
+                                else:  # GUARD_STABLE: frozen-pure decision
+                                    dc_cond[key] = None
+                # Inlined schedule_arb(t_free): _arb_time is None here.
+                self._arb_time = t_free
+                bucket = self._eq_get(t_free)
+                if bucket is None:
+                    self._eq_buckets[t_free] = [self._token]
+                    heappush(self._eq_times, t_free)
+                else:
+                    bucket.append(self._token)
+                return
+            if dc_pkt[key] is pkt and (
+                (cond := dc_cond[key]) is None
+                or cond == epoch
+                or (
+                    cond.__class__ is tuple
+                    and (credits_used[cond[1]] if cond[0] else out_occ[cond[1]])
+                    == cond[2]
+                )
+            ):
+                dec = dc_dec[key]
+            else:
+                dec = decide(pkt, self)
+                # Inlined cache-policy switch (decision_stable).
+                if cache_policy == 1:
+                    dc_pkt[key] = pkt
+                    dc_dec[key] = dec
+                    dc_cond[key] = None
+                elif cache_policy == 2:
+                    if pkt.plan:
+                        dc_pkt[key] = pkt
+                        dc_dec[key] = dec
+                        dc_cond[key] = None
+                elif cache_policy == 3:
+                    if pkt.inter_group >= 0 and my_group != pkt.dst_group:
+                        dc_pkt[key] = pkt
+                        dc_dec[key] = dec
+                        dc_cond[key] = None
+                    elif routing.last_decide_pure:
+                        dc_pkt[key] = pkt
+                        dc_dec[key] = dec
+                        g = routing.last_decide_guard
+                        if g is None:
+                            dc_cond[key] = epoch
+                        elif g:
+                            dc_cond[key] = g  # single-counter guard
+                        else:  # GUARD_STABLE: frozen-pure decision
+                            dc_cond[key] = None
+            out_port = dec[0]
+            t_sw = switch_free[out_port]
+            if t_sw > now:
+                # Inlined schedule_arb(t_sw): _arb_time is None here.
+                self._arb_time = t_sw
+                bucket = self._eq_get(t_sw)
+                if bucket is None:
+                    self._eq_buckets[t_sw] = [self._token]
+                    heappush(self._eq_times, t_sw)
+                else:
+                    bucket.append(self._token)
+                return
+            size = pkt.size
+            if out_occ[out_port] + size > out_cap[out_port]:
+                return  # woken by release_output
+            if credit_nvc[out_port] and (
+                credits_used[out_port * max_vcs + dec[1]] + size
+                > credit_cap[out_port]
+            ):
+                return  # woken by release_credit
+            self.last_grant[out_port] = key
+            self._commit(out_port, key, pkt, dec, now)
+            if active_keys:
+                # Progress this cycle; the remaining backlog (a multi-VC
+                # queue behind the granted head) retries next cycle.
+                # Inlined schedule_arb(now + 1): _arb_time is None here.
+                t = now + 1
+                self._arb_time = t
+                bucket = self._eq_get(t)
+                if bucket is None:
+                    self._eq_buckets[t] = [self._token]
+                    heappush(self._eq_times, t)
+                else:
+                    bucket.append(self._token)
+            return
+
+        next_time: int | None = None
+        granted = False
+        cand_by_out: dict[int, list] | None = None  # lazily created
+        transit_demand: set[int] | None = None  # lazily created set
         dead: list[int] | None = None
 
         for key in active_keys:
@@ -432,24 +772,47 @@ class Router:
                 if is_transit and use_priority:
                     # Still assert this head's demand for priority masking.
                     pkt = q[0]
-                    ent = cache[key]
-                    if ent is not None and ent[0] is pkt and (
-                        ent[2] is None or ent[2] == epoch
+                    if dc_pkt[key] is pkt and (
+                        (cond := dc_cond[key]) is None
+                        or cond == epoch
+                        or (
+                            cond.__class__ is tuple
+                            and (
+                                credits_used[cond[1]]
+                                if cond[0]
+                                else out_occ[cond[1]]
+                            )
+                            == cond[2]
+                        )
                     ):
-                        demand_port = ent[1][0]
+                        demand_port = dc_dec[key][0]
                     else:
                         dec = decide(pkt, self)
                         # Inlined cache-policy switch (decision_stable).
                         if cache_policy == 1:
-                            cache[key] = (pkt, dec, None)
+                            dc_pkt[key] = pkt
+                            dc_dec[key] = dec
+                            dc_cond[key] = None
                         elif cache_policy == 2:
                             if pkt.plan:
-                                cache[key] = (pkt, dec, None)
+                                dc_pkt[key] = pkt
+                                dc_dec[key] = dec
+                                dc_cond[key] = None
                         elif cache_policy == 3:
                             if pkt.inter_group >= 0 and my_group != pkt.dst_group:
-                                cache[key] = (pkt, dec, None)
+                                dc_pkt[key] = pkt
+                                dc_dec[key] = dec
+                                dc_cond[key] = None
                             elif routing.last_decide_pure:
-                                cache[key] = (pkt, dec, epoch)
+                                dc_pkt[key] = pkt
+                                dc_dec[key] = dec
+                                g = routing.last_decide_guard
+                                if g is None:
+                                    dc_cond[key] = epoch
+                                elif g:
+                                    dc_cond[key] = g  # single-counter guard
+                                else:  # GUARD_STABLE: frozen-pure decision
+                                    dc_cond[key] = None
                         demand_port = dec[0]
                     if transit_demand is None:
                         transit_demand = {demand_port}
@@ -457,24 +820,43 @@ class Router:
                         transit_demand.add(demand_port)
                 continue
             pkt = q[0]
-            ent = cache[key]
-            if ent is not None and ent[0] is pkt and (
-                ent[2] is None or ent[2] == epoch
+            if dc_pkt[key] is pkt and (
+                (cond := dc_cond[key]) is None
+                or cond == epoch
+                or (
+                    cond.__class__ is tuple
+                    and (credits_used[cond[1]] if cond[0] else out_occ[cond[1]])
+                    == cond[2]
+                )
             ):
-                dec = ent[1]
+                dec = dc_dec[key]
             else:
                 dec = decide(pkt, self)
                 # Inlined cache-policy switch (decision_stable).
                 if cache_policy == 1:
-                    cache[key] = (pkt, dec, None)
+                    dc_pkt[key] = pkt
+                    dc_dec[key] = dec
+                    dc_cond[key] = None
                 elif cache_policy == 2:
                     if pkt.plan:
-                        cache[key] = (pkt, dec, None)
+                        dc_pkt[key] = pkt
+                        dc_dec[key] = dec
+                        dc_cond[key] = None
                 elif cache_policy == 3:
                     if pkt.inter_group >= 0 and my_group != pkt.dst_group:
-                        cache[key] = (pkt, dec, None)
+                        dc_pkt[key] = pkt
+                        dc_dec[key] = dec
+                        dc_cond[key] = None
                     elif routing.last_decide_pure:
-                        cache[key] = (pkt, dec, epoch)
+                        dc_pkt[key] = pkt
+                        dc_dec[key] = dec
+                        g = routing.last_decide_guard
+                        if g is None:
+                            dc_cond[key] = epoch
+                        elif g:
+                            dc_cond[key] = g  # single-counter guard
+                        else:  # GUARD_STABLE: frozen-pure decision
+                            dc_cond[key] = None
             out_port = dec[0]
             if is_transit and use_priority:
                 if transit_demand is None:
@@ -488,23 +870,26 @@ class Router:
                 continue
             size = pkt.size
             if out_occ[out_port] + size > out_cap[out_port]:
-                continue  # woken by _out_release
+                continue  # woken by release_output
             if credit_nvc[out_port] and (
                 credits_used[out_port * max_vcs + dec[1]] + size
                 > credit_cap[out_port]
             ):
-                continue  # woken by _credit_release
-            lst = cand_by_out.get(out_port)
-            if lst is None:
-                cand_by_out[out_port] = [(key, pkt, dec)]
+                continue  # woken by release_credit
+            if cand_by_out is None:
+                cand_by_out = {out_port: [(key, pkt, dec)]}
             else:
-                lst.append((key, pkt, dec))
+                lst = cand_by_out.get(out_port)
+                if lst is None:
+                    cand_by_out[out_port] = [(key, pkt, dec)]
+                else:
+                    lst.append((key, pkt, dec))
 
         if dead is not None:
             for key in dead:
                 active_keys.discard(key)
 
-        for out_port, cands in cand_by_out.items():
+        for out_port, cands in (() if cand_by_out is None else cand_by_out.items()):
             if len(cands) == 1:
                 # Uncontended fast path: apply the same filters without
                 # building intermediate lists.
@@ -536,140 +921,278 @@ class Router:
                         injection_boundary=boundary,
                     )
             self.last_grant[out_port] = winner[0]
-            self._commit(out_port, *winner)
+            self._commit(out_port, winner[0], winner[1], winner[2], now)
             granted = True
 
         if next_time is not None:
-            self.schedule_arb(next_time)
-        elif granted and self.active_keys:
+            t = next_time
+        elif granted and active_keys:
             # Progress happened this cycle; backlogged heads (arbitration
             # losers or multi-VC queues) retry next cycle.  Heads blocked on
-            # buffers/credits are re-woken by the release events instead.
-            self.schedule_arb(now + 1)
+            # buffers/credits are re-woken by the release activations.
+            t = now + 1
+        else:
+            return
+        # Inlined schedule_arb(t): _arb_time is None throughout a pass.
+        self._arb_time = t
+        bucket = self._eq_get(t)
+        if bucket is None:
+            self._eq_buckets[t] = [self._token]
+            heappush(self._eq_times, t)
+        else:
+            bucket.append(self._token)
 
-    def _commit(self, out_port: int, key: int, pkt: Packet, dec: tuple) -> None:
+    def _commit(
+        self, out_port: int, key: int, pkt: Packet, dec: tuple, now: int
+    ) -> None:
         """Grant *pkt* from input *key* to *out_port* with decision *dec*."""
-        engine = self.engine
-        now = engine.now
-        max_vcs = self.max_vcs
+        (
+            active_keys,
+            dc_pkt,
+            in_port_free,
+            switch_free,
+            out_occ,
+            in_occ,
+            credits_used,
+            credit_nvc,
+            credit_cap,
+            credit_recs,
+            eq_buckets,
+            eq_get,
+            eq_times,
+            local_in,
+            link_lat,
+            hop_cost,
+            routing_commit,
+            on_injection,
+            max_vcs,
+            internal,
+            num_node_ports,
+            psize,
+            pipe_lat,
+        ) = self._hot2
         in_port = key // max_vcs
         out_vc = dec[1]
         size = pkt.size
         q = self.in_q[key]
         q.popleft()
         if not q:
-            self.active_keys.discard(key)
-        self._dec_cache[key] = None  # head changed: decision no longer valid
+            active_keys.discard(key)
+        dc_pkt[key] = None  # head changed: decision no longer valid
         self._cong_epoch += 1  # out_occ / credits are about to change
-        internal = self.internal_cycles
-        self.in_port_free[in_port] = now + internal
-        self.switch_free[out_port] = now + internal
-        self.out_occ[out_port] += size
+        in_port_free[in_port] = now + internal
+        switch_free[out_port] = now + internal
+        out_occ[out_port] += size
 
-        if in_port < self._num_node_ports:
+        if in_port < num_node_ports:
             # Injection: record the moment the packet entered the network.
             pkt.inject_time = now
-            self._on_injection(self.router_id, now)
+            on_injection(self.router_id, now)
         else:
             wait = now - pkt.t_enq
             if wait:
-                if self._local_in[in_port]:
+                if local_in[in_port]:
                     pkt.wait_local += wait
                 else:
                     pkt.wait_global += wait
-            self.in_occ[key] -= size
-            if CHECK_INVARIANTS and self.in_occ[key] < 0:
+            in_occ[key] -= size
+            if CHECK_INVARIANTS and in_occ[key] < 0:
                 raise FlowControlError(
                     f"router {self.router_id}: negative input occupancy "
                     f"port {in_port} vc {key - in_port * max_vcs}"
                 )
-            up = self.upstream[in_port]
-            if up is not None:
-                up_router, up_port = up
-                delay = internal + self._link_lat[in_port]
-                engine.schedule(
-                    delay,
-                    up_router._credit_release,
-                    up_port,
-                    key - in_port * max_vcs,
-                    size,
-                )
+            rec = credit_recs[key]
+            if rec is not None:
+                if size != psize:  # non-default packet size: fresh record
+                    rec = (OP_CREDIT, rec[1], rec[2], rec[3], size)
+                t = now + internal + link_lat[in_port]
+                bucket = eq_get(t)
+                if bucket is None:
+                    eq_buckets[t] = [rec]
+                    heappush(eq_times, t)
+                else:
+                    bucket.append(rec)
 
-        if self.credit_nvc[out_port]:
+        if credit_nvc[out_port]:
             ck = out_port * max_vcs + out_vc
-            self.credits_used[ck] += size
-            if CHECK_INVARIANTS and (self.credits_used[ck] > self.credit_cap[out_port]):
+            credits_used[ck] += size
+            if CHECK_INVARIANTS and (credits_used[ck] > credit_cap[out_port]):
                 raise FlowControlError(
                     f"router {self.router_id}: credit overcommit on port "
                     f"{out_port} vc {out_vc}"
                 )
 
-        self.routing.commit(pkt, self, dec)
-        pkt.service_sum += self._hop_cost[out_port]
-        engine.schedule(self._pipe_lat, self._out_arrive, out_port, pkt, out_vc)
+        if routing_commit is None:
+            # Inlined RoutingMechanism.commit (hop ledger + diversion bind).
+            if local_in[out_port]:
+                pkt.local_hops += 1
+                glh = pkt.group_local_hops + 1
+                pkt.group_local_hops = glh
+                if glh > 2:
+                    raise RoutingError(
+                        f"packet {pkt.pid} took a third local hop in group "
+                        f"{self.group}; VC safety would be violated"
+                    )
+            elif self._global_out[out_port]:
+                pkt.global_hops += 1
+            if dec[2] == 1:
+                pkt.inter_group = dec[3]
+        else:
+            routing_commit(pkt, self, dec)
+        pkt.service_sum += hop_cost[out_port]
+        # Switch traversal: the packet reaches the output FIFO after the
+        # pipeline latency (OP_OUT_ARRIVE).
+        t = now + pipe_lat
+        rec = (OP_OUT_ARRIVE, self, out_port, pkt, out_vc)
+        bucket = eq_get(t)
+        if bucket is None:
+            eq_buckets[t] = [rec]
+            heappush(eq_times, t)
+        else:
+            bucket.append(rec)
 
     # ------------------------------------------------------------------
-    # output stage
+    # output phase
     # ------------------------------------------------------------------
-    def _out_arrive(self, port: int, pkt: Packet, vc: int) -> None:
-        self.out_fifo[port].append((pkt, vc, self.engine.now))
-        self._pump_output(port)
-
-    def _pump_output(self, port: int) -> None:
-        if self.out_pumping[port] or not self.out_fifo[port]:
+    def output_enqueue(self, port: int, pkt: Packet, vc: int, now: int) -> None:
+        """Phase handler: *pkt* crossed the switch into output FIFO *port*."""
+        (
+            out_fifo,
+            out_pumping,
+            link_free,
+            global_out,
+            send_recs,
+            link_recs,
+            rel_recs,
+            out_peer,
+            link_lat,
+            psize,
+            eq_buckets,
+            eq_get,
+            eq_times,
+        ) = self._hot3
+        out_fifo[port].append((pkt, vc, now))
+        if out_pumping[port]:
             return
-        now = self.engine.now
-        dep = self.link_free[port]
+        # Idle link: start pumping at the link's next free cycle.
+        dep = link_free[port]
         if dep < now:
             dep = now
-        self.out_pumping[port] = True
-        self.engine.schedule_at(dep, self._send, port)
+        out_pumping[port] = True
+        rec = send_recs[port]
+        bucket = eq_get(dep)
+        if bucket is None:
+            eq_buckets[dep] = [rec]
+            heappush(eq_times, dep)
+        else:
+            bucket.append(rec)
 
-    def _send(self, port: int) -> None:
-        """Start transmitting the head of output FIFO *port* onto the link."""
-        fifo = self.out_fifo[port]
+    def send(self, port: int, now: int) -> None:
+        """Phase handler: start transmitting the head of output FIFO *port*."""
+        (
+            out_fifo,
+            out_pumping,
+            link_free,
+            global_out,
+            send_recs,
+            link_recs,
+            rel_recs,
+            out_peer,
+            link_lat,
+            psize,
+            eq_buckets,
+            eq_get,
+            eq_times,
+        ) = self._hot3
+        fifo = out_fifo[port]
         pkt, vc, t_arr = fifo.popleft()
-        engine = self.engine
-        now = engine.now
         wait = now - t_arr
         if wait:
-            if self._global_out[port]:
+            if global_out[port]:
                 pkt.wait_global += wait
             else:  # local and node (ejection) FIFO waits
                 pkt.wait_local += wait
         size = pkt.size
         free_t = now + size
-        self.link_free[port] = free_t
-        engine.schedule(size, self._out_release, port, size)
-        peer = self.out_peer[port]
-        latency = self._link_lat[port]
-        if peer is None:
-            engine.schedule(size + latency, self._deliver, pkt)
-        else:
-            peer_router, peer_port = peer
-            engine.schedule(size + latency, peer_router._in_arrive, peer_port, vc, pkt)
+        link_free[port] = free_t
         if fifo:
-            # Stay pumping: the next head departs as soon as the link frees
-            # (inlined _pump_output tail; the pumping flag stays set).
-            engine.schedule_at(free_t, self._send, port)
+            # Busy link: merge the tail release with the next transmission
+            # into one OP_LINK record (the two legacy events were adjacent
+            # in the free_t bucket, so the merged record is order-exact).
+            rec = (
+                link_recs[port] if size == psize else (OP_LINK, self, port, size)
+            )
         else:
-            self.out_pumping[port] = False
+            out_pumping[port] = False
+            rec = (
+                rel_recs[port] if size == psize else (OP_RELEASE, self, port, size)
+            )
+        bucket = eq_get(free_t)
+        if bucket is None:
+            eq_buckets[free_t] = [rec]
+            heappush(eq_times, free_t)
+        else:
+            bucket.append(rec)
+        peer = out_peer[port]
+        t = free_t + link_lat[port]
+        if peer is None:
+            rec = (OP_DELIVER, pkt)  # ejection into the simulation sink
+        else:
+            rec = (OP_ARRIVE, peer[0], peer[1], vc, pkt)
+        bucket = eq_get(t)
+        if bucket is None:
+            eq_buckets[t] = [rec]
+            heappush(eq_times, t)
+        else:
+            bucket.append(rec)
 
-    def _out_release(self, port: int, size: int) -> None:
+    def link_step(self, port: int, size: int, now: int) -> None:
+        """Phase handler: tail release + next transmission of a busy link.
+
+        Merged form of :meth:`release_output` + :meth:`send` for the
+        steady-state case (the output FIFO was non-empty when the current
+        transmission started, so the link pumps back to back).
+        """
         self._cong_epoch += 1
         self.out_occ[port] -= size
         if CHECK_INVARIANTS and self.out_occ[port] < 0:
             raise FlowControlError(
                 f"router {self.router_id}: negative output occupancy port {port}"
             )
-        # Inlined schedule_arb(now): wake the allocator this cycle.
-        now = self.engine.now
+        # Inlined schedule_arb(now): wake the allocator this cycle.  The
+        # engine is draining this cycle's bucket, so it exists (the except
+        # arm only serves direct callers outside a drain).
         t = self._arb_time
         if t is None or t > now:
             self._arb_time = now
-            self.engine.schedule_at(now, self._arb_event)
+            try:
+                self._eq_buckets[now].append(self._token)
+            except KeyError:
+                self._eq_buckets[now] = [self._token]
+                heappush(self._eq_times, now)
+        self.send(port, now)
 
-    def _credit_release(self, port: int, vc: int, size: int) -> None:
+    def release_output(self, port: int, size: int, now: int) -> None:
+        """Phase handler: a packet's tail left the link; FIFO space frees."""
+        self._cong_epoch += 1
+        self.out_occ[port] -= size
+        if CHECK_INVARIANTS and self.out_occ[port] < 0:
+            raise FlowControlError(
+                f"router {self.router_id}: negative output occupancy port {port}"
+            )
+        # Inlined schedule_arb(now): wake the allocator this cycle (see
+        # link_step for the bucket-existence note).
+        t = self._arb_time
+        if t is None or t > now:
+            self._arb_time = now
+            try:
+                self._eq_buckets[now].append(self._token)
+            except KeyError:
+                self._eq_buckets[now] = [self._token]
+                heappush(self._eq_times, now)
+
+    def release_credit(self, port: int, vc: int, size: int, now: int) -> None:
+        """Phase handler: credits for (port, vc) returned from downstream."""
         self._cong_epoch += 1
         ck = port * self.max_vcs + vc
         self.credits_used[ck] -= size
@@ -677,12 +1200,16 @@ class Router:
             raise FlowControlError(
                 f"router {self.router_id}: negative credits port {port} vc {vc}"
             )
-        # Inlined schedule_arb(now): wake the allocator this cycle.
-        now = self.engine.now
+        # Inlined schedule_arb(now): wake the allocator this cycle (see
+        # link_step for the bucket-existence note).
         t = self._arb_time
         if t is None or t > now:
             self._arb_time = now
-            self.engine.schedule_at(now, self._arb_event)
+            try:
+                self._eq_buckets[now].append(self._token)
+            except KeyError:
+                self._eq_buckets[now] = [self._token]
+                heappush(self._eq_times, now)
 
     # ------------------------------------------------------------------
     def backlog(self) -> int:

@@ -1,5 +1,14 @@
 """The :class:`StatsCollector`: measurement-window accounting.
 
+The hooks sit on the engine's *phase boundaries* rather than on
+per-event callbacks: :meth:`~StatsCollector.on_generate` fires inside
+the generator activation, :meth:`~StatsCollector.on_injection` inside
+the commit phase of a router activation (:meth:`Router.step
+<repro.hardware.router.Router.step>`), and
+:meth:`~StatsCollector.on_delivery` is the queue's ejection sink — when
+no oracle audits deliveries the simulation binds it as the ``OP_DELIVER``
+dispatch target directly, with no intermediate callback frame.
+
 Mirrors FOGSim's methodology (Section IV-A): the network warms up for
 ``warmup_cycles``, then statistics are tracked for ``measure_cycles``:
 
@@ -90,7 +99,12 @@ class StatsCollector:
             self.injected_per_router[router_id] += 1
 
     def on_delivery(self, pkt: Packet, now: int) -> None:
-        """A packet's tail reached its destination node."""
+        """A packet's tail reached its destination node.
+
+        Signature-compatible with the engine's ejection sink
+        (``sink(pkt, now)``), so oracle-less runs dispatch ``OP_DELIVER``
+        records straight into the collector.
+        """
         self.total_delivered += 1
         if not (self.window_start <= now < self.window_end):
             return

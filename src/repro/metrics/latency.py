@@ -23,7 +23,7 @@ from dataclasses import dataclass
 __all__ = ["LatencyBreakdown"]
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyBreakdown:
     """Accumulated latency components over delivered packets."""
 

@@ -25,6 +25,14 @@ raise :class:`repro.errors.OracleError` (fail loudly), and the passing
 report is recorded on the :class:`repro.core.results.SimulationResult`
 (and therefore in the on-disk result store) as a per-cell verdict.
 
+Like the collector, the hooks ride the engine's phase boundaries: with
+the oracle enabled the simulation's composed sink feeds
+:meth:`SimOracle.on_delivery` right after the collector's hook on every
+``OP_DELIVER`` dispatch, and :meth:`verify` runs after
+:meth:`EventQueue.drain <repro.engine.events.EventQueue.drain>` has
+flushed every remaining activation — the credit-balance check then reads
+the routers' phase-boundary state (credits, occupancies, FIFOs) at rest.
+
 The hooks cost two counter bumps and a dict probe per packet — cheap
 enough to keep the oracle on by default in tests and benchmarks.
 """

@@ -55,6 +55,10 @@ CACHE_ALWAYS = 1  # decisions are pure functions of frozen packet state
 CACHE_PLAN_FROZEN = 2  # pure once pkt.plan != 0 (source-routed mechanisms)
 CACHE_COMMITTED_DIVERSION = 3  # pure while routing to a bound inter-group
 
+#: sentinel for :attr:`RoutingMechanism.last_decide_guard`: the pure
+#: decision read no congestion counters, so the memo never goes stale.
+GUARD_STABLE: tuple = ()
+
 
 def min_hop_port(topo, router, target_router: int) -> int:
     """Output port for the next minimal hop towards *target_router*.
@@ -98,6 +102,10 @@ class RoutingMechanism(ABC):
         self.topo = sim.topo
         self.n_local_vcs = sim.config.router.local_vcs
         self.n_global_vcs = sim.config.router.global_vcs
+        # Port-kind lookups for the commit hot path (one list index
+        # instead of a string compare per granted hop).
+        self._commit_local = [k == "local" for k in sim.topo.port_kind]
+        self._commit_global = [k == "global" for k in sim.topo.port_kind]
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -122,6 +130,21 @@ class RoutingMechanism(ABC):
     #: same branches and return the same tuple.
     last_decide_pure: bool = False
 
+    #: refinement of ``last_decide_pure`` (activation-keyed memoization):
+    #: when a pure decision depended on a *single* congestion counter the
+    #: mechanism reports that dependency here and the router revalidates
+    #: the cached entry by comparing the counter's current value instead
+    #: of the whole-router epoch — a counter that still holds its old
+    #: value replays the identical branch structure, so the cached tuple
+    #: is exactly what a re-decide would return (and no RNG is touched).
+    #:
+    #: Values: ``None`` — no single-counter guard, fall back to the epoch
+    #: condition; :data:`GUARD_STABLE` — the decision read no congestion
+    #: state at all (unconditionally stable while the packet heads the
+    #: queue); ``(0, port, occ)`` — valid while ``out_occ[port] == occ``;
+    #: ``(1, ck, used)`` — valid while ``credits_used[ck] == used``.
+    last_decide_guard: tuple | None = None
+
     # ------------------------------------------------------------------
     def decision_stable(self, pkt: Packet, router) -> bool:
         """May the router reuse the decision just computed for this head?
@@ -144,8 +167,7 @@ class RoutingMechanism(ABC):
     def commit(self, pkt: Packet, router, dec: tuple) -> None:
         """Apply state changes for a granted hop (called once per grant)."""
         out_port = dec[0]
-        kind = self.topo.port_kind[out_port]
-        if kind == "local":
+        if self._commit_local[out_port]:
             pkt.local_hops += 1
             pkt.group_local_hops += 1
             if pkt.group_local_hops > 2:
@@ -153,7 +175,7 @@ class RoutingMechanism(ABC):
                     f"packet {pkt.pid} took a third local hop in group "
                     f"{router.group}; VC safety would be violated"
                 )
-        elif kind == "global":
+        elif self._commit_global[out_port]:
             pkt.global_hops += 1
         if dec[2] == 1:
             pkt.inter_group = dec[3]

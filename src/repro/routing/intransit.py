@@ -37,6 +37,7 @@ import random
 from repro.hardware.packet import Packet
 from repro.routing.base import (
     CACHE_COMMITTED_DIVERSION,
+    GUARD_STABLE,
     RoutingMechanism,
     eject_decision,
 )
@@ -69,6 +70,16 @@ class InTransitAdaptiveRouting(RoutingMechanism):
         self.rng: random.Random = sim.rng_routing
         self.threshold = sim.config.misroute_threshold
         self.enable_local_misroute = True
+        # Exact integer form of the source-router threshold test: output
+        # FIFO capacities are uniform, and _thr_occ is the smallest
+        # occupancy whose *float-divided* fraction reaches the threshold,
+        # so `occ >= _thr_occ` reproduces `occ / cap >= threshold`
+        # byte-for-byte without the per-decide division.
+        cap = sim.config.router.output_buffer
+        self._thr_occ = next(
+            (occ for occ in range(cap + 1) if occ / cap >= self.threshold),
+            cap + 1,
+        )
         # Hot-path topology bindings (decide runs several times per grant).
         topo = sim.topo
         self._first_local = topo.first_local_port
@@ -76,115 +87,30 @@ class InTransitAdaptiveRouting(RoutingMechanism):
         self._groups = topo.groups
         self._gw_router = topo.gw_router_by_delta
         self._gw_port = topo.gw_port_by_delta
-        self._crg_cache: dict[tuple[int, int, int], list] = {}
+        # Policy resolved to candidate-generator codes once (MM = CRG at
+        # the source router, NRG at the PAR second decision point).
+        _codes = {
+            MisroutePolicy.CRG: (0, 0),
+            MisroutePolicy.RRG: (2, 2),
+            MisroutePolicy.MM: (0, 1),
+        }.get(policy, (1, 1))
+        self._code_source, self._code_transit = _codes
+        # CRG candidate lists memoized per router (list index) and
+        # (src_group, dst_group) pair (int key) — no tuple allocation.
+        self._crg_by_router: list[dict[int, list] | None] = [
+            None
+        ] * topo.num_routers
+        # Local-misroute sampling draws `randrange(a)`; inlining CPython's
+        # _randbelow_with_getrandbits (bit_length + rejection loop over
+        # getrandbits) consumes the identical RNG stream without the two
+        # interpreter frames per draw.
+        self._a_bits = topo.a.bit_length()
+        self._getrandbits = self.rng.getrandbits
         self._rng_used = False  # per-decide RNG-consumption tracker
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _vc_for(self, pkt: Packet, router, port: int) -> int:
-        """VC the packet would use on *port* (stage + escape scheme).
-
-        Inlines :func:`~repro.routing.vc.stage_global_vc` /
-        :func:`~repro.routing.vc.stage_local_vc` (this is the single
-        hottest routing helper; the semantics are identical and the
-        shared functions remain the documented reference).
-        """
-        if port >= self._first_global:
-            vc = pkt.global_hops
-            if vc >= self.n_global_vcs:
-                return stage_global_vc(pkt, self.n_global_vcs)  # raises
-            return vc
-        if pkt.group_local_hops >= 1:
-            return self.n_local_vcs - 1  # escape VC for the second hop
-        if router.group == pkt.dst_group:
-            return 2
-        return 1 if pkt.global_hops >= 1 else 0
-
-    def _try_global_misroute(
-        self, pkt: Packet, router, min_port: int, min_vc: int
-    ) -> tuple | None:
-        """Return a misroute decision, or None to stay minimal.
-
-        Two regimes (see module docstring / DESIGN.md):
-
-        * at the **source router** (injection point) the decision is
-          proactive: divert when the minimal port's credit occupancy is at
-          least ``misroute_threshold`` and a candidate is less congested;
-        * at the **PAR second decision point** (after the first local hop,
-          typically the gateway router) the decision is opportunistic, as
-          in OLM: divert only when the minimal output is actually blocked
-          (no credits / output FIFO full), so moderately congested minimal
-          links keep their in-transit traffic parked on them.
-        """
-        size = pkt.size
-        out_occ = router.out_occ
-        out_cap = router.out_cap
-        at_source_router = pkt.group_local_hops == 0
-        if at_source_router:
-            # Proactive trigger: the minimal port's *output FIFO* persists
-            # above the threshold only when its credit loop has stalled,
-            # i.e. the minimal path is saturated end to end.
-            frac_min = out_occ[min_port] / out_cap[min_port]
-            if frac_min < self.threshold:
-                return None
-            credits_used = router.credits_used
-            credit_cap = router.credit_cap
-            credit_nvc = router.credit_nvc
-            max_vcs = router.max_vcs
-        else:
-            # PAR second decision point: opportunistic (OLM) — divert only
-            # when the minimal output is credit-blocked outright.
-            credits_used = router.credits_used
-            credit_cap = router.credit_cap
-            credit_nvc = router.credit_nvc
-            max_vcs = router.max_vcs
-            if not (
-                credit_nvc[min_port]
-                and credits_used[min_port * max_vcs + min_vc] + size
-                > credit_cap[min_port]
-            ):
-                return None
-            frac_min = 1.0
-        best: tuple[int, int, int] | None = None
-        best_frac = frac_min
-        first_global = self._first_global
-        policy = self.policy
-        if policy is MisroutePolicy.MM:
-            policy = MisroutePolicy.CRG if at_source_router else MisroutePolicy.NRG
-        if policy is MisroutePolicy.CRG:
-            # Inlined _global_candidates CRG fast path (memoized list).
-            cache_key = (router.router_id, pkt.src_group, pkt.dst_group)
-            candidates = self._crg_cache.get(cache_key)
-            if candidates is None:
-                candidates = crg_candidates(self.topo, router, pkt)
-                self._crg_cache[cache_key] = candidates
-        elif policy is MisroutePolicy.NRG:
-            self._rng_used = True
-            candidates = nrg_candidates(self.topo, router, pkt, self.rng)
-        else:
-            self._rng_used = True
-            candidates = rrg_candidates(self.topo, router, pkt, self.rng)
-        for port, inter_group in candidates:
-            # A diversion through a local port is a second local hop when
-            # the packet already moved inside this group; a third is
-            # forbidden by the VC safety rules.
-            if pkt.group_local_hops >= 2 and port < first_global:
-                continue
-            vc = self._vc_for(pkt, router, port)
-            if credit_nvc[port] and (
-                credits_used[port * max_vcs + vc] + size > credit_cap[port]
-            ):
-                continue
-            frac = out_occ[port] / out_cap[port]
-            if frac < best_frac:
-                best_frac = frac
-                best = (port, vc, inter_group)
-        if best is None:
-            return None
-        port, vc, inter_group = best
-        return (port, vc, 1, inter_group)
-
     def _try_local_misroute(
         self, pkt: Packet, router, min_port: int, min_vc: int, avoid_pos: int
     ) -> tuple | None:
@@ -214,8 +140,14 @@ class InTransitAdaptiveRouting(RoutingMechanism):
         best_port = -1
         best_frac = credits_used[min_port * max_vcs + min_vc] / credit_cap[min_port]
         vc = min_vc  # same stage VC; the corrective hop will use the escape
+        getrandbits = self._getrandbits
+        a_bits = self._a_bits
         for _ in range(3):
-            w = self.rng.randrange(a)
+            # Inlined rng.randrange(a): same rejection sampling, same
+            # stream (see __init__).
+            w = getrandbits(a_bits)
+            while w >= a:
+                w = getrandbits(a_bits)
             if w == pos or w == avoid_pos:
                 continue
             port = first_local + (w if w < pos else w - 1)
@@ -230,54 +162,76 @@ class InTransitAdaptiveRouting(RoutingMechanism):
             return None
         return (best_port, vc, 2, 0)
 
-    def _min_decision(self, pkt: Packet, router, target_router: int) -> tuple:
-        tg, ti = divmod(target_router, self.topo.a)
-        pos = router.pos
-        if router.group == tg:
-            port = self._first_local + (ti if ti < pos else ti - 1)
-        else:
-            delta = (tg - router.group) % self._groups
-            gw_pos = self._gw_router[delta]
-            if pos == gw_pos:
-                port = self._gw_port[delta]
-            else:
-                port = self._first_local + (gw_pos if gw_pos < pos else gw_pos - 1)
-        return (port, self._vc_for(pkt, router, port), 0, 0)
-
     # ------------------------------------------------------------------
     def decide(self, pkt: Packet, router) -> tuple:
         # Purity tracking: last_decide_pure reports whether this call was
         # a pure function of frozen packet state + the router's congestion
         # counters (i.e. consumed no RNG); the router may then reuse the
-        # decision until its congestion epoch changes.
+        # decision until its congestion epoch changes (the activation-
+        # keyed memoization contract, see routing.base).
         group = router.group
         pos = router.pos
 
         # Destination group: minimal local hop (or ejection), with OLM.
         if group == pkt.dst_group:
             if router.router_id == pkt.dst_router:
+                # Ejection reads no congestion state: stable memo.
                 self.last_decide_pure = True
+                self.last_decide_guard = GUARD_STABLE
                 return eject_decision(pkt)
-            dec = self._min_decision(pkt, router, pkt.dst_router)
-            self._rng_used = False
-            alt = self._try_local_misroute(
-                pkt, router, dec[0], dec[1], pkt.dst_local_router
-            )
-            self.last_decide_pure = not self._rng_used
-            return alt if alt is not None else dec
+            # Inlined minimal decision + VC staging (reference:
+            # repro.routing.vc): the target is in this group
+            # (its local position is precomputed on the packet) and the
+            # minimal hop is a local port, so the VC is the escape VC
+            # after a local hop and the stage-2 VC otherwise.
+            ti = pkt.dst_local_router
+            port = self._first_local + (ti if ti < pos else ti - 1)
+            vc = self.n_local_vcs - 1 if pkt.group_local_hops >= 1 else 2
+            # Inlined OLM precheck (enable + one-per-group + blocked);
+            # only a genuinely blocked minimal hop enters the sampler.
+            if self.enable_local_misroute and pkt.group_local_hops == 0:
+                ck = port * router.max_vcs + vc
+                used = router.credits_used[ck]
+                if (
+                    router.credit_nvc[port]
+                    and used + pkt.size > router.credit_cap[port]
+                ):
+                    self._rng_used = False
+                    alt = self._try_local_misroute(pkt, router, port, vc, ti)
+                    pure = not self._rng_used
+                    self.last_decide_pure = pure
+                    # A pure verdict here read only this credit counter
+                    # (the sampler bails RNG-free when a < 3).
+                    self.last_decide_guard = (1, ck, used) if pure else None
+                    if alt is not None:
+                        return alt
+                else:
+                    self.last_decide_pure = True
+                    self.last_decide_guard = (
+                        (1, ck, used) if router.credit_nvc[port] else GUARD_STABLE
+                    )
+            else:
+                self.last_decide_pure = True
+                self.last_decide_guard = GUARD_STABLE
+            return (port, vc, 0, 0)
+
+        first_local = self._first_local
+        first_global = self._first_global
 
         # Committed diversion: route minimally towards the intermediate
         # group (cleared by on_arrival when we get there).
         if pkt.inter_group >= 0:
             self.last_decide_pure = True
+            self.last_decide_guard = GUARD_STABLE
             delta = (pkt.inter_group - group) % self._groups
             gw_pos = self._gw_router[delta]
             if pos == gw_pos:
                 port = self._gw_port[delta]
             else:
-                port = self._first_local + (gw_pos if gw_pos < pos else gw_pos - 1)
-            # Inlined _vc_for (outside the destination group by contract).
-            if port >= self._first_global:
+                port = first_local + (gw_pos if gw_pos < pos else gw_pos - 1)
+            # Inlined VC staging (outside the destination group by
+            # contract; reference: repro.routing.vc).
+            if port >= first_global:
                 vc = pkt.global_hops
                 if vc >= self.n_global_vcs:
                     vc = stage_global_vc(pkt, self.n_global_vcs)  # raises
@@ -293,9 +247,10 @@ class InTransitAdaptiveRouting(RoutingMechanism):
         if pos == gw_pos:
             min_port = self._gw_port[delta]
         else:
-            min_port = self._first_local + (gw_pos if gw_pos < pos else gw_pos - 1)
-        # Inlined _vc_for (outside the destination group by contract).
-        if min_port >= self._first_global:
+            min_port = first_local + (gw_pos if gw_pos < pos else gw_pos - 1)
+        # Inlined VC staging (outside the destination group by
+        # contract; reference: repro.routing.vc).
+        if min_port >= first_global:
             min_vc = pkt.global_hops
             if min_vc >= self.n_global_vcs:
                 min_vc = stage_global_vc(pkt, self.n_global_vcs)  # raises
@@ -305,22 +260,114 @@ class InTransitAdaptiveRouting(RoutingMechanism):
             min_vc = 1 if pkt.global_hops >= 1 else 0
         min_dec = (min_port, min_vc, 0, 0)
 
-        in_source_group = group == pkt.src_group and pkt.global_hops == 0
-        if in_source_group:
+        if group == pkt.src_group and pkt.global_hops == 0:
             # PAR: global misrouting at injection or after one local hop.
-            self._rng_used = False
-            alt = self._try_global_misroute(pkt, router, min_port, min_vc)
-            self.last_decide_pure = not self._rng_used
-            if alt is not None:
-                return alt
-        elif min_port < self._first_global:
+            # Inlined _try_global_misroute (the hottest decide branch —
+            # semantics documented in the module docstring / DESIGN.md).
+            out_occ = router.out_occ
+            credits_used = router.credits_used
+            credit_cap = router.credit_cap
+            credit_nvc = router.credit_nvc
+            max_vcs = router.max_vcs
+            glh = pkt.group_local_hops
+            size = pkt.size
+            if glh == 0:
+                # Source router: proactive trigger on the minimal port's
+                # output FIFO (integer threshold, see __init__).
+                best_occ = out_occ[min_port]
+                if best_occ < self._thr_occ:
+                    self.last_decide_pure = True
+                    self.last_decide_guard = (0, min_port, best_occ)
+                    return min_dec
+                code = self._code_source
+            else:
+                # PAR second decision point: opportunistic (OLM) — divert
+                # only when the minimal output is credit-blocked outright.
+                mk = min_port * max_vcs + min_vc
+                used = credits_used[mk]
+                if not (
+                    credit_nvc[min_port] and used + size > credit_cap[min_port]
+                ):
+                    self.last_decide_pure = True
+                    self.last_decide_guard = (
+                        (1, mk, used) if credit_nvc[min_port] else GUARD_STABLE
+                    )
+                    return min_dec
+                best_occ = router.out_cap[min_port]  # sentinel: frac < 1.0
+                code = self._code_transit
+            if code == 0:  # CRG: memoized per (router, src_group, dst_group)
+                by_pair = self._crg_by_router[router.router_id]
+                if by_pair is None:
+                    by_pair = {}
+                    self._crg_by_router[router.router_id] = by_pair
+                pair = pkt.src_group * self._groups + pkt.dst_group
+                candidates = by_pair.get(pair)
+                if candidates is None:
+                    candidates = crg_candidates(self.topo, router, pkt)
+                    by_pair[pair] = candidates
+            elif code == 1:  # NRG (consumes RNG)
+                candidates = nrg_candidates(self.topo, router, pkt, self.rng)
+            else:  # RRG (consumes RNG)
+                candidates = rrg_candidates(self.topo, router, pkt, self.rng)
+            # Raw-occupancy compares: uniform output capacities make
+            # `a/c < b/c` exactly `a < b`.  Inlined VC staging (global hop
+            # count is 0 here, so a global candidate takes VC 0).
+            local_vc = self.n_local_vcs - 1 if glh >= 1 else 0
+            skip_local = glh >= 2  # third local hop forbidden (VC safety)
+            best_port = -1
+            best_vc = 0
+            best_inter = 0
+            for port, inter_group in candidates:
+                if port < first_global:
+                    if skip_local:
+                        continue
+                    vc = local_vc
+                else:
+                    vc = 0
+                if out_occ[port] >= best_occ:
+                    continue
+                if credit_nvc[port] and (
+                    credits_used[port * max_vcs + vc] + size > credit_cap[port]
+                ):
+                    continue
+                best_occ = out_occ[port]
+                best_port = port
+                best_vc = vc
+                best_inter = inter_group
+            self.last_decide_pure = code == 0
+            self.last_decide_guard = None  # full candidate scan consulted
+            if best_port >= 0:
+                return (best_port, best_vc, 1, best_inter)
+        elif min_port < first_global:
             # Intermediate group: OLM local misrouting of the hop towards
-            # the gateway of the destination group.
-            self._rng_used = False
-            alt = self._try_local_misroute(pkt, router, min_port, min_vc, gw_pos)
-            self.last_decide_pure = not self._rng_used
-            if alt is not None:
-                return alt
+            # the gateway of the destination group (inlined precheck).
+            if self.enable_local_misroute and pkt.group_local_hops == 0:
+                ck = min_port * router.max_vcs + min_vc
+                used = router.credits_used[ck]
+                if (
+                    router.credit_nvc[min_port]
+                    and used + pkt.size > router.credit_cap[min_port]
+                ):
+                    self._rng_used = False
+                    alt = self._try_local_misroute(
+                        pkt, router, min_port, min_vc, gw_pos
+                    )
+                    pure = not self._rng_used
+                    self.last_decide_pure = pure
+                    self.last_decide_guard = (1, ck, used) if pure else None
+                    if alt is not None:
+                        return alt
+                else:
+                    self.last_decide_pure = True
+                    self.last_decide_guard = (
+                        (1, ck, used) if router.credit_nvc[min_port] else GUARD_STABLE
+                    )
+            else:
+                self.last_decide_pure = True
+                self.last_decide_guard = GUARD_STABLE
         else:
+            # Minimal global hop outside source/destination groups reads
+            # no congestion state: stable memo.
             self.last_decide_pure = True
+            self.last_decide_guard = GUARD_STABLE
         return min_dec

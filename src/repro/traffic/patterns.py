@@ -63,9 +63,19 @@ class UniformTraffic(TrafficPattern):
 
     name = "UN"
 
+    def __init__(self, topo: DragonflyTopology) -> None:
+        super().__init__(topo)
+        # Inlined rng.randrange(n - 1) (CPython rejection sampling over
+        # getrandbits): identical draw stream, no interpreter frames.
+        self._n1 = topo.num_nodes - 1
+        self._n1_bits = self._n1.bit_length()
+
     def dest(self, src_node: int, rng: random.Random) -> int:
-        n = self.topo.num_nodes
-        d = rng.randrange(n - 1)
+        gb = rng.getrandbits
+        n1 = self._n1
+        d = gb(self._n1_bits)
+        while d >= n1:
+            d = gb(self._n1_bits)
         return d if d < src_node else d + 1
 
 
@@ -89,11 +99,18 @@ class AdversarialTraffic(TrafficPattern):
         self.offset = offset
         self.name = self.name_for(offset)
         self._per_group = topo.a * topo.p
+        self._pg_bits = self._per_group.bit_length()
 
     def dest(self, src_node: int, rng: random.Random) -> int:
-        g = src_node // self._per_group
+        per_group = self._per_group
+        g = src_node // per_group
         tg = (g + self.offset) % self.topo.groups
-        return tg * self._per_group + rng.randrange(self._per_group)
+        # Inlined rng.randrange(per_group): identical draw stream.
+        gb = rng.getrandbits
+        d = gb(self._pg_bits)
+        while d >= per_group:
+            d = gb(self._pg_bits)
+        return tg * per_group + d
 
 
 class AdversarialConsecutiveTraffic(TrafficPattern):
@@ -116,12 +133,24 @@ class AdversarialConsecutiveTraffic(TrafficPattern):
         self.offsets = topo.advc_offsets(bottleneck)
         self.bottleneck = topo.bottleneck_router(0, self.offsets)
         self._per_group = topo.a * topo.p
+        self._pg_bits = self._per_group.bit_length()
+        self._n_off = len(self.offsets)
+        self._off_bits = self._n_off.bit_length()
 
     def dest(self, src_node: int, rng: random.Random) -> int:
-        g = src_node // self._per_group
-        off = self.offsets[rng.randrange(len(self.offsets))]
-        tg = (g + off) % self.topo.groups
-        return tg * self._per_group + rng.randrange(self._per_group)
+        per_group = self._per_group
+        g = src_node // per_group
+        # Inlined rng.randrange(...) twice: identical draw stream.
+        gb = rng.getrandbits
+        n_off = self._n_off
+        i = gb(self._off_bits)
+        while i >= n_off:
+            i = gb(self._off_bits)
+        tg = (g + self.offsets[i]) % self.topo.groups
+        d = gb(self._pg_bits)
+        while d >= per_group:
+            d = gb(self._pg_bits)
+        return tg * per_group + d
 
 
 class PermutationTraffic(TrafficPattern):

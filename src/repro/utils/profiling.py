@@ -1,12 +1,20 @@
 """cProfile harness for the simulation hot path.
 
-The optimisation workflow this repo follows (and that PR 2's hot-path
-work used) is: measure with :func:`profile_simulation`, read the top
+The optimisation workflow this repo follows (and that the hot-path PRs
+used) is: measure with :func:`profile_simulation`, read the top
 ``tottime`` entries, make the bottleneck cheap, re-run the
-``engine_throughput`` benchmark to confirm, and let the determinism
-matrix guard that results stayed bit-identical.  This module is shared
-by the ``repro profile`` CLI subcommand and
+``engine_throughput`` benchmark to confirm, and let the golden traces
+plus the determinism matrix guard that results stayed bit-identical.
+This module is shared by the ``repro profile`` CLI subcommand and
 ``benchmarks/bench_profile.py``.
+
+Since the phase-batched engine rewrite, the harness reports two rates:
+
+* **events/s** — semantic events per second (the historical metric the
+  perf gate tracks; merged activations count each constituent event);
+* **activations/s** — dispatched activation records per second.  The
+  events/activations ratio measures how much per-event dispatch the
+  batched engine avoided.
 """
 
 from __future__ import annotations
@@ -14,6 +22,8 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
+import time
+from typing import Any
 
 from repro.config import SimulationConfig
 from repro.core.results import SimulationResult
@@ -30,26 +40,41 @@ def profile_simulation(
     sort: str = "tottime",
     limit: int = 25,
     dump_path: str | None = None,
-) -> tuple[SimulationResult, str]:
+) -> tuple[SimulationResult, str, dict[str, Any]]:
     """Run one simulation under cProfile.
 
-    Returns ``(result, report)`` where *report* is the rendered top-N
-    function table sorted by *sort*.  With *dump_path* the raw profile is
-    additionally written for offline viewers (snakeviz, pstats).
+    Returns ``(result, report, metrics)`` where *report* is the rendered
+    top-N function table sorted by *sort* and *metrics* carries the
+    engine rates (``wall_s``, ``events``, ``activations``,
+    ``events_per_s``, ``activations_per_s`` — wall time measured *under
+    the profiler*, so the rates are only comparable to other profiled
+    runs).  With *dump_path* the raw profile is additionally written for
+    offline viewers (snakeviz, pstats).
     """
-    from repro.core.simulation import run_simulation
+    from repro.core.simulation import Simulation
 
     if sort not in PROFILE_SORTS:
         raise ValueError(
             f"unknown profile sort {sort!r}; expected one of {PROFILE_SORTS}"
         )
+    sim = Simulation(config)
     profiler = cProfile.Profile()
     profiler.enable()
-    result = run_simulation(config)
+    start = time.perf_counter()
+    result = sim.run()
+    wall = time.perf_counter() - start
     profiler.disable()
     if dump_path is not None:
         profiler.dump_stats(dump_path)
-    return result, render_profile(profiler, sort=sort, limit=limit)
+    engine = sim.engine
+    metrics = {
+        "wall_s": wall,
+        "events": engine.processed,
+        "activations": engine.activations,
+        "events_per_s": engine.processed / wall if wall else 0.0,
+        "activations_per_s": engine.activations / wall if wall else 0.0,
+    }
+    return result, render_profile(profiler, sort=sort, limit=limit), metrics
 
 
 def render_profile(

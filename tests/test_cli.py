@@ -477,3 +477,26 @@ class TestScenarioRuns:
         )
         assert rc == 0
         assert "oracle:" not in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_reports_events_and_activations(self, capsys, tmp_path):
+        out = tmp_path / "prof.pstats"
+        rc = main(
+            _fast(
+                [
+                    "profile",
+                    "--preset",
+                    "tiny",
+                    "--limit",
+                    "5",
+                    "--output",
+                    str(out),
+                ]
+            )
+        )
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "engine:" in captured
+        assert "activations" in captured
+        assert out.exists()

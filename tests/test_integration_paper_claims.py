@@ -128,12 +128,12 @@ class TestRobustness:
         from repro.hardware.router import Router
 
         sim = Simulation(c)
-        frozen = lambda self: None  # noqa: E731
-        original = Router._arb_pass
-        Router._arb_pass = frozen
+        frozen = lambda self, now: None  # noqa: E731
+        original = Router.step
+        Router.step = frozen
         try:
             sim.stats.total_injected = 1  # pretend a packet is in flight
             with pytest.raises(SimulationError):
                 sim.run()
         finally:
-            Router._arb_pass = original
+            Router.step = original
