@@ -34,6 +34,7 @@ __all__ = [
     "machine_metadata",
     "metadata_lines",
     "seeds",
+    "usable_cpu_count",
     "write_result",
 ]
 
@@ -104,12 +105,29 @@ def git_sha() -> str:
     return out.stdout.strip() if out.returncode == 0 else "unknown"
 
 
+def usable_cpu_count() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the host's logical CPUs, which under
+    container/cgroup CPU limits or an affinity mask can be wildly wrong
+    (the perf artifacts recorded ``cpu_count: 1`` on multi-core CI
+    runners).  Prefer the affinity-aware counts.
+    """
+    getter = getattr(os, "process_cpu_count", None)  # Python >= 3.13
+    if getter is not None:
+        return getter()
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
 def machine_metadata() -> dict:
     """Host facts that make cross-PR perf artifacts interpretable."""
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": usable_cpu_count(),
         "machine": platform.machine(),
         "system": platform.system(),
     }

@@ -16,8 +16,17 @@ the ratio survives the machine change; pass ``--raw`` to gate on raw
 events/s instead (sensible only when baseline and artifact come from the
 same host).
 
+Backends (artifact schema 3): the artifact records which engine backend
+produced it (``python`` or ``compiled``), and the baseline keeps one
+``backends[<name>]`` section per backend so the pure-Python CI job and
+the compiled ``fast-path`` job each gate against their own trajectory —
+comparing a pure-Python run against compiled numbers (or vice versa)
+would report a meaningless ~2-3x "change".  A schema-2 baseline/artifact
+is treated as pure-Python.
+
 Maintenance: after an intentional perf change, refresh the committed
-baseline with ``--update`` (keeps the recorded PR history block)::
+baseline with ``--update`` (keeps the recorded PR history block and the
+other backends' sections; a schema-2 baseline is migrated on the way)::
 
     python benchmarks/check_perf_regression.py \
         benchmarks/results/engine_throughput.json benchmarks/perf_baseline.json --update
@@ -39,12 +48,38 @@ def load(path: str) -> dict:
     return json.loads(p.read_text())
 
 
+def artifact_backend(artifact: dict) -> str:
+    """Engine backend that produced an artifact (schema 2 = pure Python)."""
+    return artifact.get("backend", "python")
+
+
+def baseline_section(baseline: dict, backend: str) -> dict | None:
+    """The baseline slice comparable to a *backend* artifact.
+
+    Schema 3 keeps per-backend sections under ``backends``; schema 2 is a
+    flat single-section (pure-Python) layout.  Returns None when the
+    baseline has no section for this backend.
+    """
+    if "backends" in baseline:
+        return baseline["backends"].get(backend)
+    return baseline if backend == "python" else None
+
+
 def compare(artifact: dict, baseline: dict, *, tolerance: float, raw: bool) -> int:
     metric = "events_per_s" if raw else "events_per_cal"
+    backend = artifact_backend(artifact)
+    section = baseline_section(baseline, backend)
+    if section is None:
+        print(
+            f"error: baseline has no section for backend '{backend}' "
+            f"(run --update from a {backend}-backend artifact first)",
+            file=sys.stderr,
+        )
+        return 1
     failures = []
     summary_rows = []
-    print(f"perf gate: metric={metric} tolerance={tolerance:.0%}")
-    for label, base_cfg in sorted(baseline.get("configs", {}).items()):
+    print(f"perf gate: backend={backend} metric={metric} tolerance={tolerance:.0%}")
+    for label, base_cfg in sorted(section.get("configs", {}).items()):
         cur_cfg = artifact.get("configs", {}).get(label)
         if cur_cfg is None:
             failures.append(f"{label}: missing from artifact")
@@ -64,7 +99,9 @@ def compare(artifact: dict, baseline: dict, *, tolerance: float, raw: bool) -> i
         summary_rows.append(
             (label, f"{base:.4g}", f"{cur:.4g}", f"{change:+.1%}", status)
         )
-    write_step_summary(metric, tolerance, summary_rows, failed=bool(failures))
+    write_step_summary(
+        metric, tolerance, summary_rows, backend=backend, failed=bool(failures)
+    )
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for f in failures:
@@ -75,7 +112,7 @@ def compare(artifact: dict, baseline: dict, *, tolerance: float, raw: bool) -> i
 
 
 def write_step_summary(
-    metric: str, tolerance: float, rows: list[tuple], *, failed: bool
+    metric: str, tolerance: float, rows: list[tuple], *, backend: str, failed: bool
 ) -> None:
     """Append the comparison as a markdown table to $GITHUB_STEP_SUMMARY.
 
@@ -88,7 +125,7 @@ def write_step_summary(
         return
     verdict = "failed ❌" if failed else "passed ✅"
     lines = [
-        f"### Perf gate {verdict}",
+        f"### Perf gate ({backend} backend) {verdict}",
         "",
         f"Metric: `{metric}` (calibration-normalised events/s), "
         f"tolerance {tolerance:.0%}.",
@@ -103,14 +140,36 @@ def write_step_summary(
 
 
 def update_baseline(artifact: dict, baseline_path: str) -> int:
+    """Write the artifact into the baseline's section for its backend.
+
+    Preserves the PR history block and every *other* backend's section;
+    a legacy schema-2 flat baseline is migrated into
+    ``backends["python"]`` first (schema 2 predates the compiled
+    backend, so its numbers are pure-Python by construction).
+    """
     p = pathlib.Path(baseline_path)
-    history = {}
+    backend = artifact_backend(artifact)
+    history: dict = {}
+    backends: dict = {}
     if p.exists():
-        history = json.loads(p.read_text()).get("history", {})
-    out = dict(artifact)
-    out["history"] = history
+        old = json.loads(p.read_text())
+        history = old.get("history", {})
+        if "backends" in old:
+            backends = old["backends"]
+        elif old.get("configs"):  # schema-2 migration
+            legacy = {
+                k: v for k, v in old.items() if k not in ("history", "schema")
+            }
+            legacy.setdefault("backend", "python")
+            backends["python"] = legacy
+    section = {k: v for k, v in artifact.items() if k != "history"}
+    backends[backend] = section
+    out = {"schema": 3, "backends": backends, "history": history}
     p.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
-    print(f"baseline updated: {baseline_path} (history preserved)")
+    print(
+        f"baseline updated: {baseline_path} "
+        f"(backend={backend}; history + other backends preserved)"
+    )
     return 0
 
 

@@ -101,16 +101,17 @@ def _measure(label, cfg, reps: int = 3):
         sim = Simulation(cfg)
         result = sim.run()
         elapsed = min(elapsed, time.perf_counter() - start)
-    return label, cfg, result, sim.engine.activations, elapsed
+    return label, cfg, result, sim, elapsed
 
 
-def _baseline_history() -> tuple[dict, dict]:
-    """events/s per config recorded at PR 1 and PR 4 (pre-activation
-    engine), from perf_baseline.json's history block."""
+def _baseline_history() -> tuple[dict, dict, dict]:
+    """events/s per config recorded at PR 1, PR 4 (pre-activation engine)
+    and PR 5 (pure-Python activation engine), from perf_baseline.json's
+    history block."""
     if not BASELINE_PATH.exists():
-        return {}, {}
+        return {}, {}, {}
     history = json.loads(BASELINE_PATH.read_text()).get("history", {})
-    return history.get("pr1", {}), history.get("pr4", {})
+    return history.get("pr1", {}), history.get("pr4", {}), history.get("pr5", {})
 
 
 def test_engine_throughput(benchmark):
@@ -122,10 +123,13 @@ def test_engine_throughput(benchmark):
 
     measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    pr1, pr4 = _baseline_history()
+    pr1, pr4, pr5 = _baseline_history()
     rows = []
     artifact_configs = {}
-    for label, cfg, result, activations, elapsed in measured:
+    backend = measured[0][3].engine_backend
+    soa_mode = "typed" if measured[0][3].soa.typed else "lists"
+    for label, cfg, result, sim, elapsed in measured:
+        activations = sim.engine.activations
         eps = result.events_processed / elapsed
         aps = activations / elapsed
         row = [
@@ -141,6 +145,8 @@ def test_engine_throughput(benchmark):
         row.append(f"{eps / base:.2f}x" if base else "-")
         base4 = pr4.get(label)
         row.append(f"{eps / base4:.2f}x" if base4 else "-")
+        base5 = pr5.get(label)
+        row.append(f"{eps / base5:.2f}x" if base5 else "-")
         rows.append(row)
         artifact_configs[label] = {
             "events": result.events_processed,
@@ -165,10 +171,12 @@ def test_engine_throughput(benchmark):
                 "wall(s)",
                 "vs PR-1",
                 "vs PR-4",
+                "vs PR-5(py)",
             ],
             rows,
-            title="Engine throughput (single process; speedup vs PR-1 and "
-            "the PR-4 per-event engine)",
+            title="Engine throughput (single process; speedup vs PR-1, the "
+            "PR-4 per-event engine and the PR-5 pure-Python kernel; "
+            f"backend={backend}, store={soa_mode})",
         )
         + "\n" + metadata_lines(),
     )
@@ -177,7 +185,9 @@ def test_engine_throughput(benchmark):
     ARTIFACT_PATH.write_text(
         json.dumps(
             {
-                "schema": 2,
+                "schema": 3,
+                "backend": backend,
+                "soa_mode": soa_mode,
                 "git_sha": git_sha(),
                 "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
                 "machine": machine_metadata(),
@@ -190,7 +200,8 @@ def test_engine_throughput(benchmark):
         + "\n"
     )
 
-    for label, _cfg, result, activations, elapsed in measured:
+    for label, _cfg, result, sim, elapsed in measured:
+        activations = sim.engine.activations
         assert result.events_processed > 0, label
         assert 0 < activations <= result.events_processed, label
         assert elapsed > 0.0, label

@@ -51,6 +51,7 @@ stores, check completeness, and render a figure offline::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -64,6 +65,7 @@ from repro.config import (
     tiny_config,
 )
 from repro.core.simulation import run_simulation
+from repro.engine.kernel import BACKEND_ENV, ENGINE_BACKEND_CHOICES, resolve_backend
 from repro.errors import ReproError
 from repro.exec.plan import ExperimentPlan, Shard
 from repro.exec.runner import Runner
@@ -121,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="audit each run with the simulation oracle (drain the "
             "network, verify conservation invariants, record the verdict)",
+        )
+        sp.add_argument(
+            "--engine-backend",
+            choices=ENGINE_BACKEND_CHOICES,
+            default=None,
+            help="engine kernel backend (default: $REPRO_ENGINE_BACKEND or "
+            "auto = compiled when built, else python; both are "
+            "bit-identical)",
         )
 
     def scenario_opt(sp: argparse.ArgumentParser) -> None:
@@ -349,8 +359,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
 
+    backend = getattr(args, "engine_backend", None)
+    if backend is not None:
+        # Validate eagerly (an explicit `compiled` without the built
+        # extension should fail before any work), then export through the
+        # environment so Runner worker processes and the profiler resolve
+        # the same backend.
+        resolve_backend(backend)
+        os.environ[BACKEND_ENV] = backend
+
     if args.command == "run":
-        result = run_simulation(_config(args).with_traffic(load=args.load))
+        result = run_simulation(
+            _config(args).with_traffic(load=args.load), engine_backend=backend
+        )
         print(result.summary())
         print(
             "latency breakdown:",
@@ -406,7 +427,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "fairness":
         cfg = _config(args)
-        result = run_simulation(cfg.with_traffic(load=args.load))
+        result = run_simulation(
+            cfg.with_traffic(load=args.load), engine_backend=backend
+        )
         counts = result.group_injections(args.group)
         print(
             format_table(

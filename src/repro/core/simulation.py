@@ -9,11 +9,14 @@ one traffic pattern and one stats collector.  ``run()`` executes
 
 from __future__ import annotations
 
+import os
 from math import log
 
 from repro.config import SimulationConfig
 from repro.core.results import SimulationResult
 from repro.engine import OP_GEN, EventQueue
+from repro.engine.kernel import resolve_backend
+from repro.engine.soa import SoAStore
 from repro.errors import OracleError, SimulationError
 from repro.hardware.packet import Packet
 from repro.hardware.router import Router
@@ -31,6 +34,40 @@ _STREAM_TRAFFIC = 1
 _STREAM_ROUTING = 2
 _STREAM_PATTERN = 3
 
+# ----------------------------------------------------------------------
+# Topology warm-start cache (engine-level; multiplies every speedup by
+# sweep width).  DragonflyTopology is config-pure: every table is
+# precomputed in __init__ from (NetworkConfig, arrangement_seed) and
+# nothing mutates it afterwards (routers and mechanisms only read), so
+# one instance can back any number of simulations.  NetworkConfig is a
+# frozen dataclass, so the (config, seed) tuple key has exactly the
+# same identity semantics as the topology sub-config digest.  The cache
+# is per process — each Runner worker warms it once per topology and
+# every later cell of the sweep skips construction.  Disable with
+# REPRO_TOPO_CACHE=0.
+_TOPO_CACHE: dict[tuple, DragonflyTopology] = {}
+_TOPO_CACHE_MAX = 8  # a sweep rarely mixes topologies; keep it tiny
+
+
+def _shared_topology(network, arrangement_seed: int) -> DragonflyTopology:
+    """A (possibly cached) topology for *network* + *arrangement_seed*."""
+    if os.environ.get("REPRO_TOPO_CACHE", "1").lower() in (
+        "0",
+        "false",
+        "off",
+        "no",
+    ):
+        return DragonflyTopology(network, arrangement_seed=arrangement_seed)
+    key = (network, arrangement_seed)
+    topo = _TOPO_CACHE.get(key)
+    if topo is None:
+        if len(_TOPO_CACHE) >= _TOPO_CACHE_MAX:
+            # FIFO eviction: insertion order approximates sweep order.
+            _TOPO_CACHE.pop(next(iter(_TOPO_CACHE)))
+        topo = DragonflyTopology(network, arrangement_seed=arrangement_seed)
+        _TOPO_CACHE[key] = topo
+    return topo
+
 
 class Simulation:
     """One fully wired Dragonfly simulation instance."""
@@ -40,14 +77,23 @@ class Simulation:
         config: SimulationConfig,
         *,
         check_decomposition: bool = False,
+        engine_backend: str | None = None,
     ) -> None:
         self.config = config
         # Strict timestamp validation defaults on (REPRO_ENGINE_STRICT=0
         # disables it for production sweeps); the typed activation path
         # the routers use never validates either way.
         self.engine = EventQueue()
-        self.topo = DragonflyTopology(
-            config.network, arrangement_seed=split_seed(config.seed, 7)
+        # Engine backend (see repro.engine.kernel): the explicit argument
+        # wins over REPRO_ENGINE_BACKEND; the default 'auto' degrades to
+        # the pure-Python kernel when the compiled extension is absent.
+        # Deliberately NOT part of SimulationConfig: backends are
+        # bit-identical by contract, so the backend is an execution
+        # detail and must not perturb config digests/serialisation.
+        backend = resolve_backend(engine_backend)
+        self.engine_backend = backend.name
+        self.topo = _shared_topology(
+            config.network, split_seed(config.seed, 7)
         )
         self.rng_traffic = make_rng(split_seed(config.seed, _STREAM_TRAFFIC))
         self.rng_routing = make_rng(split_seed(config.seed, _STREAM_ROUTING))
@@ -59,9 +105,23 @@ class Simulation:
             check_decomposition=check_decomposition,
         )
 
+        # Structure-of-arrays store for the hot router state (flat typed
+        # buffers for the compiled backend, flat lists for the Python
+        # one), then the router views that fill their segments.
+        rc = config.router
+        self.soa = SoAStore(
+            self.topo.num_routers,
+            self.topo.radix,
+            max(rc.local_vcs, rc.global_vcs, 1),
+            typed=backend.typed,
+        )
+
         # Routers and wiring.
         self.routers = [Router(self, rid) for rid in range(self.topo.num_routers)]
+        self.soa.routers = self.routers
         self._wire()
+        if backend.name != "python":
+            self.engine.bind_backend(backend, self.soa)
 
         # Routing mechanism (needs self.routers for PiggyBack state).
         self.routing = make_routing(config.routing, self)
@@ -334,7 +394,14 @@ class Simulation:
 
 
 def run_simulation(
-    config: SimulationConfig, *, check_decomposition: bool = False
+    config: SimulationConfig,
+    *,
+    check_decomposition: bool = False,
+    engine_backend: str | None = None,
 ) -> SimulationResult:
     """Build and run one simulation (convenience wrapper)."""
-    return Simulation(config, check_decomposition=check_decomposition).run()
+    return Simulation(
+        config,
+        check_decomposition=check_decomposition,
+        engine_backend=engine_backend,
+    ).run()

@@ -1,0 +1,1908 @@
+/* Compiled engine kernel: the calendar-queue drain loop and the router
+ * allocation pipeline as a CPython extension.
+ *
+ * This is a line-for-line translation of the pure-Python kernels in
+ * repro/engine/kernel.py (py_drain / step / _commit) and of the router
+ * phase handlers in repro/hardware/router.py (arrive, output_enqueue,
+ * send, link_step, release_output, release_credit), operating on the
+ * typed (array('q'), int64) buffers of repro.engine.soa.SoAStore mapped
+ * once through the buffer protocol.
+ *
+ * Bit-identity contract
+ * ---------------------
+ * Every observable effect matches the Python kernels exactly:
+ *
+ * - the drain order (heap of distinct cycles + FIFO buckets with a
+ *   growing-list cursor) and the opcode dispatch semantics are the same;
+ * - the allocation scan iterates `active_keys` in Python's own set
+ *   iteration order (a snapshot taken with the set's iterator), calls
+ *   `routing.decide` at exactly the same points (so RNG consumption is
+ *   identical), and applies the same decision-memo contract;
+ * - arithmetic is int64 throughout, matching the value range of the
+ *   Python ints the interpreted kernels produce;
+ * - `events_processed` / `activations` accounting, including the
+ *   exception path (consume the raising record, keep the bucket
+ *   remainder), mirrors py_drain's try/finally.
+ *
+ * Python is called back for exactly the work that is Python by contract:
+ * routing decisions (which may consume the simulation RNG), traffic
+ * generation (OP_GEN), the delivery sink (OP_DELIVER), generic OP_CALL
+ * callbacks, overridden routing hooks, stats injection callbacks and
+ * deque operations (input/output FIFOs stay collections.deque so the
+ * interpreted paths and tests see the same structures).
+ *
+ * State shared with Python (packet fields, Router._arb_time, the
+ * EventQueue counters) lives in __slots__; the extension resolves the
+ * member-descriptor offsets once and reads/writes the slots directly.
+ * Everything else round-trips through the same Python objects the
+ * interpreted kernels use, so mixed execution (e.g. a Python
+ * `Router.inject` posting records while the C drain runs) stays
+ * coherent by construction.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <stdint.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* small helpers                                                       */
+/* ------------------------------------------------------------------ */
+
+static inline int64_t
+as_ll(PyObject *o)
+{
+    return (int64_t)PyLong_AsLongLong(o);
+}
+
+/* Resolve a __slots__ member descriptor to its instance offset. */
+static Py_ssize_t
+slot_offset(PyTypeObject *tp, const char *name)
+{
+    PyObject *descr = PyObject_GetAttrString((PyObject *)tp, name);
+    Py_ssize_t off;
+    if (descr == NULL)
+        return -1;
+    if (Py_TYPE(descr) != &PyMemberDescr_Type) {
+        Py_DECREF(descr);
+        PyErr_Format(PyExc_TypeError,
+                     "%s.%s is not a __slots__ member", tp->tp_name, name);
+        return -1;
+    }
+    off = ((PyMemberDescrObject *)descr)->d_member->offset;
+    Py_DECREF(descr);
+    return off;
+}
+
+/* Borrowed slot read (may be NULL for an unset slot). */
+static inline PyObject *
+slot_get(PyObject *obj, Py_ssize_t off)
+{
+    return *(PyObject **)((char *)obj + off);
+}
+
+/* Slot write; steals the reference to `v`. */
+static inline void
+slot_set(PyObject *obj, Py_ssize_t off, PyObject *v)
+{
+    PyObject **p = (PyObject **)((char *)obj + off);
+    PyObject *old = *p;
+    *p = v;
+    Py_XDECREF(old);
+}
+
+static inline int64_t
+slot_ll(PyObject *obj, Py_ssize_t off)
+{
+    return as_ll(slot_get(obj, off));
+}
+
+static inline int
+slot_set_ll(PyObject *obj, Py_ssize_t off, int64_t v)
+{
+    PyObject *o = PyLong_FromLongLong((long long)v);
+    if (o == NULL)
+        return -1;
+    slot_set(obj, off, o);
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* int64 heap ops on a Python list of ints (the queue's _times helper   */
+/* heap).  Times in the heap are unique (one entry per live bucket), so */
+/* any valid binary heap yields the same pop sequence as heapq.         */
+/* ------------------------------------------------------------------ */
+
+static int
+heap_push(PyObject *heap, PyObject *item)
+{
+    Py_ssize_t pos, parent;
+    PyObject **ob;
+    int64_t v;
+    if (PyList_Append(heap, item) < 0)
+        return -1;
+    ob = ((PyListObject *)heap)->ob_item;
+    pos = PyList_GET_SIZE(heap) - 1;
+    v = as_ll(item);
+    while (pos > 0) {
+        parent = (pos - 1) >> 1;
+        if (v < as_ll(ob[parent])) {
+            PyObject *tmp = ob[pos];
+            ob[pos] = ob[parent];
+            ob[parent] = tmp;
+            pos = parent;
+        }
+        else
+            break;
+    }
+    return 0;
+}
+
+/* Pop the minimum; returns a new reference. */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject **ob = ((PyListObject *)heap)->ob_item;
+    PyObject *ret = ob[0];
+    Py_INCREF(ret);
+    /* Move the last element to the root, truncate, then sift down. */
+    ob[0] = ob[n - 1];
+    ob[n - 1] = ret; /* ownership juggling: SetSlice decrefs this one */
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        /* restore best-effort; should not happen for a plain list */
+        return ret;
+    }
+    n -= 1;
+    if (n > 1) {
+        ob = ((PyListObject *)heap)->ob_item;
+        Py_ssize_t pos = 0;
+        int64_t v = as_ll(ob[0]);
+        for (;;) {
+            Py_ssize_t child = 2 * pos + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && as_ll(ob[child + 1]) < as_ll(ob[child]))
+                child += 1;
+            if (as_ll(ob[child]) < v) {
+                PyObject *tmp = ob[pos];
+                ob[pos] = ob[child];
+                ob[child] = tmp;
+                pos = child;
+            }
+            else
+                break;
+        }
+    }
+    return ret;
+}
+
+/* ------------------------------------------------------------------ */
+/* kernel state                                                        */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    Py_ssize_t size, t_enq, inject_time, wait_local, wait_global,
+        service_sum, local_hops, global_hops, group_local_hops,
+        current_group, plan, inter_router, inter_group, dst_group, pid;
+} PacketSlots;
+
+typedef struct {
+    PyObject *router;           /* owned */
+    PyObject *routing;          /* owned */
+    PyObject *decide;           /* owned bound method */
+    PyObject *commit_override;  /* owned or NULL (base commit inlined) */
+    PyObject *arrival_override; /* owned or NULL (base arrival inlined) */
+    PyObject *on_injection;     /* owned */
+    PyObject *active_keys;      /* owned set */
+    PyObject *token;            /* owned (OP_STEP, router) */
+    PyObject *send_recs, *link_recs, *rel_recs, *out_peer; /* owned lists */
+    PyObject *rid_obj;          /* owned */
+    PyObject *py_step;          /* owned bound method, or NULL: C step */
+    int64_t kb, pb, rid, group, boundary, max_vcs, nkeys, radix;
+    int64_t cache_policy, transit_priority, internal, num_node_ports,
+        psize, pipe_lat;
+} RState;
+
+#define N_VIEWS 18
+
+typedef struct {
+    /* EventQueue slot offsets */
+    Py_ssize_t eq_now, eq_processed, eq_activations, eq_sink, eq_gen;
+    /* typed buffer views (held for the KState lifetime) */
+    Py_buffer views[N_VIEWS];
+    int nviews;
+    /* per-key */
+    int64_t *in_occ, *in_cap, *key_port, *credits_used;
+    /* per-port */
+    int64_t *in_port_free, *out_occ, *out_cap, *switch_free, *link_free,
+        *out_pumping, *credit_nvc, *credit_cap, *last_grant, *local_in,
+        *global_out, *link_lat, *hop_cost;
+    /* per-router */
+    int64_t *cong_epoch;
+    /* object-valued store fields (owned lists) */
+    PyObject *in_q, *dc_pkt, *dc_dec, *dc_cond, *credit_recs, *out_fifo;
+    /* queue structures (owned; the same objects the slots hold) */
+    PyObject *buckets, *times;
+    Py_ssize_t num_routers, radix, max_vcs, nkeys;
+    PacketSlots ps;
+    Py_ssize_t r_arb_time;
+    RState *routers;
+    /* pointer -> RState open-addressing hash */
+    void **h_keys;
+    RState **h_vals;
+    Py_ssize_t h_mask;
+    /* cached immortal-ish objects */
+    PyObject **key_objs;  /* nkeys ints 0..nkeys-1 */
+    PyObject **port_objs; /* radix ints */
+    PyObject **vc_objs;   /* max_vcs ints */
+    PyObject *op_out_arrive, *op_credit, *op_link, *op_release,
+        *op_arrive, *op_deliver;
+    PyObject *deque_append, *deque_popleft;
+    PyObject *s_last_decide_pure, *s_last_decide_guard;
+    PyObject *flow_err, *routing_err;
+    PyObject *router_mod; /* for the dynamic CHECK_INVARIANTS flag */
+    int chk;              /* CHECK_INVARIANTS, refreshed per drain call */
+    /* step scratch (step never nests: decide cannot re-enter the drain) */
+    int64_t *scr_keys;    /* nkeys: active-key snapshot */
+    int64_t *scr_dead;    /* nkeys */
+    int64_t *c_key;       /* nkeys candidate keys */
+    PyObject **c_pkt;     /* nkeys owned */
+    PyObject **c_dec;     /* nkeys owned */
+    int64_t *c_next;      /* nkeys: per-output chain links */
+    int64_t *port_first, *port_last; /* radix */
+    int64_t *order_ports; /* radix: first-seen output order */
+    uint8_t *td_mask;     /* radix: transit-demand membership */
+    int64_t *f_idx;       /* nkeys: filtered candidate scratch */
+} KState;
+
+static void
+rstate_clear(RState *rs)
+{
+    Py_XDECREF(rs->router);
+    Py_XDECREF(rs->routing);
+    Py_XDECREF(rs->decide);
+    Py_XDECREF(rs->commit_override);
+    Py_XDECREF(rs->arrival_override);
+    Py_XDECREF(rs->on_injection);
+    Py_XDECREF(rs->active_keys);
+    Py_XDECREF(rs->token);
+    Py_XDECREF(rs->send_recs);
+    Py_XDECREF(rs->link_recs);
+    Py_XDECREF(rs->rel_recs);
+    Py_XDECREF(rs->out_peer);
+    Py_XDECREF(rs->rid_obj);
+    Py_XDECREF(rs->py_step);
+}
+
+static void
+kstate_free(KState *ks)
+{
+    Py_ssize_t i;
+    if (ks == NULL)
+        return;
+    if (ks->routers != NULL) {
+        for (i = 0; i < ks->num_routers; i++)
+            rstate_clear(&ks->routers[i]);
+        PyMem_Free(ks->routers);
+    }
+    if (ks->key_objs != NULL) {
+        for (i = 0; i < ks->nkeys; i++)
+            Py_XDECREF(ks->key_objs[i]);
+        PyMem_Free(ks->key_objs);
+    }
+    if (ks->port_objs != NULL) {
+        for (i = 0; i < ks->radix; i++)
+            Py_XDECREF(ks->port_objs[i]);
+        PyMem_Free(ks->port_objs);
+    }
+    if (ks->vc_objs != NULL) {
+        for (i = 0; i < ks->max_vcs; i++)
+            Py_XDECREF(ks->vc_objs[i]);
+        PyMem_Free(ks->vc_objs);
+    }
+    Py_XDECREF(ks->in_q);
+    Py_XDECREF(ks->dc_pkt);
+    Py_XDECREF(ks->dc_dec);
+    Py_XDECREF(ks->dc_cond);
+    Py_XDECREF(ks->credit_recs);
+    Py_XDECREF(ks->out_fifo);
+    Py_XDECREF(ks->buckets);
+    Py_XDECREF(ks->times);
+    Py_XDECREF(ks->op_out_arrive);
+    Py_XDECREF(ks->op_credit);
+    Py_XDECREF(ks->op_link);
+    Py_XDECREF(ks->op_release);
+    Py_XDECREF(ks->op_arrive);
+    Py_XDECREF(ks->op_deliver);
+    Py_XDECREF(ks->deque_append);
+    Py_XDECREF(ks->deque_popleft);
+    Py_XDECREF(ks->s_last_decide_pure);
+    Py_XDECREF(ks->s_last_decide_guard);
+    Py_XDECREF(ks->flow_err);
+    Py_XDECREF(ks->routing_err);
+    Py_XDECREF(ks->router_mod);
+    PyMem_Free(ks->h_keys);
+    PyMem_Free(ks->h_vals);
+    PyMem_Free(ks->scr_keys);
+    PyMem_Free(ks->scr_dead);
+    PyMem_Free(ks->c_key);
+    PyMem_Free(ks->c_pkt);
+    PyMem_Free(ks->c_dec);
+    PyMem_Free(ks->c_next);
+    PyMem_Free(ks->port_first);
+    PyMem_Free(ks->port_last);
+    PyMem_Free(ks->order_ports);
+    PyMem_Free(ks->td_mask);
+    PyMem_Free(ks->f_idx);
+    for (i = 0; i < ks->nviews; i++)
+        PyBuffer_Release(&ks->views[i]);
+    PyMem_Free(ks);
+}
+
+static void
+kstate_capsule_free(PyObject *capsule)
+{
+    kstate_free((KState *)PyCapsule_GetPointer(capsule, "repro._ckernel"));
+}
+
+/* map an array('q') store field to an int64_t* */
+static int64_t *
+map_buffer(KState *ks, PyObject *store, const char *name, Py_ssize_t expect)
+{
+    PyObject *obj = PyObject_GetAttrString(store, name);
+    Py_buffer *view;
+    if (obj == NULL)
+        return NULL;
+    view = &ks->views[ks->nviews];
+    if (PyObject_GetBuffer(obj, view, PyBUF_CONTIG) < 0) {
+        Py_DECREF(obj);
+        return NULL;
+    }
+    Py_DECREF(obj);
+    if (view->itemsize != 8 || view->len != expect * 8) {
+        PyBuffer_Release(view);
+        PyErr_Format(PyExc_TypeError,
+                     "SoAStore.%s is not an int64 buffer of %zd items "
+                     "(is the store typed?)", name, expect);
+        return NULL;
+    }
+    ks->nviews += 1;
+    return (int64_t *)view->buf;
+}
+
+static PyObject *
+get_list(PyObject *store, const char *name)
+{
+    PyObject *obj = PyObject_GetAttrString(store, name);
+    if (obj == NULL)
+        return NULL;
+    if (!PyList_CheckExact(obj)) {
+        Py_DECREF(obj);
+        PyErr_Format(PyExc_TypeError, "SoAStore.%s is not a list", name);
+        return NULL;
+    }
+    return obj;
+}
+
+static int64_t
+get_ll_attr(PyObject *obj, const char *name, int *err)
+{
+    PyObject *v = PyObject_GetAttrString(obj, name);
+    int64_t r;
+    if (v == NULL) {
+        *err = 1;
+        return 0;
+    }
+    r = (int64_t)PyLong_AsLongLong(v);
+    if (r == -1 && PyErr_Occurred())
+        *err = 1;
+    Py_DECREF(v);
+    return r;
+}
+
+/* ------------------------------------------------------------------ */
+/* pointer hash: router PyObject* -> RState*                           */
+/* ------------------------------------------------------------------ */
+
+static inline Py_ssize_t
+ptr_slot(KState *ks, void *p)
+{
+    uintptr_t h = ((uintptr_t)p) >> 4;
+    h *= (uintptr_t)0x9E3779B97F4A7C15ULL;
+    return (Py_ssize_t)(h >> 17) & ks->h_mask;
+}
+
+static int
+ptr_insert(KState *ks, void *p, RState *rs)
+{
+    Py_ssize_t i = ptr_slot(ks, p);
+    while (ks->h_keys[i] != NULL) {
+        if (ks->h_keys[i] == p) {
+            PyErr_SetString(PyExc_RuntimeError,
+                            "duplicate router object in SoA store");
+            return -1;
+        }
+        i = (i + 1) & ks->h_mask;
+    }
+    ks->h_keys[i] = p;
+    ks->h_vals[i] = rs;
+    return 0;
+}
+
+static inline RState *
+ptr_lookup(KState *ks, void *p)
+{
+    Py_ssize_t i = ptr_slot(ks, p);
+    while (ks->h_keys[i] != NULL) {
+        if (ks->h_keys[i] == p)
+            return ks->h_vals[i];
+        i = (i + 1) & ks->h_mask;
+    }
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* posting                                                             */
+/* ------------------------------------------------------------------ */
+
+/* Append `rec` (borrowed) to the cycle-`t` bucket.  Mirrors
+ * EventQueue.post / the routers' inlined posting blocks. */
+static int
+ck_post(KState *ks, int64_t t, PyObject *rec)
+{
+    PyObject *key = PyLong_FromLongLong((long long)t);
+    PyObject *bucket;
+    if (key == NULL)
+        return -1;
+    bucket = PyDict_GetItemWithError(ks->buckets, key);
+    if (bucket != NULL) {
+        int r = PyList_Append(bucket, rec);
+        Py_DECREF(key);
+        return r;
+    }
+    if (PyErr_Occurred()) {
+        Py_DECREF(key);
+        return -1;
+    }
+    bucket = PyList_New(1);
+    if (bucket == NULL) {
+        Py_DECREF(key);
+        return -1;
+    }
+    Py_INCREF(rec);
+    PyList_SET_ITEM(bucket, 0, rec);
+    if (PyDict_SetItem(ks->buckets, key, bucket) < 0) {
+        Py_DECREF(bucket);
+        Py_DECREF(key);
+        return -1;
+    }
+    Py_DECREF(bucket);
+    if (heap_push(ks->times, key) < 0) {
+        Py_DECREF(key);
+        return -1;
+    }
+    Py_DECREF(key);
+    return 0;
+}
+
+/* Inlined schedule_arb(target): arm the router's activation token at
+ * `target` unless an earlier-or-equal arming is pending. */
+static int
+arm_step(KState *ks, RState *rs, int64_t target)
+{
+    PyObject *arb = slot_get(rs->router, ks->r_arb_time);
+    if (arb != NULL && arb != Py_None && as_ll(arb) <= target)
+        return 0;
+    if (slot_set_ll(rs->router, ks->r_arb_time, target) < 0)
+        return -1;
+    return ck_post(ks, target, rs->token);
+}
+
+/* ------------------------------------------------------------------ */
+/* decision memo (mirrors the inlined cache blocks in kernel.step)     */
+/* ------------------------------------------------------------------ */
+
+/* dc_pkt/dc_dec/dc_cond[gk] = pkt/dec/cond; steals the ref to `cond`. */
+static int
+set_memo(KState *ks, Py_ssize_t gk, PyObject *pkt, PyObject *dec,
+         PyObject *cond)
+{
+    Py_INCREF(pkt);
+    PyList_SetItem(ks->dc_pkt, gk, pkt);
+    Py_INCREF(dec);
+    PyList_SetItem(ks->dc_dec, gk, dec);
+    PyList_SetItem(ks->dc_cond, gk, cond);
+    return 0;
+}
+
+/* The memoized decision for the head `pkt` at flat key `gk`, or a fresh
+ * decide() call (with the cache-policy write-back).  Returns a new
+ * reference, NULL on error.  `epoch` is the router's congestion epoch
+ * read at scan start. */
+static PyObject *
+cached_or_decide(KState *ks, RState *rs, Py_ssize_t gk, PyObject *pkt,
+                 int64_t epoch)
+{
+    PyObject *dec;
+    if (PyList_GET_ITEM(ks->dc_pkt, gk) == pkt) {
+        PyObject *cond = PyList_GET_ITEM(ks->dc_cond, gk);
+        int valid;
+        if (cond == Py_None)
+            valid = 1;
+        else if (PyTuple_CheckExact(cond)) {
+            int64_t c1 = as_ll(PyTuple_GET_ITEM(cond, 1));
+            int64_t have = as_ll(PyTuple_GET_ITEM(cond, 0))
+                               ? ks->credits_used[c1]
+                               : ks->out_occ[c1];
+            valid = (have == as_ll(PyTuple_GET_ITEM(cond, 2)));
+        }
+        else
+            valid = (as_ll(cond) == epoch);
+        if (valid) {
+            dec = PyList_GET_ITEM(ks->dc_dec, gk);
+            Py_INCREF(dec);
+            return dec;
+        }
+    }
+    dec = PyObject_CallFunctionObjArgs(rs->decide, pkt, rs->router, NULL);
+    if (dec == NULL)
+        return NULL;
+    switch (rs->cache_policy) {
+    case 1:
+        set_memo(ks, gk, pkt, dec, Py_NewRef(Py_None));
+        break;
+    case 2:
+        if (slot_ll(pkt, ks->ps.plan))
+            set_memo(ks, gk, pkt, dec, Py_NewRef(Py_None));
+        break;
+    case 3:
+        if (slot_ll(pkt, ks->ps.inter_group) >= 0
+            && rs->group != slot_ll(pkt, ks->ps.dst_group)) {
+            set_memo(ks, gk, pkt, dec, Py_NewRef(Py_None));
+        }
+        else {
+            PyObject *pure =
+                PyObject_GetAttr(rs->routing, ks->s_last_decide_pure);
+            int is_pure;
+            if (pure == NULL) {
+                Py_DECREF(dec);
+                return NULL;
+            }
+            is_pure = PyObject_IsTrue(pure);
+            Py_DECREF(pure);
+            if (is_pure < 0) {
+                Py_DECREF(dec);
+                return NULL;
+            }
+            if (is_pure) {
+                PyObject *g =
+                    PyObject_GetAttr(rs->routing, ks->s_last_decide_guard);
+                PyObject *cond;
+                if (g == NULL) {
+                    Py_DECREF(dec);
+                    return NULL;
+                }
+                if (g == Py_None) {
+                    Py_DECREF(g);
+                    cond = PyLong_FromLongLong((long long)epoch);
+                    if (cond == NULL) {
+                        Py_DECREF(dec);
+                        return NULL;
+                    }
+                }
+                else if (PyTuple_GET_SIZE(g) > 0)
+                    cond = g; /* single-counter guard (steal ref) */
+                else {
+                    /* GUARD_STABLE: frozen-pure decision */
+                    Py_DECREF(g);
+                    cond = Py_NewRef(Py_None);
+                }
+                set_memo(ks, gk, pkt, dec, cond);
+            }
+        }
+        break;
+    default:
+        break;
+    }
+    return dec;
+}
+
+/* ------------------------------------------------------------------ */
+/* phase handlers                                                      */
+/* ------------------------------------------------------------------ */
+
+static int
+c_commit(KState *ks, RState *rs, int64_t out_port, int64_t gout,
+         int64_t key, Py_ssize_t gk, PyObject *pkt, PyObject *dec,
+         int64_t now, PyObject *now_obj)
+{
+    int64_t in_port = key / rs->max_vcs;
+    int64_t gin = rs->pb + in_port;
+    int64_t out_vc = as_ll(PyTuple_GET_ITEM(dec, 1));
+    int64_t size = slot_ll(pkt, ks->ps.size);
+    PyObject *q = PyList_GET_ITEM(ks->in_q, gk);
+    PyObject *popped =
+        PyObject_CallFunctionObjArgs(ks->deque_popleft, q, NULL);
+    Py_ssize_t qlen;
+    if (popped == NULL)
+        return -1;
+    Py_DECREF(popped);
+    qlen = PyObject_Length(q);
+    if (qlen < 0)
+        return -1;
+    if (qlen == 0
+        && PySet_Discard(rs->active_keys, ks->key_objs[key]) < 0)
+        return -1;
+    PyList_SetItem(ks->dc_pkt, gk, Py_NewRef(Py_None));
+    ks->cong_epoch[rs->rid] += 1;
+    ks->in_port_free[gin] = now + rs->internal;
+    ks->switch_free[gout] = now + rs->internal;
+    ks->out_occ[gout] += size;
+
+    if (in_port < rs->num_node_ports) {
+        PyObject *res;
+        Py_INCREF(now_obj);
+        slot_set(pkt, ks->ps.inject_time, now_obj);
+        res = PyObject_CallFunctionObjArgs(rs->on_injection, rs->rid_obj,
+                                           now_obj, NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+    }
+    else {
+        int64_t wait = now - slot_ll(pkt, ks->ps.t_enq);
+        PyObject *rec;
+        if (wait) {
+            Py_ssize_t woff =
+                ks->local_in[gin] ? ks->ps.wait_local : ks->ps.wait_global;
+            if (slot_set_ll(pkt, woff, slot_ll(pkt, woff) + wait) < 0)
+                return -1;
+        }
+        ks->in_occ[gk] -= size;
+        if (ks->chk && ks->in_occ[gk] < 0) {
+            PyErr_Format(ks->flow_err,
+                         "router %lld: negative input occupancy "
+                         "port %lld vc %lld",
+                         (long long)rs->rid, (long long)in_port,
+                         (long long)(key - in_port * rs->max_vcs));
+            return -1;
+        }
+        rec = PyList_GET_ITEM(ks->credit_recs, gk);
+        if (rec != Py_None) {
+            int64_t t = now + rs->internal + ks->link_lat[gin];
+            int r;
+            if (size != rs->psize) {
+                PyObject *size_obj = PyLong_FromLongLong((long long)size);
+                PyObject *fresh;
+                if (size_obj == NULL)
+                    return -1;
+                fresh = PyTuple_Pack(5, ks->op_credit,
+                                     PyTuple_GET_ITEM(rec, 1),
+                                     PyTuple_GET_ITEM(rec, 2),
+                                     PyTuple_GET_ITEM(rec, 3), size_obj);
+                Py_DECREF(size_obj);
+                if (fresh == NULL)
+                    return -1;
+                r = ck_post(ks, t, fresh);
+                Py_DECREF(fresh);
+            }
+            else
+                r = ck_post(ks, t, rec);
+            if (r < 0)
+                return -1;
+        }
+    }
+
+    if (ks->credit_nvc[gout]) {
+        int64_t ck = rs->kb + out_port * rs->max_vcs + out_vc;
+        ks->credits_used[ck] += size;
+        if (ks->chk && ks->credits_used[ck] > ks->credit_cap[gout]) {
+            PyErr_Format(ks->flow_err,
+                         "router %lld: credit overcommit on port "
+                         "%lld vc %lld",
+                         (long long)rs->rid, (long long)out_port,
+                         (long long)out_vc);
+            return -1;
+        }
+    }
+
+    if (rs->commit_override == NULL) {
+        /* Inlined RoutingMechanism.commit (hop ledger + diversion). */
+        if (ks->local_in[gout]) {
+            int64_t glh = slot_ll(pkt, ks->ps.group_local_hops) + 1;
+            if (slot_set_ll(pkt, ks->ps.local_hops,
+                            slot_ll(pkt, ks->ps.local_hops) + 1) < 0)
+                return -1;
+            if (slot_set_ll(pkt, ks->ps.group_local_hops, glh) < 0)
+                return -1;
+            if (glh > 2) {
+                PyErr_Format(ks->routing_err,
+                             "packet %lld took a third local hop in group "
+                             "%lld; VC safety would be violated",
+                             (long long)slot_ll(pkt, ks->ps.pid),
+                             (long long)rs->group);
+                return -1;
+            }
+        }
+        else if (ks->global_out[gout]) {
+            if (slot_set_ll(pkt, ks->ps.global_hops,
+                            slot_ll(pkt, ks->ps.global_hops) + 1) < 0)
+                return -1;
+        }
+        if (as_ll(PyTuple_GET_ITEM(dec, 2)) == 1) {
+            PyObject *aux = PyTuple_GET_ITEM(dec, 3);
+            Py_INCREF(aux);
+            slot_set(pkt, ks->ps.inter_group, aux);
+        }
+    }
+    else {
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            rs->commit_override, pkt, rs->router, dec, NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+    }
+    if (slot_set_ll(pkt, ks->ps.service_sum,
+                    slot_ll(pkt, ks->ps.service_sum)
+                        + ks->hop_cost[gout]) < 0)
+        return -1;
+    {
+        /* switch traversal -> OP_OUT_ARRIVE after the pipeline latency */
+        PyObject *rec = PyTuple_Pack(5, ks->op_out_arrive, rs->router,
+                                     ks->port_objs[out_port], pkt,
+                                     ks->vc_objs[out_vc]);
+        int r;
+        if (rec == NULL)
+            return -1;
+        r = ck_post(ks, now + rs->pipe_lat, rec);
+        Py_DECREF(rec);
+        if (r < 0)
+            return -1;
+    }
+    return 0;
+}
+
+/* The consolidated allocation pass (kernel.step).  The Python kernel's
+ * single-head fast path is by construction byte-identical to the
+ * general scan restricted to one key, so only the general scan exists
+ * here. */
+static int
+c_step(KState *ks, RState *rs, int64_t now, PyObject *now_obj)
+{
+    PyObject *set = rs->active_keys;
+    Py_ssize_t n_act, n_dead = 0, n_cand = 0, n_ports = 0;
+    int64_t next_time = -1; /* -1 = None */
+    int granted = 0, td_active = 0;
+    int64_t epoch = ks->cong_epoch[rs->rid];
+    Py_ssize_t i;
+    int rc = -1;
+
+    slot_set(rs->router, ks->r_arb_time, Py_NewRef(Py_None));
+    n_act = PySet_GET_SIZE(set);
+    if (n_act == 0)
+        return 0;
+
+    /* Snapshot the active keys in the set's own iteration order (the
+     * Python kernel iterates the live set; nothing mutates it during
+     * the scan, so the snapshot order is identical). */
+    {
+        PyObject *it = PyObject_GetIter(set);
+        PyObject *k;
+        Py_ssize_t j = 0;
+        if (it == NULL)
+            return -1;
+        while ((k = PyIter_Next(it)) != NULL) {
+            ks->scr_keys[j++] = as_ll(k);
+            Py_DECREF(k);
+        }
+        Py_DECREF(it);
+        if (PyErr_Occurred())
+            return -1;
+        n_act = j;
+    }
+    memset(ks->td_mask, 0, (size_t)rs->radix);
+
+    for (i = 0; i < n_act; i++) {
+        int64_t key = ks->scr_keys[i];
+        Py_ssize_t gk = (Py_ssize_t)(rs->kb + key);
+        PyObject *q = PyList_GET_ITEM(ks->in_q, gk);
+        Py_ssize_t qlen = PyObject_Length(q);
+        int is_transit;
+        int64_t t_free, out_port, gout, t_sw, size;
+        PyObject *pkt, *dec;
+        if (qlen < 0)
+            goto done;
+        if (qlen == 0) {
+            ks->scr_dead[n_dead++] = key;
+            continue;
+        }
+        is_transit = (key >= rs->boundary);
+        t_free = ks->in_port_free[ks->key_port[gk]];
+        if (t_free > now) {
+            if (next_time < 0 || t_free < next_time)
+                next_time = t_free;
+            if (is_transit && rs->transit_priority) {
+                /* still assert this head's demand for priority masking */
+                pkt = PySequence_GetItem(q, 0);
+                if (pkt == NULL)
+                    goto done;
+                dec = cached_or_decide(ks, rs, gk, pkt, epoch);
+                Py_DECREF(pkt);
+                if (dec == NULL)
+                    goto done;
+                ks->td_mask[as_ll(PyTuple_GET_ITEM(dec, 0))] = 1;
+                td_active = 1;
+                Py_DECREF(dec);
+            }
+            continue;
+        }
+        pkt = PySequence_GetItem(q, 0);
+        if (pkt == NULL)
+            goto done;
+        dec = cached_or_decide(ks, rs, gk, pkt, epoch);
+        if (dec == NULL) {
+            Py_DECREF(pkt);
+            goto done;
+        }
+        out_port = as_ll(PyTuple_GET_ITEM(dec, 0));
+        if (is_transit && rs->transit_priority) {
+            ks->td_mask[out_port] = 1;
+            td_active = 1;
+        }
+        gout = rs->pb + out_port;
+        t_sw = ks->switch_free[gout];
+        if (t_sw > now) {
+            if (next_time < 0 || t_sw < next_time)
+                next_time = t_sw;
+            Py_DECREF(pkt);
+            Py_DECREF(dec);
+            continue;
+        }
+        size = slot_ll(pkt, ks->ps.size);
+        if (ks->out_occ[gout] + size > ks->out_cap[gout]
+            || (ks->credit_nvc[gout]
+                && ks->credits_used[rs->kb + out_port * rs->max_vcs
+                                    + as_ll(PyTuple_GET_ITEM(dec, 1))]
+                           + size
+                       > ks->credit_cap[gout])) {
+            /* woken by release_output / release_credit */
+            Py_DECREF(pkt);
+            Py_DECREF(dec);
+            continue;
+        }
+        /* candidate: chain it on its output port in first-seen order */
+        ks->c_key[n_cand] = key;
+        ks->c_pkt[n_cand] = pkt; /* holds the refs until cleanup */
+        ks->c_dec[n_cand] = dec;
+        ks->c_next[n_cand] = -1;
+        if (ks->port_first[out_port] < 0) {
+            ks->port_first[out_port] = n_cand;
+            ks->order_ports[n_ports++] = out_port;
+        }
+        else
+            ks->c_next[ks->port_last[out_port]] = n_cand;
+        ks->port_last[out_port] = n_cand;
+        n_cand++;
+    }
+
+    for (i = 0; i < n_dead; i++) {
+        if (PySet_Discard(set, ks->key_objs[ks->scr_dead[i]]) < 0)
+            goto done;
+    }
+
+    for (i = 0; i < n_ports; i++) {
+        int64_t out_port = ks->order_ports[i];
+        int64_t gout = rs->pb + out_port;
+        Py_ssize_t n_f = 0, w;
+        int64_t c;
+        int masked = td_active && ks->td_mask[out_port];
+        /* filter: an earlier grant may have consumed the input port;
+         * strict priority masks injection requests */
+        for (c = ks->port_first[out_port]; c >= 0; c = ks->c_next[c]) {
+            if (ks->in_port_free[ks->key_port[rs->kb + ks->c_key[c]]] > now)
+                continue;
+            if (masked && ks->c_key[c] < rs->boundary)
+                continue;
+            ks->f_idx[n_f++] = c;
+        }
+        if (n_f == 0)
+            continue;
+        if (n_f == 1)
+            w = ks->f_idx[0];
+        else {
+            /* select_winner: rotating round-robin from last_grant,
+             * transit candidates outranking injections when the
+             * priority is on */
+            int64_t nkeys = rs->nkeys;
+            int64_t base = ks->last_grant[gout] + 1;
+            int64_t best = -1, best_d = nkeys;
+            int64_t best_t = -1, best_t_d = nkeys;
+            Py_ssize_t j;
+            for (j = 0; j < n_f; j++) {
+                int64_t ck = ks->c_key[ks->f_idx[j]];
+                int64_t d = (ck - base) % nkeys;
+                if (d < 0)
+                    d += nkeys;
+                if (d < best_d) {
+                    best_d = d;
+                    best = ks->f_idx[j];
+                    if (rs->transit_priority && ck >= rs->boundary) {
+                        best_t_d = d;
+                        best_t = ks->f_idx[j];
+                    }
+                }
+                else if (rs->transit_priority && d < best_t_d
+                         && ck >= rs->boundary) {
+                    best_t_d = d;
+                    best_t = ks->f_idx[j];
+                }
+            }
+            w = (best_t >= 0) ? best_t : best;
+        }
+        ks->last_grant[gout] = ks->c_key[w];
+        if (c_commit(ks, rs, out_port, gout, ks->c_key[w],
+                     (Py_ssize_t)(rs->kb + ks->c_key[w]), ks->c_pkt[w],
+                     ks->c_dec[w], now, now_obj) < 0)
+            goto done;
+        granted = 1;
+    }
+
+    {
+        int64_t t;
+        if (next_time >= 0)
+            t = next_time;
+        else if (granted && PySet_GET_SIZE(set) > 0)
+            t = now + 1;
+        else {
+            rc = 0;
+            goto done;
+        }
+        /* _arb_time is None throughout a pass: arm unconditionally */
+        if (slot_set_ll(rs->router, ks->r_arb_time, t) < 0)
+            goto done;
+        if (ck_post(ks, t, rs->token) < 0)
+            goto done;
+        rc = 0;
+    }
+
+done:
+    for (i = 0; i < n_cand; i++) {
+        Py_DECREF(ks->c_pkt[i]);
+        Py_DECREF(ks->c_dec[i]);
+    }
+    /* reset the per-port chains we touched */
+    for (i = 0; i < n_ports; i++)
+        ks->port_first[ks->order_ports[i]] = -1;
+    return rc;
+}
+
+static int
+c_arrive(KState *ks, RState *rs, int64_t port, int64_t vc, PyObject *pkt,
+         int64_t now, PyObject *now_obj)
+{
+    int64_t key = port * rs->max_vcs + vc;
+    Py_ssize_t gk = (Py_ssize_t)(rs->kb + key);
+    PyObject *q = PyList_GET_ITEM(ks->in_q, gk);
+    PyObject *res;
+    int64_t wake;
+    if (q == Py_None) {
+        PyErr_Format(ks->flow_err,
+                     "router %lld: arrival on invalid VC (port %lld, "
+                     "vc %lld)",
+                     (long long)rs->rid, (long long)port, (long long)vc);
+        return -1;
+    }
+    ks->in_occ[gk] += slot_ll(pkt, ks->ps.size);
+    if (ks->chk && ks->in_occ[gk] > ks->in_cap[gk]) {
+        PyErr_Format(ks->flow_err,
+                     "router %lld: input buffer overflow on port %lld "
+                     "vc %lld: %lld > %lld",
+                     (long long)rs->rid, (long long)port, (long long)vc,
+                     (long long)ks->in_occ[gk], (long long)ks->in_cap[gk]);
+        return -1;
+    }
+    Py_INCREF(now_obj);
+    slot_set(pkt, ks->ps.t_enq, now_obj);
+    if (rs->arrival_override == NULL) {
+        /* Inlined RoutingMechanism.on_arrival. */
+        if (rs->group != slot_ll(pkt, ks->ps.current_group)) {
+            if (slot_set_ll(pkt, ks->ps.current_group, rs->group) < 0)
+                return -1;
+            if (slot_set_ll(pkt, ks->ps.group_local_hops, 0) < 0)
+                return -1;
+            if (slot_ll(pkt, ks->ps.inter_group) == rs->group
+                && slot_set_ll(pkt, ks->ps.inter_group, -1) < 0)
+                return -1;
+        }
+        if (slot_ll(pkt, ks->ps.plan) == 2
+            && rs->rid == slot_ll(pkt, ks->ps.inter_router)
+            && slot_set_ll(pkt, ks->ps.plan, 1) < 0)
+            return -1;
+    }
+    else {
+        res = PyObject_CallFunctionObjArgs(rs->arrival_override, pkt,
+                                           rs->router,
+                                           ks->port_objs[port], NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+    }
+    res = PyObject_CallFunctionObjArgs(ks->deque_append, q, pkt, NULL);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    if (PySet_Add(rs->active_keys, ks->key_objs[key]) < 0)
+        return -1;
+    wake = ks->in_port_free[rs->pb + port];
+    if (wake < now)
+        wake = now;
+    return arm_step(ks, rs, wake);
+}
+
+static int
+c_send(KState *ks, RState *rs, int64_t port, int64_t now, PyObject *now_obj)
+{
+    int64_t gp = rs->pb + port;
+    PyObject *fifo = PyList_GET_ITEM(ks->out_fifo, gp);
+    PyObject *entry =
+        PyObject_CallFunctionObjArgs(ks->deque_popleft, fifo, NULL);
+    PyObject *pkt, *vc, *rec, *peer;
+    int64_t t_arr, wait, size, free_t;
+    Py_ssize_t flen;
+    int r;
+    if (entry == NULL)
+        return -1;
+    pkt = PyTuple_GET_ITEM(entry, 0);
+    vc = PyTuple_GET_ITEM(entry, 1);
+    t_arr = as_ll(PyTuple_GET_ITEM(entry, 2));
+    wait = now - t_arr;
+    if (wait) {
+        Py_ssize_t woff =
+            ks->global_out[gp] ? ks->ps.wait_global : ks->ps.wait_local;
+        if (slot_set_ll(pkt, woff, slot_ll(pkt, woff) + wait) < 0)
+            goto fail;
+    }
+    size = slot_ll(pkt, ks->ps.size);
+    free_t = now + size;
+    ks->link_free[gp] = free_t;
+    flen = PyObject_Length(fifo);
+    if (flen < 0)
+        goto fail;
+    if (flen > 0) {
+        /* busy link: merged tail release + next transmission */
+        if (size == rs->psize) {
+            rec = PyList_GET_ITEM(rs->link_recs, port);
+            Py_INCREF(rec);
+        }
+        else {
+            PyObject *size_obj = PyLong_FromLongLong((long long)size);
+            if (size_obj == NULL)
+                goto fail;
+            rec = PyTuple_Pack(4, ks->op_link, rs->router,
+                               ks->port_objs[port], size_obj);
+            Py_DECREF(size_obj);
+            if (rec == NULL)
+                goto fail;
+        }
+    }
+    else {
+        ks->out_pumping[gp] = 0;
+        if (size == rs->psize) {
+            rec = PyList_GET_ITEM(rs->rel_recs, port);
+            Py_INCREF(rec);
+        }
+        else {
+            PyObject *size_obj = PyLong_FromLongLong((long long)size);
+            if (size_obj == NULL)
+                goto fail;
+            rec = PyTuple_Pack(4, ks->op_release, rs->router,
+                               ks->port_objs[port], size_obj);
+            Py_DECREF(size_obj);
+            if (rec == NULL)
+                goto fail;
+        }
+    }
+    r = ck_post(ks, free_t, rec);
+    Py_DECREF(rec);
+    if (r < 0)
+        goto fail;
+    peer = PyList_GET_ITEM(rs->out_peer, port);
+    if (peer == Py_None)
+        rec = PyTuple_Pack(2, ks->op_deliver, pkt);
+    else
+        rec = PyTuple_Pack(5, ks->op_arrive, PyTuple_GET_ITEM(peer, 0),
+                           PyTuple_GET_ITEM(peer, 1), vc, pkt);
+    if (rec == NULL)
+        goto fail;
+    r = ck_post(ks, free_t + ks->link_lat[gp], rec);
+    Py_DECREF(rec);
+    if (r < 0)
+        goto fail;
+    Py_DECREF(entry);
+    return 0;
+fail:
+    Py_DECREF(entry);
+    return -1;
+}
+
+static int
+c_output_enqueue(KState *ks, RState *rs, int64_t port, PyObject *pkt,
+                 PyObject *vc, int64_t now, PyObject *now_obj)
+{
+    int64_t gp = rs->pb + port;
+    PyObject *fifo = PyList_GET_ITEM(ks->out_fifo, gp);
+    PyObject *entry = PyTuple_Pack(3, pkt, vc, now_obj);
+    PyObject *res;
+    int64_t dep;
+    if (entry == NULL)
+        return -1;
+    res = PyObject_CallFunctionObjArgs(ks->deque_append, fifo, entry, NULL);
+    Py_DECREF(entry);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    if (ks->out_pumping[gp])
+        return 0;
+    dep = ks->link_free[gp];
+    if (dep < now)
+        dep = now;
+    ks->out_pumping[gp] = 1;
+    return ck_post(ks, dep, PyList_GET_ITEM(rs->send_recs, port));
+}
+
+static int
+c_release_output(KState *ks, RState *rs, int64_t port, int64_t size,
+                 int64_t now)
+{
+    int64_t gp = rs->pb + port;
+    ks->cong_epoch[rs->rid] += 1;
+    ks->out_occ[gp] -= size;
+    if (ks->chk && ks->out_occ[gp] < 0) {
+        PyErr_Format(ks->flow_err,
+                     "router %lld: negative output occupancy port %lld",
+                     (long long)rs->rid, (long long)port);
+        return -1;
+    }
+    return arm_step(ks, rs, now);
+}
+
+static int
+c_release_credit(KState *ks, RState *rs, int64_t port, int64_t vc,
+                 int64_t size, int64_t now)
+{
+    int64_t ck = rs->kb + port * rs->max_vcs + vc;
+    ks->cong_epoch[rs->rid] += 1;
+    ks->credits_used[ck] -= size;
+    if (ks->chk && ks->credits_used[ck] < 0) {
+        PyErr_Format(ks->flow_err,
+                     "router %lld: negative credits port %lld vc %lld",
+                     (long long)rs->rid, (long long)port, (long long)vc);
+        return -1;
+    }
+    return arm_step(ks, rs, now);
+}
+
+static int
+c_link_step(KState *ks, RState *rs, int64_t port, int64_t size, int64_t now,
+            PyObject *now_obj)
+{
+    int64_t gp = rs->pb + port;
+    ks->cong_epoch[rs->rid] += 1;
+    ks->out_occ[gp] -= size;
+    if (ks->chk && ks->out_occ[gp] < 0) {
+        PyErr_Format(ks->flow_err,
+                     "router %lld: negative output occupancy port %lld",
+                     (long long)rs->rid, (long long)port);
+        return -1;
+    }
+    if (arm_step(ks, rs, now) < 0)
+        return -1;
+    return c_send(ks, rs, port, now, now_obj);
+}
+
+/* ------------------------------------------------------------------ */
+/* dispatch                                                            */
+/* ------------------------------------------------------------------ */
+
+/* Generic Python-level dispatch for records whose target object is not
+ * a registered router (defensive; a bound simulation never produces
+ * these, but OP_CALL callbacks could post anything). */
+static int
+dispatch_fallback(KState *ks, PyObject *rec, int64_t op, PyObject *t_obj)
+{
+    PyObject *r = PyTuple_GET_ITEM(rec, 1);
+    PyObject *res = NULL;
+    switch (op) {
+    case 1: { /* OP_STEP with the _arb_time dirty-mark protocol */
+        PyObject *arb = PyObject_GetAttrString(r, "_arb_time");
+        int eq;
+        if (arb == NULL)
+            return -1;
+        eq = PyObject_RichCompareBool(arb, t_obj, Py_EQ);
+        Py_DECREF(arb);
+        if (eq < 0)
+            return -1;
+        if (eq) {
+            PyObject *ak;
+            int truthy;
+            if (PyObject_SetAttrString(r, "_arb_time", Py_None) < 0)
+                return -1;
+            ak = PyObject_GetAttrString(r, "active_keys");
+            if (ak == NULL)
+                return -1;
+            truthy = PyObject_IsTrue(ak);
+            Py_DECREF(ak);
+            if (truthy < 0)
+                return -1;
+            if (truthy)
+                res = PyObject_CallMethod(r, "step", "O", t_obj);
+            else
+                return 0;
+        }
+        else
+            return 0;
+        break;
+    }
+    case 3:
+        res = PyObject_CallMethod(r, "output_enqueue", "OOOO",
+                                  PyTuple_GET_ITEM(rec, 2),
+                                  PyTuple_GET_ITEM(rec, 3),
+                                  PyTuple_GET_ITEM(rec, 4), t_obj);
+        break;
+    case 2:
+        res = PyObject_CallMethod(r, "arrive", "OOOO",
+                                  PyTuple_GET_ITEM(rec, 2),
+                                  PyTuple_GET_ITEM(rec, 3),
+                                  PyTuple_GET_ITEM(rec, 4), t_obj);
+        break;
+    case 7:
+        res = PyObject_CallMethod(r, "release_credit", "OOOO",
+                                  PyTuple_GET_ITEM(rec, 2),
+                                  PyTuple_GET_ITEM(rec, 3),
+                                  PyTuple_GET_ITEM(rec, 4), t_obj);
+        break;
+    case 6:
+        res = PyObject_CallMethod(r, "release_output", "OOO",
+                                  PyTuple_GET_ITEM(rec, 2),
+                                  PyTuple_GET_ITEM(rec, 3), t_obj);
+        break;
+    case 4:
+        res = PyObject_CallMethod(r, "send", "OO",
+                                  PyTuple_GET_ITEM(rec, 2), t_obj);
+        break;
+    case 5:
+        res = PyObject_CallMethod(r, "link_step", "OOO",
+                                  PyTuple_GET_ITEM(rec, 2),
+                                  PyTuple_GET_ITEM(rec, 3), t_obj);
+        break;
+    default:
+        PyErr_SetString(PyExc_RuntimeError, "unknown activation opcode");
+        return -1;
+    }
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+static int
+dispatch(KState *ks, PyObject *eq, PyObject *rec, int64_t t,
+         PyObject *t_obj, Py_ssize_t *extra)
+{
+    int64_t op = as_ll(PyTuple_GET_ITEM(rec, 0));
+    RState *rs;
+    if (op == 0) { /* OP_CALL: generic callback */
+        PyObject *res = PyObject_Call(PyTuple_GET_ITEM(rec, 1),
+                                      PyTuple_GET_ITEM(rec, 2), NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+        return 0;
+    }
+    if (op == 9) { /* OP_GEN */
+        PyObject *gen = slot_get(eq, ks->eq_gen);
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            gen, PyTuple_GET_ITEM(rec, 1), NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+        return 0;
+    }
+    if (op == 8) { /* OP_DELIVER */
+        PyObject *sink = slot_get(eq, ks->eq_sink);
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            sink, PyTuple_GET_ITEM(rec, 1), t_obj, NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+        return 0;
+    }
+    rs = ptr_lookup(ks, PyTuple_GET_ITEM(rec, 1));
+    if (rs == NULL) {
+        if (op == 5)
+            *extra += 1;
+        return dispatch_fallback(ks, rec, op, t_obj);
+    }
+    switch (op) {
+    case 1: { /* OP_STEP */
+        PyObject *arb = slot_get(rs->router, ks->r_arb_time);
+        if (arb != NULL && arb != Py_None && as_ll(arb) == t) {
+            slot_set(rs->router, ks->r_arb_time, Py_NewRef(Py_None));
+            if (PySet_GET_SIZE(rs->active_keys) > 0) {
+                if (rs->py_step != NULL) {
+                    PyObject *res = PyObject_CallFunctionObjArgs(
+                        rs->py_step, t_obj, NULL);
+                    if (res == NULL)
+                        return -1;
+                    Py_DECREF(res);
+                    return 0;
+                }
+                return c_step(ks, rs, t, t_obj);
+            }
+        }
+        return 0;
+    }
+    case 3:
+        return c_output_enqueue(ks, rs,
+                                as_ll(PyTuple_GET_ITEM(rec, 2)),
+                                PyTuple_GET_ITEM(rec, 3),
+                                PyTuple_GET_ITEM(rec, 4), t, t_obj);
+    case 2:
+        return c_arrive(ks, rs, as_ll(PyTuple_GET_ITEM(rec, 2)),
+                        as_ll(PyTuple_GET_ITEM(rec, 3)),
+                        PyTuple_GET_ITEM(rec, 4), t, t_obj);
+    case 7:
+        return c_release_credit(ks, rs, as_ll(PyTuple_GET_ITEM(rec, 2)),
+                                as_ll(PyTuple_GET_ITEM(rec, 3)),
+                                as_ll(PyTuple_GET_ITEM(rec, 4)), t);
+    case 6:
+        return c_release_output(ks, rs, as_ll(PyTuple_GET_ITEM(rec, 2)),
+                                as_ll(PyTuple_GET_ITEM(rec, 3)), t);
+    case 4:
+        return c_send(ks, rs, as_ll(PyTuple_GET_ITEM(rec, 2)), t, t_obj);
+    case 5: /* OP_LINK: weight 2 */
+        *extra += 1;
+        return c_link_step(ks, rs, as_ll(PyTuple_GET_ITEM(rec, 2)),
+                           as_ll(PyTuple_GET_ITEM(rec, 3)), t, t_obj);
+    default:
+        PyErr_SetString(PyExc_RuntimeError, "unknown activation opcode");
+        return -1;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* KState construction                                                 */
+/* ------------------------------------------------------------------ */
+
+static int
+build_rstate(KState *ks, RState *rs, PyObject *r, PyObject *kernel_step)
+{
+    int err = 0;
+    PyObject *hot2, *hot_in, *step_attr, *item;
+    memset(rs, 0, sizeof(*rs));
+    Py_INCREF(r);
+    rs->router = r;
+    rs->kb = get_ll_attr(r, "kb", &err);
+    rs->pb = get_ll_attr(r, "pb", &err);
+    rs->rid = get_ll_attr(r, "router_id", &err);
+    rs->group = get_ll_attr(r, "group", &err);
+    rs->boundary = get_ll_attr(r, "injection_boundary", &err);
+    rs->max_vcs = get_ll_attr(r, "max_vcs", &err);
+    rs->nkeys = get_ll_attr(r, "nkeys", &err);
+    rs->radix = get_ll_attr(r, "radix", &err);
+    rs->internal = get_ll_attr(r, "internal_cycles", &err);
+    rs->num_node_ports = get_ll_attr(r, "_num_node_ports", &err);
+    rs->psize = get_ll_attr(r, "_psize", &err);
+    rs->pipe_lat = get_ll_attr(r, "_pipe_lat", &err);
+    if (err)
+        return -1;
+    item = PyObject_GetAttrString(r, "transit_priority");
+    if (item == NULL)
+        return -1;
+    rs->transit_priority = PyObject_IsTrue(item);
+    Py_DECREF(item);
+    rs->routing = PyObject_GetAttrString(r, "routing");
+    if (rs->routing == NULL || rs->routing == Py_None) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "router has no routing mechanism bound "
+                        "(Simulation wiring incomplete)");
+        return -1;
+    }
+    rs->decide = PyObject_GetAttrString(rs->routing, "decide");
+    if (rs->decide == NULL)
+        return -1;
+    rs->cache_policy = get_ll_attr(rs->routing, "cache_policy", &err);
+    if (err)
+        return -1;
+    /* Overridden hooks were detected by _bind_hot: _hot2[16] is the
+     * commit override (or None), _hot_in[2] the arrival override. */
+    hot2 = PyObject_GetAttrString(r, "_hot2");
+    if (hot2 == NULL)
+        return -1;
+    if (!PyTuple_CheckExact(hot2)) {
+        Py_DECREF(hot2);
+        PyErr_SetString(PyExc_RuntimeError,
+                        "router._bind_hot() has not run");
+        return -1;
+    }
+    item = PyTuple_GET_ITEM(hot2, 16);
+    rs->commit_override = (item == Py_None) ? NULL : Py_NewRef(item);
+    Py_DECREF(hot2);
+    hot_in = PyObject_GetAttrString(r, "_hot_in");
+    if (hot_in == NULL)
+        return -1;
+    item = PyTuple_GET_ITEM(hot_in, 2);
+    rs->arrival_override = (item == Py_None) ? NULL : Py_NewRef(item);
+    Py_DECREF(hot_in);
+    rs->on_injection = PyObject_GetAttrString(r, "_on_injection");
+    rs->active_keys = PyObject_GetAttrString(r, "active_keys");
+    rs->token = PyObject_GetAttrString(r, "_token");
+    rs->send_recs = PyObject_GetAttrString(r, "_send_recs");
+    rs->link_recs = PyObject_GetAttrString(r, "_link_recs");
+    rs->rel_recs = PyObject_GetAttrString(r, "_rel_recs");
+    rs->out_peer = PyObject_GetAttrString(r, "out_peer");
+    if (rs->on_injection == NULL || rs->active_keys == NULL
+        || rs->token == NULL || rs->send_recs == NULL
+        || rs->link_recs == NULL || rs->rel_recs == NULL
+        || rs->out_peer == NULL)
+        return -1;
+    if (!PySet_Check(rs->active_keys)) {
+        PyErr_SetString(PyExc_TypeError, "active_keys is not a set");
+        return -1;
+    }
+    rs->rid_obj = PyLong_FromLongLong((long long)rs->rid);
+    if (rs->rid_obj == NULL)
+        return -1;
+    /* A router whose class overrides step gets the Python method. */
+    step_attr = PyObject_GetAttrString((PyObject *)Py_TYPE(r), "step");
+    if (step_attr == NULL)
+        return -1;
+    if (step_attr == kernel_step)
+        rs->py_step = NULL;
+    else {
+        rs->py_step = PyObject_GetAttrString(r, "step");
+        if (rs->py_step == NULL) {
+            Py_DECREF(step_attr);
+            return -1;
+        }
+    }
+    Py_DECREF(step_attr);
+    return 0;
+}
+
+static KState *
+kstate_build(PyObject *eq, PyObject *store)
+{
+    KState *ks = PyMem_Calloc(1, sizeof(KState));
+    PyObject *mod = NULL, *routers = NULL, *tmp = NULL;
+    PyTypeObject *eq_tp, *pkt_tp, *r_tp;
+    PyObject *kernel_step = NULL;
+    Py_ssize_t i, K, P;
+    int err = 0;
+
+    if (ks == NULL) {
+        PyErr_NoMemory();
+        return NULL;
+    }
+
+    /* store geometry */
+    ks->num_routers = (Py_ssize_t)get_ll_attr(store, "num_routers", &err);
+    ks->radix = (Py_ssize_t)get_ll_attr(store, "radix", &err);
+    ks->max_vcs = (Py_ssize_t)get_ll_attr(store, "max_vcs", &err);
+    ks->nkeys = (Py_ssize_t)get_ll_attr(store, "nkeys", &err);
+    if (err)
+        goto fail;
+    tmp = PyObject_GetAttrString(store, "typed");
+    if (tmp == NULL)
+        goto fail;
+    if (!PyObject_IsTrue(tmp)) {
+        Py_CLEAR(tmp);
+        PyErr_SetString(PyExc_RuntimeError,
+                        "compiled drain requires a typed SoA store "
+                        "(SoAStore(..., typed=True))");
+        goto fail;
+    }
+    Py_CLEAR(tmp);
+    K = ks->num_routers * ks->nkeys;
+    P = ks->num_routers * ks->radix;
+
+    /* typed buffers */
+    if ((ks->in_occ = map_buffer(ks, store, "in_occ", K)) == NULL
+        || (ks->in_cap = map_buffer(ks, store, "in_cap", K)) == NULL
+        || (ks->key_port = map_buffer(ks, store, "key_port", K)) == NULL
+        || (ks->credits_used =
+                map_buffer(ks, store, "credits_used", K)) == NULL
+        || (ks->in_port_free =
+                map_buffer(ks, store, "in_port_free", P)) == NULL
+        || (ks->out_occ = map_buffer(ks, store, "out_occ", P)) == NULL
+        || (ks->out_cap = map_buffer(ks, store, "out_cap", P)) == NULL
+        || (ks->switch_free =
+                map_buffer(ks, store, "switch_free", P)) == NULL
+        || (ks->link_free = map_buffer(ks, store, "link_free", P)) == NULL
+        || (ks->out_pumping =
+                map_buffer(ks, store, "out_pumping", P)) == NULL
+        || (ks->credit_nvc =
+                map_buffer(ks, store, "credit_nvc", P)) == NULL
+        || (ks->credit_cap =
+                map_buffer(ks, store, "credit_cap", P)) == NULL
+        || (ks->last_grant =
+                map_buffer(ks, store, "last_grant", P)) == NULL
+        || (ks->local_in = map_buffer(ks, store, "local_in", P)) == NULL
+        || (ks->global_out =
+                map_buffer(ks, store, "global_out", P)) == NULL
+        || (ks->link_lat = map_buffer(ks, store, "link_lat", P)) == NULL
+        || (ks->hop_cost = map_buffer(ks, store, "hop_cost", P)) == NULL
+        || (ks->cong_epoch =
+                map_buffer(ks, store, "cong_epoch", ks->num_routers))
+               == NULL)
+        goto fail;
+
+    /* object-valued store fields */
+    if ((ks->in_q = get_list(store, "in_q")) == NULL
+        || (ks->dc_pkt = get_list(store, "dc_pkt")) == NULL
+        || (ks->dc_dec = get_list(store, "dc_dec")) == NULL
+        || (ks->dc_cond = get_list(store, "dc_cond")) == NULL
+        || (ks->credit_recs = get_list(store, "credit_recs")) == NULL
+        || (ks->out_fifo = get_list(store, "out_fifo")) == NULL)
+        goto fail;
+
+    /* queue structures + slot offsets */
+    eq_tp = Py_TYPE(eq);
+    if ((ks->eq_now = slot_offset(eq_tp, "now")) < 0
+        || (ks->eq_processed = slot_offset(eq_tp, "_processed")) < 0
+        || (ks->eq_activations = slot_offset(eq_tp, "_activations")) < 0
+        || (ks->eq_sink = slot_offset(eq_tp, "_sink")) < 0
+        || (ks->eq_gen = slot_offset(eq_tp, "_gen")) < 0)
+        goto fail;
+    ks->buckets = PyObject_GetAttrString(eq, "_buckets");
+    ks->times = PyObject_GetAttrString(eq, "_times");
+    if (ks->buckets == NULL || ks->times == NULL)
+        goto fail;
+    if (!PyDict_CheckExact(ks->buckets) || !PyList_CheckExact(ks->times)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "EventQueue internals have unexpected types");
+        goto fail;
+    }
+
+    /* Packet slot offsets */
+    mod = PyImport_ImportModule("repro.hardware.packet");
+    if (mod == NULL)
+        goto fail;
+    tmp = PyObject_GetAttrString(mod, "Packet");
+    Py_CLEAR(mod);
+    if (tmp == NULL)
+        goto fail;
+    pkt_tp = (PyTypeObject *)tmp;
+    {
+        PacketSlots *ps = &ks->ps;
+        if ((ps->size = slot_offset(pkt_tp, "size")) < 0
+            || (ps->t_enq = slot_offset(pkt_tp, "t_enq")) < 0
+            || (ps->inject_time = slot_offset(pkt_tp, "inject_time")) < 0
+            || (ps->wait_local = slot_offset(pkt_tp, "wait_local")) < 0
+            || (ps->wait_global = slot_offset(pkt_tp, "wait_global")) < 0
+            || (ps->service_sum = slot_offset(pkt_tp, "service_sum")) < 0
+            || (ps->local_hops = slot_offset(pkt_tp, "local_hops")) < 0
+            || (ps->global_hops = slot_offset(pkt_tp, "global_hops")) < 0
+            || (ps->group_local_hops =
+                    slot_offset(pkt_tp, "group_local_hops")) < 0
+            || (ps->current_group =
+                    slot_offset(pkt_tp, "current_group")) < 0
+            || (ps->plan = slot_offset(pkt_tp, "plan")) < 0
+            || (ps->inter_router = slot_offset(pkt_tp, "inter_router")) < 0
+            || (ps->inter_group = slot_offset(pkt_tp, "inter_group")) < 0
+            || (ps->dst_group = slot_offset(pkt_tp, "dst_group")) < 0
+            || (ps->pid = slot_offset(pkt_tp, "pid")) < 0) {
+            Py_CLEAR(tmp);
+            goto fail;
+        }
+    }
+    Py_CLEAR(tmp);
+
+    /* cached objects */
+    mod = PyImport_ImportModule("collections");
+    if (mod == NULL)
+        goto fail;
+    tmp = PyObject_GetAttrString(mod, "deque");
+    Py_CLEAR(mod);
+    if (tmp == NULL)
+        goto fail;
+    ks->deque_append = PyObject_GetAttrString(tmp, "append");
+    ks->deque_popleft = PyObject_GetAttrString(tmp, "popleft");
+    Py_CLEAR(tmp);
+    if (ks->deque_append == NULL || ks->deque_popleft == NULL)
+        goto fail;
+    mod = PyImport_ImportModule("repro.errors");
+    if (mod == NULL)
+        goto fail;
+    ks->flow_err = PyObject_GetAttrString(mod, "FlowControlError");
+    ks->routing_err = PyObject_GetAttrString(mod, "RoutingError");
+    Py_CLEAR(mod);
+    if (ks->flow_err == NULL || ks->routing_err == NULL)
+        goto fail;
+    ks->router_mod = PyImport_ImportModule("repro.hardware.router");
+    if (ks->router_mod == NULL)
+        goto fail;
+    mod = PyImport_ImportModule("repro.engine.kernel");
+    if (mod == NULL)
+        goto fail;
+    kernel_step = PyObject_GetAttrString(mod, "step");
+    Py_CLEAR(mod);
+    if (kernel_step == NULL)
+        goto fail;
+    ks->s_last_decide_pure = PyUnicode_InternFromString("last_decide_pure");
+    ks->s_last_decide_guard =
+        PyUnicode_InternFromString("last_decide_guard");
+    ks->op_out_arrive = PyLong_FromLong(3);
+    ks->op_credit = PyLong_FromLong(7);
+    ks->op_link = PyLong_FromLong(5);
+    ks->op_release = PyLong_FromLong(6);
+    ks->op_arrive = PyLong_FromLong(2);
+    ks->op_deliver = PyLong_FromLong(8);
+    if (ks->s_last_decide_pure == NULL || ks->s_last_decide_guard == NULL
+        || ks->op_out_arrive == NULL || ks->op_credit == NULL
+        || ks->op_link == NULL || ks->op_release == NULL
+        || ks->op_arrive == NULL || ks->op_deliver == NULL)
+        goto fail;
+    ks->key_objs = PyMem_Calloc((size_t)ks->nkeys, sizeof(PyObject *));
+    ks->port_objs = PyMem_Calloc((size_t)ks->radix, sizeof(PyObject *));
+    ks->vc_objs = PyMem_Calloc((size_t)ks->max_vcs, sizeof(PyObject *));
+    if (ks->key_objs == NULL || ks->port_objs == NULL
+        || ks->vc_objs == NULL) {
+        PyErr_NoMemory();
+        goto fail;
+    }
+    for (i = 0; i < ks->nkeys; i++)
+        if ((ks->key_objs[i] = PyLong_FromSsize_t(i)) == NULL)
+            goto fail;
+    for (i = 0; i < ks->radix; i++)
+        if ((ks->port_objs[i] = PyLong_FromSsize_t(i)) == NULL)
+            goto fail;
+    for (i = 0; i < ks->max_vcs; i++)
+        if ((ks->vc_objs[i] = PyLong_FromSsize_t(i)) == NULL)
+            goto fail;
+
+    /* scratch */
+    ks->scr_keys = PyMem_Malloc((size_t)ks->nkeys * sizeof(int64_t));
+    ks->scr_dead = PyMem_Malloc((size_t)ks->nkeys * sizeof(int64_t));
+    ks->c_key = PyMem_Malloc((size_t)ks->nkeys * sizeof(int64_t));
+    ks->c_pkt = PyMem_Malloc((size_t)ks->nkeys * sizeof(PyObject *));
+    ks->c_dec = PyMem_Malloc((size_t)ks->nkeys * sizeof(PyObject *));
+    ks->c_next = PyMem_Malloc((size_t)ks->nkeys * sizeof(int64_t));
+    ks->f_idx = PyMem_Malloc((size_t)ks->nkeys * sizeof(int64_t));
+    ks->port_first = PyMem_Malloc((size_t)ks->radix * sizeof(int64_t));
+    ks->port_last = PyMem_Malloc((size_t)ks->radix * sizeof(int64_t));
+    ks->order_ports = PyMem_Malloc((size_t)ks->radix * sizeof(int64_t));
+    ks->td_mask = PyMem_Malloc((size_t)ks->radix);
+    if (ks->scr_keys == NULL || ks->scr_dead == NULL || ks->c_key == NULL
+        || ks->c_pkt == NULL || ks->c_dec == NULL || ks->c_next == NULL
+        || ks->f_idx == NULL || ks->port_first == NULL
+        || ks->port_last == NULL || ks->order_ports == NULL
+        || ks->td_mask == NULL) {
+        PyErr_NoMemory();
+        goto fail;
+    }
+    for (i = 0; i < ks->radix; i++)
+        ks->port_first[i] = -1;
+
+    /* routers */
+    routers = PyObject_GetAttrString(store, "routers");
+    if (routers == NULL)
+        goto fail;
+    if (!PyList_CheckExact(routers)
+        || PyList_GET_SIZE(routers) != ks->num_routers) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "SoAStore.routers is not wired (Simulation "
+                        "construction incomplete)");
+        goto fail;
+    }
+    r_tp = Py_TYPE(PyList_GET_ITEM(routers, 0));
+    if ((ks->r_arb_time = slot_offset(r_tp, "_arb_time")) < 0)
+        goto fail;
+    ks->routers = PyMem_Calloc((size_t)ks->num_routers, sizeof(RState));
+    if (ks->routers == NULL) {
+        PyErr_NoMemory();
+        goto fail;
+    }
+    {
+        Py_ssize_t cap = 1;
+        while (cap < 2 * ks->num_routers)
+            cap <<= 1;
+        ks->h_mask = cap - 1;
+        ks->h_keys = PyMem_Calloc((size_t)cap, sizeof(void *));
+        ks->h_vals = PyMem_Calloc((size_t)cap, sizeof(RState *));
+        if (ks->h_keys == NULL || ks->h_vals == NULL) {
+            PyErr_NoMemory();
+            goto fail;
+        }
+    }
+    for (i = 0; i < ks->num_routers; i++) {
+        PyObject *r = PyList_GET_ITEM(routers, i);
+        if (Py_TYPE(r) != r_tp) {
+            PyErr_SetString(PyExc_RuntimeError,
+                            "heterogeneous router types in SoA store");
+            goto fail;
+        }
+        if (build_rstate(ks, &ks->routers[i], r, kernel_step) < 0)
+            goto fail;
+        if (ptr_insert(ks, r, &ks->routers[i]) < 0)
+            goto fail;
+    }
+    Py_CLEAR(routers);
+    Py_CLEAR(kernel_step);
+    return ks;
+
+fail:
+    Py_XDECREF(mod);
+    Py_XDECREF(tmp);
+    Py_XDECREF(routers);
+    Py_XDECREF(kernel_step);
+    kstate_free(ks);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* the drain entry point                                               */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+ck_drain(PyObject *self, PyObject *args)
+{
+    PyObject *eq, *t_end_obj, *capsule, *soa;
+    KState *ks;
+    int64_t t_end;
+
+    if (!PyArg_ParseTuple(args, "OO:drain", &eq, &t_end_obj))
+        return NULL;
+    t_end = as_ll(t_end_obj);
+    if (t_end == -1 && PyErr_Occurred())
+        return NULL;
+
+    capsule = PyObject_GetAttrString(eq, "_ckstate");
+    if (capsule == NULL)
+        return NULL;
+    if (capsule == Py_None) {
+        Py_DECREF(capsule);
+        soa = PyObject_GetAttrString(eq, "_soa");
+        if (soa == NULL)
+            return NULL;
+        if (soa == Py_None) {
+            /* Defensive: a queue without a bound store cannot use the
+             * compiled drain; fall back to the Python kernel. */
+            PyObject *mod, *py_drain, *res;
+            Py_DECREF(soa);
+            mod = PyImport_ImportModule("repro.engine.kernel");
+            if (mod == NULL)
+                return NULL;
+            py_drain = PyObject_GetAttrString(mod, "py_drain");
+            Py_DECREF(mod);
+            if (py_drain == NULL)
+                return NULL;
+            res = PyObject_CallFunctionObjArgs(py_drain, eq, t_end_obj,
+                                               NULL);
+            Py_DECREF(py_drain);
+            return res;
+        }
+        ks = kstate_build(eq, soa);
+        Py_DECREF(soa);
+        if (ks == NULL)
+            return NULL;
+        capsule = PyCapsule_New(ks, "repro._ckernel", kstate_capsule_free);
+        if (capsule == NULL) {
+            kstate_free(ks);
+            return NULL;
+        }
+        if (PyObject_SetAttrString(eq, "_ckstate", capsule) < 0) {
+            Py_DECREF(capsule);
+            return NULL;
+        }
+    }
+    else
+        ks = (KState *)PyCapsule_GetPointer(capsule, "repro._ckernel");
+    Py_DECREF(capsule);
+    if (ks == NULL)
+        return NULL;
+
+    /* refresh the dynamic invariant-check flag once per drain call */
+    {
+        PyObject *flag =
+            PyObject_GetAttrString(ks->router_mod, "CHECK_INVARIANTS");
+        if (flag == NULL)
+            return NULL;
+        ks->chk = PyObject_IsTrue(flag);
+        Py_DECREF(flag);
+        if (ks->chk < 0)
+            return NULL;
+    }
+
+    while (PyList_GET_SIZE(ks->times) > 0
+           && as_ll(PyList_GET_ITEM(ks->times, 0)) <= t_end) {
+        PyObject *t_obj = heap_pop(ks->times);
+        PyObject *bucket;
+        int64_t t;
+        Py_ssize_t i = 0, extra = 0, n;
+        int failed = 0;
+        if (t_obj == NULL)
+            return NULL;
+        t = as_ll(t_obj);
+        bucket = PyDict_GetItemWithError(ks->buckets, t_obj);
+        if (bucket == NULL) {
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_RuntimeError,
+                                "heap time with no bucket");
+            Py_DECREF(t_obj);
+            return NULL;
+        }
+        Py_INCREF(bucket);
+        Py_INCREF(t_obj);
+        slot_set(eq, ks->eq_now, t_obj);
+        n = PyList_GET_SIZE(bucket);
+        for (;;) {
+            while (i < n) {
+                /* The bucket may grow during dispatch (same-cycle
+                 * posting); GET_ITEM is re-read through the list object
+                 * so reallocation is safe, and the record is pinned
+                 * across the dispatch call. */
+                PyObject *rec = PyList_GET_ITEM(bucket, i);
+                Py_INCREF(rec);
+                i += 1;
+                if (dispatch(ks, eq, rec, t, t_obj, &extra) < 0) {
+                    Py_DECREF(rec);
+                    failed = 1;
+                    goto finish_bucket;
+                }
+                Py_DECREF(rec);
+            }
+            n = PyList_GET_SIZE(bucket);
+            if (i == n)
+                break;
+        }
+    finish_bucket:
+        /* semantic-event accounting (mirrors py_drain's finally): a
+         * raised record is consumed, the bucket remainder survives */
+        slot_set_ll(eq, ks->eq_processed,
+                    slot_ll(eq, ks->eq_processed) + i + extra);
+        slot_set_ll(eq, ks->eq_activations,
+                    slot_ll(eq, ks->eq_activations) + i);
+        if (i == PyList_GET_SIZE(bucket)) {
+            if (PyDict_DelItem(ks->buckets, t_obj) < 0)
+                failed = 1;
+        }
+        else {
+            if (PyList_SetSlice(bucket, 0, i, NULL) < 0)
+                failed = 1;
+            else if (heap_push(ks->times, t_obj) < 0)
+                failed = 1;
+        }
+        Py_DECREF(bucket);
+        Py_DECREF(t_obj);
+        if (failed)
+            return NULL;
+    }
+    Py_INCREF(t_end_obj);
+    slot_set(eq, ks->eq_now, t_end_obj);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef ckernel_methods[] = {
+    {"drain", ck_drain, METH_VARARGS,
+     "drain(eq, t_end): process activations with time <= t_end on the "
+     "compiled kernel (bit-identical to repro.engine.kernel.py_drain)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.engine._ckernel",
+    "Compiled engine kernel (see repro/engine/kernel.py for the "
+    "reference implementation and the backend contract).",
+    -1,
+    ckernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    return PyModule_Create(&ckernel_module);
+}

@@ -128,6 +128,9 @@ class EventQueue:
         "_get_bucket",
         "_sink",
         "_gen",
+        "_drain",
+        "_soa",
+        "_ckstate",
         "schedule",
         "schedule_at",
     )
@@ -142,6 +145,14 @@ class EventQueue:
         self._times: list[int] = []
         self._processed: int = 0
         self._activations: int = 0
+        # Backend wiring (see repro.engine.kernel): _drain is the active
+        # drain kernel (None = resolve the pure-Python kernel lazily on
+        # first run_until); _soa/_ckstate are the SoA store and the
+        # compiled kernel's cached state, bound by bind_backend for the
+        # compiled backend only.
+        self._drain = None
+        self._soa = None
+        self._ckstate = None
         # The dict is never reassigned, so its bound .get is safe to cache
         # (one attribute load fewer per post).
         self._get_bucket = self._buckets.get
@@ -167,6 +178,16 @@ class EventQueue:
     def bind_gen(self, fn: Callable) -> None:
         """Set the generator handler called for ``OP_GEN`` records."""
         self._gen = fn
+
+    def bind_backend(self, backend, store) -> None:
+        """Attach an engine backend and its SoA *store* to this queue.
+
+        Called by the Simulation when the resolved backend is not the
+        pure-Python default; bare queues (tests, tools) never see a
+        compiled drain and keep the lazily-resolved Python kernel.
+        """
+        self._soa = store
+        self._drain = backend.drain
 
     def hot_interface(self) -> tuple[dict, Callable, list]:
         """``(buckets, buckets.get, times)`` for trusted inline posting.
@@ -236,74 +257,18 @@ class EventQueue:
         """Process activations with ``time <= t_end``; sets ``now = t_end``.
 
         Records posted during processing are honoured if they fall within
-        the horizon.  This is the engine's inner loop: one bucket pop per
-        distinct cycle, then an opcode-dispatched scan over the bucket
-        with the comparison chain ordered by measured record frequency.
+        the horizon.  The inner loop lives in :mod:`repro.engine.kernel`
+        (one bucket pop per distinct cycle, then an opcode-dispatched
+        scan over the bucket); which kernel runs is decided by
+        :meth:`bind_backend` — bare queues use the pure-Python kernel,
+        resolved lazily here to keep the module import-cycle free.
         """
-        buckets = self._buckets
-        times = self._times
-        sink = self._sink
-        gen = self._gen
-        while times and times[0] <= t_end:
-            t = heappop(times)
-            bucket = buckets[t]
-            self.now = t
-            i = 0
-            extra = 0
-            n = len(bucket)
-            try:
-                # The bucket may grow while we drain it (same-cycle
-                # posting); re-checking len() after each batch picks the
-                # appended records up in order without a len() per record.
-                while True:
-                    for rec in bucket[i:n]:
-                        i += 1
-                        op = rec[0]
-                        # Comparison chain ordered by measured record
-                        # frequency across the gate configs.
-                        if op == 1:  # OP_STEP: router activation
-                            r = rec[1]
-                            if r._arb_time == t:
-                                r._arb_time = None
-                                if r.active_keys:
-                                    r.step(t)
-                                # an idle router woken by a release costs
-                                # two attribute loads, no Python frame
-                            # stale token (superseded arming): 1 compare
-                        elif op == 3:  # OP_OUT_ARRIVE
-                            rec[1].output_enqueue(rec[2], rec[3], rec[4], t)
-                        elif op == 2:  # OP_ARRIVE
-                            rec[1].arrive(rec[2], rec[3], rec[4], t)
-                        elif op == 7:  # OP_CREDIT
-                            rec[1].release_credit(rec[2], rec[3], rec[4], t)
-                        elif op == 6:  # OP_RELEASE
-                            rec[1].release_output(rec[2], rec[3], t)
-                        elif op == 4:  # OP_SEND
-                            rec[1].send(rec[2], t)
-                        elif op == 5:  # OP_LINK (weight 2)
-                            extra += 1
-                            rec[1].link_step(rec[2], rec[3], t)
-                        elif op == 9:  # OP_GEN
-                            gen(rec[1])
-                        elif op == 8:  # OP_DELIVER
-                            sink(rec[1], t)
-                        else:  # OP_CALL: generic callback
-                            rec[1](*rec[2])
-                    n = len(bucket)
-                    if i == n:
-                        break
-            finally:
-                # Semantic-event accounting: a raised record is consumed
-                # (i was already advanced past it) and the remainder of
-                # the bucket survives for a later drain.
-                self._processed += i + extra
-                self._activations += i
-                if i == len(bucket):
-                    del buckets[t]
-                else:
-                    del bucket[:i]
-                    heappush(times, t)
-        self.now = t_end
+        drain = self._drain
+        if drain is None:
+            from repro.engine.kernel import py_drain
+
+            drain = self._drain = py_drain
+        drain(self, t_end)
 
     def drain(self, t_max: int) -> bool:
         """Process every remaining activation with ``time <= t_max``.

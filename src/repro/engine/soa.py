@@ -1,0 +1,161 @@
+"""Structure-of-arrays store for the hot per-router engine state.
+
+Every field the allocation pipeline touches per activation — input/output
+occupancies, credits, switch/link timestamps, memo guards — lives here in
+one *flat* buffer per field, shared by every router of a simulation,
+instead of per-:class:`~repro.hardware.router.Router` instance lists:
+
+* **per-key fields** (one slot per input FIFO) are indexed
+  ``router_id * nkeys + key`` where ``key = port * max_vcs + vc`` and
+  ``nkeys = radix * max_vcs``;
+* **per-port fields** are indexed ``router_id * radix + port``;
+* **per-router fields** (the congestion epoch) are indexed ``router_id``.
+
+A router keeps its two base offsets (``kb = router_id * nkeys``,
+``pb = router_id * radix``) and references to the shared buffers, making
+it a thin view: ``router.out_occ[router.pb + port]`` is the one canonical
+copy of that counter.  Memo-guard tuples emitted by routing mechanisms
+(see :mod:`repro.routing.base`) carry these *flat* indices, so guard
+revalidation in the kernel is a single flat load regardless of which
+router produced the guard.
+
+Two buffer modes, selected by the engine backend:
+
+* ``typed=False`` (pure-Python kernel) — numeric fields are plain lists,
+  the fastest layout for interpreted indexing;
+* ``typed=True`` (compiled kernel) — numeric fields are ``array('q')``
+  (int64) buffers, which the C kernel maps once through the buffer
+  protocol into raw ``int64_t*`` pointers; Python-side reads and writes
+  go through the identical indexing expressions either way.
+
+Both modes hold bit-identical *values* at every point of a run — the
+cross-backend equivalence suite pins that.  Object-valued fields (input
+FIFOs, output FIFOs, memoized decisions, prebuilt credit records) are
+flat Python lists in both modes.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+
+__all__ = ["SoAStore"]
+
+
+def _int_buffer(n: int, typed: bool, fill: int = 0) -> "array | list[int]":
+    if typed:
+        buf = array("q", bytes(8 * n))
+        if fill:
+            for i in range(n):
+                buf[i] = fill
+        return buf
+    return [fill] * n
+
+
+class SoAStore:
+    """Flat per-field state buffers for all routers of one simulation.
+
+    Buffers are allocated empty (zeros, ``-1`` for ``last_grant``) and
+    filled segment-by-segment by each :class:`Router`'s constructor; the
+    :class:`Simulation` sets :attr:`routers` once they exist.  Buffers
+    are mutated in place and never reassigned nor resized, so references
+    handed out (to routers, to the compiled kernel's buffer views) stay
+    live for the store's lifetime.
+    """
+
+    __slots__ = (
+        "num_routers",
+        "radix",
+        "max_vcs",
+        "nkeys",
+        "typed",
+        "routers",
+        # per-key: router_id * nkeys + (port * max_vcs + vc)
+        "in_q",
+        "in_occ",
+        "in_cap",
+        "key_port",
+        "credits_used",
+        "dc_pkt",
+        "dc_dec",
+        "dc_cond",
+        "credit_recs",
+        # per-port: router_id * radix + port
+        "in_port_free",
+        "out_fifo",
+        "out_occ",
+        "out_cap",
+        "switch_free",
+        "link_free",
+        "out_pumping",
+        "credit_nvc",
+        "credit_cap",
+        "last_grant",
+        "local_in",
+        "global_out",
+        "link_lat",
+        "hop_cost",
+        # per-router
+        "cong_epoch",
+    )
+
+    def __init__(
+        self, num_routers: int, radix: int, max_vcs: int, *, typed: bool = False
+    ) -> None:
+        self.num_routers = num_routers
+        self.radix = radix
+        self.max_vcs = max_vcs
+        self.nkeys = nkeys = radix * max_vcs
+        self.typed = typed
+        self.routers: list = []  # set by the Simulation after wiring
+
+        K = num_routers * nkeys
+        P = num_routers * radix
+
+        # ---- per-key ---------------------------------------------------
+        # in_q[gk] is the input FIFO (None for VC slots a port class does
+        # not credit); in_occ/in_cap count phits; key_port[gk] is the
+        # *flat* input-port index (router_id * radix + port) so the scan
+        # resolves key -> port with one load and no division.
+        self.in_q: list[deque | None] = [None] * K
+        self.in_occ = _int_buffer(K, typed)
+        self.in_cap = _int_buffer(K, typed)
+        self.key_port = _int_buffer(K, typed)
+        # credits_used[gk]: phits committed into the downstream input
+        # buffer reached through the key's port/VC (flat layout; only the
+        # first credit_nvc[gp] VC slots of a port are meaningful).
+        self.credits_used = _int_buffer(K, typed)
+        # Memoized head decisions (see the decision-cache contract in
+        # repro.hardware.router): dc_pkt[gk] is the head packet the cached
+        # dc_dec[gk] belongs to, dc_cond[gk] the validity condition (None,
+        # a congestion epoch, or a flat single-counter guard tuple).
+        self.dc_pkt: list = [None] * K
+        self.dc_dec: list = [None] * K
+        self.dc_cond: list = [None] * K
+        # Prebuilt OP_CREDIT records to the upstream router, per key.
+        self.credit_recs: list = [None] * K
+
+        # ---- per-port --------------------------------------------------
+        self.in_port_free = _int_buffer(P, typed)
+        self.out_fifo: list[deque] = [deque() for _ in range(P)]
+        self.out_occ = _int_buffer(P, typed)
+        self.out_cap = _int_buffer(P, typed)
+        self.switch_free = _int_buffer(P, typed)
+        self.link_free = _int_buffer(P, typed)
+        self.out_pumping = _int_buffer(P, typed)  # 0/1 flag
+        self.credit_nvc = _int_buffer(P, typed)
+        self.credit_cap = _int_buffer(P, typed)
+        self.last_grant = _int_buffer(P, typed, fill=-1)
+        # Static per-port facts hoisted next to the dynamic state so the
+        # kernels index everything the same way: port-class flags and the
+        # per-hop latency constants.
+        self.local_in = _int_buffer(P, typed)  # 1 for local input ports
+        self.global_out = _int_buffer(P, typed)  # 1 for global ports
+        self.link_lat = _int_buffer(P, typed)
+        self.hop_cost = _int_buffer(P, typed)
+
+        # ---- per-router ------------------------------------------------
+        # Congestion epoch: bumped whenever out_occ / credits_used change
+        # (commit, output release, credit release) — the invalidation
+        # signal for epoch-conditioned cached decisions.
+        self.cong_epoch = _int_buffer(num_routers, typed)

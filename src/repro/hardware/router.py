@@ -32,7 +32,8 @@ architecture"):
 
 * The engine dispatches typed activation records to the *phase handlers*
   :meth:`arrive` (input arrival), :meth:`step` (the consolidated
-  arbitration → commit pipeline), :meth:`output_enqueue` (switch
+  arbitration → commit pipeline, implemented by
+  :func:`repro.engine.kernel.step`), :meth:`output_enqueue` (switch
   traversal into an output FIFO), :meth:`send`/:meth:`link_step` (link
   transmission; ``link_step`` is the merged tail-release + next
   transmission of a busy link) and :meth:`release_output` /
@@ -53,13 +54,20 @@ architecture"):
 
 Hot-path layout (the allocation pass dominates simulation wall-clock):
 
-* per-port and per-(port, VC) state is kept in flat pre-sized lists —
-  ``credits_used`` is indexed ``port * max_vcs + vc`` (``credit_nvc[port]``
-  says how many VCs are credited; 0 for node ports) so the inner loop does
-  one list index instead of chasing a list-of-lists;
+* All hot per-router state lives in the simulation-owned
+  structure-of-arrays store (:class:`repro.engine.soa.SoAStore`): one
+  flat buffer per field shared by every router, indexed
+  ``kb + port * max_vcs + vc`` (per-key) or ``pb + port`` (per-port)
+  where ``kb = router_id * nkeys`` and ``pb = router_id * radix`` are
+  this router's base offsets.  The ``Router`` is a thin view: its
+  ``in_q``/``out_occ``/``credits_used``/... attributes alias the shared
+  store buffers, and its constructor fills its own segments.  The flat
+  layout is what the optional compiled kernel maps to raw ``int64_t*``
+  buffers — and Python-side indexing through a premultiplied base is no
+  slower than the old per-instance lists.
 * ``routing.decide`` results are memoized per input key while the same
-  packet stays at the head of that FIFO (see the ``_dc_*`` arrays).  A cached
-  decision is only stored when the mechanism's
+  packet stays at the head of that FIFO (the store's ``dc_*`` arrays).
+  A cached decision is only stored when the mechanism's
   :meth:`~repro.routing.base.RoutingMechanism.decision_stable` contract
   says re-deciding would provably return the same tuple without consuming
   RNG, so results stay bit-identical with uncached evaluation.  Entries
@@ -68,48 +76,60 @@ Hot-path layout (the allocation pass dominates simulation wall-clock):
   head, so the packet-identity check covers arrivals behind the head.
   The cache is keyed per activation: epoch-conditioned entries reuse a
   decision across activations only while the router's congestion epoch
-  (bumped at every commit/release phase boundary) is unchanged.
+  (``store.cong_epoch[router_id]``, bumped at every commit/release phase
+  boundary) is unchanged.  Memo-guard tuples carry *flat* store indices,
+  so revalidation is a single flat load.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import deque
 from heapq import heappush
 
+from repro.engine import kernel as _kernel
 from repro.engine.events import (
     OP_ARRIVE,
     OP_CREDIT,
     OP_DELIVER,
     OP_LINK,
-    OP_OUT_ARRIVE,
     OP_RELEASE,
     OP_SEND,
     OP_STEP,
 )
-from repro.errors import FlowControlError, RoutingError
-from repro.hardware.allocator import select_winner
+from repro.errors import FlowControlError
 from repro.hardware.packet import Packet
 
 __all__ = ["Router"]
 
 # Toggle for expensive internal invariant checks (enabled in unit tests).
+# The engine kernels (repro.engine.kernel) read this flag dynamically.
 CHECK_INVARIANTS = False
 
 
 class Router:
-    """One Dragonfly router.  Wired to peers by the Simulation."""
+    """One Dragonfly router: a view over the simulation's SoA store.
+
+    Wired to peers by the Simulation.  All hot state lives in
+    ``sim.soa``; the attributes below alias the shared flat buffers, and
+    :attr:`kb`/:attr:`pb` are this router's per-key/per-port base
+    offsets into them.
+    """
 
     __slots__ = (
         "sim",
         "engine",
         "topo",
         "rconf",
+        "store",
         "router_id",
         "group",
         "pos",
         "radix",
         "max_vcs",
         "nkeys",
+        "kb",
+        "pb",
         "injection_boundary",
         "internal_cycles",
         "in_q",
@@ -141,13 +161,13 @@ class Router:
         "_dc_dec",
         "_dc_cond",
         "_key_port",
+        "_epochs",
         "_pipe_lat",
         "_on_injection",
         "_hot",
         "_hot2",
         "_hot3",
         "_hot_in",
-        "_cong_epoch",
         "transit_priority",
         "_psize",
         "_eq_buckets",
@@ -166,22 +186,26 @@ class Router:
         self.topo = sim.topo
         self.rconf = sim.config.router
         topo = self.topo
+        store = sim.soa
+        self.store = store
         self.router_id = router_id
         self.group, self.pos = divmod(router_id, topo.a)
         self.radix = topo.radix
         rc = self.rconf
         self.max_vcs = max(rc.local_vcs, rc.global_vcs, 1)
         self.nkeys = self.radix * self.max_vcs
+        kb = self.kb = router_id * store.nkeys
+        pb = self.pb = router_id * self.radix
         self.injection_boundary = topo.p * self.max_vcs
         # A packet crosses the 2x-speedup crossbar in size/speedup cycles.
         psize = sim.config.traffic.packet_size
         self._psize = psize
         self.internal_cycles = max(1, -(-psize // rc.speedup))
 
-        # ---- input side ------------------------------------------------
-        self.in_q: list[deque | None] = [None] * self.nkeys
-        self.in_occ = [0] * self.nkeys
-        self.in_cap = [0] * self.nkeys
+        # ---- input side: fill this router's store segment ---------------
+        self.in_q = store.in_q
+        self.in_occ = store.in_occ
+        self.in_cap = store.in_cap
         self.vcs_of_port = [0] * self.radix
         for port in range(self.radix):
             kind = topo.port_kind[port]
@@ -193,37 +217,39 @@ class Router:
                 nvc, cap = rc.global_vcs, rc.global_input_buffer
             self.vcs_of_port[port] = nvc
             for vc in range(nvc):
-                key = port * self.max_vcs + vc
-                self.in_q[key] = deque()
-                self.in_cap[key] = cap
-        self.in_port_free = [0] * self.radix
+                gk = kb + port * self.max_vcs + vc
+                self.in_q[gk] = deque()
+                self.in_cap[gk] = cap
+        self.in_port_free = store.in_port_free
         self.active_keys: set[int] = set()
 
-        # ---- output side -----------------------------------------------
-        self.out_fifo: list[deque] = [deque() for _ in range(self.radix)]
-        self.out_occ = [0] * self.radix
-        self.out_cap = [rc.output_buffer] * self.radix
-        self.switch_free = [0] * self.radix
-        self.link_free = [0] * self.radix
-        self.out_pumping = [False] * self.radix
-        self.last_grant = [-1] * self.radix
+        # ---- output side (store buffers pre-zeroed; fifo pre-built) ------
+        self.out_fifo = store.out_fifo
+        self.out_occ = store.out_occ
+        self.out_cap = store.out_cap
+        for port in range(self.radix):
+            self.out_cap[pb + port] = rc.output_buffer
+        self.switch_free = store.switch_free
+        self.link_free = store.link_free
+        self.out_pumping = store.out_pumping
+        self.last_grant = store.last_grant  # pre-filled with -1
 
         # ---- credits toward downstream input buffers --------------------
-        # credits_used[port * max_vcs + vc]: phits committed into the
+        # credits_used[kb + port * max_vcs + vc]: phits committed into the
         # downstream buffer reached through `port` (flat layout; only the
-        # first credit_nvc[port] VC slots of a port are meaningful, and
-        # credit_nvc is 0 for node ports, which are uncredited).
-        self.credits_used = [0] * self.nkeys
-        self.credit_nvc = [0] * self.radix
-        self.credit_cap = [0] * self.radix
+        # first credit_nvc[pb + port] VC slots of a port are meaningful,
+        # and credit_nvc is 0 for node ports, which are uncredited).
+        self.credits_used = store.credits_used
+        self.credit_nvc = store.credit_nvc
+        self.credit_cap = store.credit_cap
         for port in range(self.radix):
             kind = topo.port_kind[port]
             if kind == "local":
-                self.credit_nvc[port] = rc.local_vcs
-                self.credit_cap[port] = rc.local_input_buffer
+                self.credit_nvc[pb + port] = rc.local_vcs
+                self.credit_cap[pb + port] = rc.local_input_buffer
             elif kind == "global":
-                self.credit_nvc[port] = rc.global_vcs
-                self.credit_cap[port] = rc.global_input_buffer
+                self.credit_nvc[pb + port] = rc.global_vcs
+                self.credit_cap[pb + port] = rc.global_input_buffer
 
         # Wired later by the Simulation:
         #   out_peer[port] = (peer_router, peer_in_port) or None for nodes
@@ -238,27 +264,37 @@ class Router:
         self.transit_priority = rc.transit_priority
         self._arb_time: int | None = None
 
-        # Memoized head decisions in parallel arrays (no tuple
-        # allocation per memo write): _dc_pkt[key] is the head packet the
-        # cached _dc_dec[key] belongs to (None = no valid entry), and
-        # _dc_cond[key] is None for unconditionally-stable decisions or
-        # the congestion epoch the decision was computed at for RNG-free
-        # adaptive decisions (valid while the epoch holds).
-        self._dc_pkt: list = [None] * self.nkeys
-        self._dc_dec: list = [None] * self.nkeys
-        self._dc_cond: list = [None] * self.nkeys
-        # Bumped whenever out_occ / credits_used change (commit, output
-        # release, credit release): the invalidation signal for
-        # epoch-conditioned cached decisions.
-        self._cong_epoch = 0
-        # key -> input port (table lookup beats a division in the scan).
-        self._key_port = [k // self.max_vcs for k in range(self.nkeys)]
+        # Memoized head decisions in the store's parallel arrays (no
+        # tuple allocation per memo write): dc_pkt[gk] is the head packet
+        # the cached dc_dec[gk] belongs to (None = no valid entry), and
+        # dc_cond[gk] is None for unconditionally-stable decisions, the
+        # congestion epoch the decision was computed at for RNG-free
+        # adaptive decisions, or a flat single-counter guard tuple.
+        self._dc_pkt = store.dc_pkt
+        self._dc_dec = store.dc_dec
+        self._dc_cond = store.dc_cond
+        # cong_epoch[router_id]: bumped whenever out_occ / credits_used
+        # change (commit, output release, credit release) — the
+        # invalidation signal for epoch-conditioned cached decisions.
+        self._epochs = store.cong_epoch
+        # key -> flat input-port index (table lookup beats a division in
+        # the scan, and the stored value is already `pb + port`).
+        self._key_port = store.key_port
+        for k in range(self.nkeys):
+            self._key_port[kb + k] = pb + k // self.max_vcs
 
-        # Per-port constants and bound callables hoisted out of the hot path.
+        # Per-port constants hoisted into the store's flat buffers (the
+        # kernels index them like the dynamic state) and bound callables
+        # hoisted out of the hot path.
         self._num_node_ports = topo.p
-        self._link_lat = [topo.link_latency(port) for port in range(self.radix)]
-        self._local_in = [k == "local" for k in topo.port_kind]
-        self._global_out = [k == "global" for k in topo.port_kind]
+        self._link_lat = store.link_lat
+        self._local_in = store.local_in
+        self._global_out = store.global_out
+        for port in range(self.radix):
+            kind = topo.port_kind[port]
+            self._link_lat[pb + port] = topo.link_latency(port)
+            self._local_in[pb + port] = 1 if kind == "local" else 0
+            self._global_out[pb + port] = 1 if kind == "global" else 0
         self._pipe_lat = rc.pipeline_latency
         self._on_injection = sim.stats.on_injection
 
@@ -275,15 +311,18 @@ class Router:
         self._rel_recs = [
             (OP_RELEASE, self, port, psize) for port in range(self.radix)
         ]
-        # OP_CREDIT records to the upstream router, per input key; built
-        # in _bind_hot once the Simulation has wired `upstream`.
-        self._credit_recs: list[tuple | None] = [None] * self.nkeys
+        # OP_CREDIT records to the upstream router, per input key (the
+        # store's flat credit_recs segment); built in _bind_hot once the
+        # Simulation has wired `upstream`.
+        self._credit_recs = store.credit_recs
 
         # Contention-free per-hop service cost by port kind, used for the
         # packet latency ledger: pipeline + serialisation + propagation.
-        self._hop_cost = [0] * self.radix
+        self._hop_cost = store.hop_cost
         for port in range(self.radix):
-            self._hop_cost[port] = rc.pipeline_latency + psize + self._link_lat[port]
+            self._hop_cost[pb + port] = (
+                rc.pipeline_latency + psize + self._link_lat[pb + port]
+            )
 
     # ------------------------------------------------------------------
     # occupancy queries (used by adaptive routing)
@@ -300,9 +339,13 @@ class Router:
         capacity and keeps the bottleneck links fully utilised by transit
         (the precondition of the paper's starvation effect).
         """
-        if not self.credit_nvc[port]:
+        gp = self.pb + port
+        if not self.credit_nvc[gp]:
             return 0.0
-        return self.credits_used[port * self.max_vcs + vc] / self.credit_cap[port]
+        return (
+            self.credits_used[self.kb + port * self.max_vcs + vc]
+            / self.credit_cap[gp]
+        )
 
     def output_blocked(self, port: int, vc: int, size: int) -> bool:
         """True when the downstream credits of (port, vc) cannot take a
@@ -314,9 +357,10 @@ class Router:
         parked, which is what starves the ADVc bottleneck router's
         injections under transit priority.
         """
-        return bool(self.credit_nvc[port]) and (
-            self.credits_used[port * self.max_vcs + vc] + size
-            > self.credit_cap[port]
+        gp = self.pb + port
+        return bool(self.credit_nvc[gp]) and (
+            self.credits_used[self.kb + port * self.max_vcs + vc] + size
+            > self.credit_cap[gp]
         )
 
     def out_frac(self, port: int) -> float:
@@ -329,7 +373,8 @@ class Router:
         genuinely full — the supply behaviour behind the paper's
         bottleneck starvation.
         """
-        return self.out_occ[port] / self.out_cap[port]
+        gp = self.pb + port
+        return self.out_occ[gp] / self.out_cap[gp]
 
     def port_total_occ(self, port: int) -> int:
         """Phits committed beyond this port: output FIFO + downstream credits.
@@ -337,16 +382,18 @@ class Router:
         Aggregate occupancy (all VCs + output FIFO); used by diagnostics
         and the PiggyBack saturation estimate.
         """
-        base = self.out_occ[port]
-        nvc = self.credit_nvc[port]
+        gp = self.pb + port
+        base = self.out_occ[gp]
+        nvc = self.credit_nvc[gp]
         if nvc:
-            k = port * self.max_vcs
+            k = self.kb + port * self.max_vcs
             base += sum(self.credits_used[k : k + nvc])
         return base
 
     def port_total_cap(self, port: int) -> int:
         """Capacity matching :meth:`port_total_occ`."""
-        return self.out_cap[port] + self.credit_cap[port] * self.credit_nvc[port]
+        gp = self.pb + port
+        return self.out_cap[gp] + self.credit_cap[gp] * self.credit_nvc[gp]
 
     def global_port_occupancies(self) -> list[int]:
         """Occupancy of each global port (used by PiggyBack saturation)."""
@@ -373,7 +420,7 @@ class Router:
             now = self.engine.now
         key = node_port * self.max_vcs
         pkt.t_enq = now
-        self.in_q[key].append(pkt)
+        self.in_q[self.kb + key].append(pkt)
         self.active_keys.add(key)
         # Inlined schedule_arb(now).
         t = self._arb_time
@@ -395,19 +442,22 @@ class Router:
             in_port_free,
             active_keys,
             max_vcs,
+            kb,
+            pb,
         ) = self._hot_in
         key = port * max_vcs + vc
-        q = in_q[key]
+        gk = kb + key
+        q = in_q[gk]
         if q is None:
             raise FlowControlError(
                 f"router {self.router_id}: arrival on invalid VC "
                 f"(port {port}, vc {vc})"
             )
-        in_occ[key] += pkt.size
-        if CHECK_INVARIANTS and in_occ[key] > self.in_cap[key]:
+        in_occ[gk] += pkt.size
+        if CHECK_INVARIANTS and in_occ[gk] > self.in_cap[gk]:
             raise FlowControlError(
                 f"router {self.router_id}: input buffer overflow on port "
-                f"{port} vc {vc}: {in_occ[key]} > {self.in_cap[key]}"
+                f"{port} vc {vc}: {in_occ[gk]} > {self.in_cap[gk]}"
             )
         pkt.t_enq = now
         if on_arrival is None:
@@ -425,8 +475,8 @@ class Router:
             on_arrival(pkt, self, port)
         q.append(pkt)
         active_keys.add(key)
-        # Inlined schedule_arb(max(now, in_port_free[port])).
-        time = in_port_free[port]
+        # Inlined schedule_arb(max(now, in_port_free[pb + port])).
+        time = in_port_free[pb + port]
         if time < now:
             time = now
         t = self._arb_time
@@ -445,11 +495,11 @@ class Router:
     def _bind_hot(self) -> None:
         """Freeze the allocation pass's working set into one tuple.
 
-        Called by the Simulation once ``routing`` is wired.  ``step``
-        unpacks this single attribute instead of a dozen — every list here
-        is mutated in place and never reassigned, so the refs stay live.
-        Also prebuilds the per-input-key OP_CREDIT records (the upstream
-        wiring is final by now).
+        Called by the Simulation once ``routing`` is wired.  The kernel's
+        ``step`` unpacks this single attribute instead of a dozen — every
+        buffer here is mutated in place and never reassigned, so the refs
+        stay live.  Also prebuilds the per-input-key OP_CREDIT records
+        (the upstream wiring is final by now).
         """
         routing = self.routing
         self._hot = (
@@ -468,6 +518,11 @@ class Router:
             routing.decide,
             routing.cache_policy,
             routing,
+            self.kb,
+            self.pb,
+            self._epochs,
+            self.router_id,
+            self.last_grant,
         )
         # Arrival-phase working set.  The base arrival bookkeeping is
         # inlined in `arrive`; a mechanism that overrides
@@ -482,6 +537,8 @@ class Router:
             self.in_port_free,
             self.active_keys,
             self.max_vcs,
+            self.kb,
+            self.pb,
         )
         # Output/link-phase working set.
         self._hot3 = (
@@ -498,10 +555,12 @@ class Router:
             self._eq_buckets,
             self._eq_get,
             self._eq_times,
+            self.pb,
         )
-        # The base hop-accounting commit is inlined in _commit; a
-        # mechanism that overrides RoutingMechanism.commit (none in-tree)
-        # is detected here and called through the slow path instead.
+        # The base hop-accounting commit is inlined in the kernel's
+        # _commit; a mechanism that overrides RoutingMechanism.commit
+        # (none in-tree) is detected here and called through the slow
+        # path instead.
         commit_fn = type(routing).commit
         commit_is_base = commit_fn.__qualname__ == "RoutingMechanism.commit"
         # Commit-phase working set (same liveness argument as _hot).
@@ -529,15 +588,22 @@ class Router:
             self._num_node_ports,
             self._psize,
             self._pipe_lat,
+            self.kb,
+            self.pb,
+            self._epochs,
+            self.router_id,
+            self._global_out,
+            self.in_q,
         )
         psize = self._psize
         max_vcs = self.max_vcs
+        kb = self.kb
         for key in range(self.nkeys):
             port = key // max_vcs
             up = self.upstream[port]
             if up is not None and port >= self._num_node_ports:
                 up_router, up_port = up
-                self._credit_recs[key] = (
+                self._credit_recs[kb + key] = (
                     OP_CREDIT,
                     up_router,
                     up_port,
@@ -564,492 +630,10 @@ class Router:
         else:
             bucket.append(self._token)
 
-    def step(self, now: int) -> None:
-        """Consolidated pipeline activation: arbitrate and commit at *now*.
-
-        One activation runs the whole allocation pass over all active
-        input heads and commits every grant (switch traversal, credit
-        consumption, downstream scheduling) in a single call.
-
-        With ``transit_priority`` the priority is *strict* (Blue Gene
-        style): an injection candidate is suppressed whenever any transit
-        head currently demands the same output port, even if that transit
-        head is not grantable this very cycle (input port busy, credits in
-        flight).  This models an allocator in which the injection request
-        line is masked by any pending transit request — the behaviour the
-        paper attributes to its transit-over-injection configuration and
-        the origin of the bottleneck-router starvation (Section V-B).
-        """
-        self._arb_time = None
-        active_keys = self.active_keys
-        if not active_keys:
-            return  # a release activation woke an idle router: nothing to do
-        use_priority = self.transit_priority
-        max_vcs = self.max_vcs
-        boundary = self.injection_boundary
-        (
-            in_q,
-            in_port_free,
-            switch_free,
-            out_occ,
-            out_cap,
-            credits_used,
-            credit_cap,
-            credit_nvc,
-            dc_pkt,
-            dc_dec,
-            dc_cond,
-            key_port,
-            decide,
-            cache_policy,
-            routing,
-        ) = self._hot
-        my_group = self.group
-        epoch = self._cong_epoch  # stable through the scan (no commits yet)
-
-        if len(active_keys) == 1:
-            # Uncontended fast path (the most common activation shape):
-            # one head, no output competition, no intermediate lists.
-            # Byte-for-byte the same decisions, cache writes and RNG
-            # consumption as the general scan below restricted to one key.
-            for key in active_keys:
-                break
-            q = in_q[key]
-            if not q:
-                active_keys.discard(key)
-                return
-            pkt = q[0]
-            t_free = in_port_free[key_port[key]]
-            if t_free > now:
-                if key >= boundary and use_priority:
-                    # Assert the head's demand (cache write + possible RNG
-                    # draw happen exactly as in the general scan; with no
-                    # competing injection head the mask itself is moot).
-                    if not (
-                        dc_pkt[key] is pkt
-                        and (
-                            (cond := dc_cond[key]) is None
-                            or cond == epoch
-                            or (
-                                cond.__class__ is tuple
-                                and (
-                                    credits_used[cond[1]]
-                                    if cond[0]
-                                    else out_occ[cond[1]]
-                                )
-                                == cond[2]
-                            )
-                        )
-                    ):
-                        dec = decide(pkt, self)
-                        if cache_policy == 1:
-                            dc_pkt[key] = pkt
-                            dc_dec[key] = dec
-                            dc_cond[key] = None
-                        elif cache_policy == 2:
-                            if pkt.plan:
-                                dc_pkt[key] = pkt
-                                dc_dec[key] = dec
-                                dc_cond[key] = None
-                        elif cache_policy == 3:
-                            if pkt.inter_group >= 0 and my_group != pkt.dst_group:
-                                dc_pkt[key] = pkt
-                                dc_dec[key] = dec
-                                dc_cond[key] = None
-                            elif routing.last_decide_pure:
-                                dc_pkt[key] = pkt
-                                dc_dec[key] = dec
-                                g = routing.last_decide_guard
-                                if g is None:
-                                    dc_cond[key] = epoch
-                                elif g:
-                                    dc_cond[key] = g  # single-counter guard
-                                else:  # GUARD_STABLE: frozen-pure decision
-                                    dc_cond[key] = None
-                # Inlined schedule_arb(t_free): _arb_time is None here.
-                self._arb_time = t_free
-                bucket = self._eq_get(t_free)
-                if bucket is None:
-                    self._eq_buckets[t_free] = [self._token]
-                    heappush(self._eq_times, t_free)
-                else:
-                    bucket.append(self._token)
-                return
-            if dc_pkt[key] is pkt and (
-                (cond := dc_cond[key]) is None
-                or cond == epoch
-                or (
-                    cond.__class__ is tuple
-                    and (credits_used[cond[1]] if cond[0] else out_occ[cond[1]])
-                    == cond[2]
-                )
-            ):
-                dec = dc_dec[key]
-            else:
-                dec = decide(pkt, self)
-                # Inlined cache-policy switch (decision_stable).
-                if cache_policy == 1:
-                    dc_pkt[key] = pkt
-                    dc_dec[key] = dec
-                    dc_cond[key] = None
-                elif cache_policy == 2:
-                    if pkt.plan:
-                        dc_pkt[key] = pkt
-                        dc_dec[key] = dec
-                        dc_cond[key] = None
-                elif cache_policy == 3:
-                    if pkt.inter_group >= 0 and my_group != pkt.dst_group:
-                        dc_pkt[key] = pkt
-                        dc_dec[key] = dec
-                        dc_cond[key] = None
-                    elif routing.last_decide_pure:
-                        dc_pkt[key] = pkt
-                        dc_dec[key] = dec
-                        g = routing.last_decide_guard
-                        if g is None:
-                            dc_cond[key] = epoch
-                        elif g:
-                            dc_cond[key] = g  # single-counter guard
-                        else:  # GUARD_STABLE: frozen-pure decision
-                            dc_cond[key] = None
-            out_port = dec[0]
-            t_sw = switch_free[out_port]
-            if t_sw > now:
-                # Inlined schedule_arb(t_sw): _arb_time is None here.
-                self._arb_time = t_sw
-                bucket = self._eq_get(t_sw)
-                if bucket is None:
-                    self._eq_buckets[t_sw] = [self._token]
-                    heappush(self._eq_times, t_sw)
-                else:
-                    bucket.append(self._token)
-                return
-            size = pkt.size
-            if out_occ[out_port] + size > out_cap[out_port]:
-                return  # woken by release_output
-            if credit_nvc[out_port] and (
-                credits_used[out_port * max_vcs + dec[1]] + size
-                > credit_cap[out_port]
-            ):
-                return  # woken by release_credit
-            self.last_grant[out_port] = key
-            self._commit(out_port, key, pkt, dec, now)
-            if active_keys:
-                # Progress this cycle; the remaining backlog (a multi-VC
-                # queue behind the granted head) retries next cycle.
-                # Inlined schedule_arb(now + 1): _arb_time is None here.
-                t = now + 1
-                self._arb_time = t
-                bucket = self._eq_get(t)
-                if bucket is None:
-                    self._eq_buckets[t] = [self._token]
-                    heappush(self._eq_times, t)
-                else:
-                    bucket.append(self._token)
-            return
-
-        next_time: int | None = None
-        granted = False
-        cand_by_out: dict[int, list] | None = None  # lazily created
-        transit_demand: set[int] | None = None  # lazily created set
-        dead: list[int] | None = None
-
-        for key in active_keys:
-            q = in_q[key]
-            if not q:
-                # Defer the discard: mutating the set mid-iteration is
-                # illegal, and the deferred order matches the scan order.
-                if dead is None:
-                    dead = [key]
-                else:
-                    dead.append(key)
-                continue
-            is_transit = key >= boundary
-            t_free = in_port_free[key_port[key]]
-            if t_free > now:
-                if next_time is None or t_free < next_time:
-                    next_time = t_free
-                if is_transit and use_priority:
-                    # Still assert this head's demand for priority masking.
-                    pkt = q[0]
-                    if dc_pkt[key] is pkt and (
-                        (cond := dc_cond[key]) is None
-                        or cond == epoch
-                        or (
-                            cond.__class__ is tuple
-                            and (
-                                credits_used[cond[1]]
-                                if cond[0]
-                                else out_occ[cond[1]]
-                            )
-                            == cond[2]
-                        )
-                    ):
-                        demand_port = dc_dec[key][0]
-                    else:
-                        dec = decide(pkt, self)
-                        # Inlined cache-policy switch (decision_stable).
-                        if cache_policy == 1:
-                            dc_pkt[key] = pkt
-                            dc_dec[key] = dec
-                            dc_cond[key] = None
-                        elif cache_policy == 2:
-                            if pkt.plan:
-                                dc_pkt[key] = pkt
-                                dc_dec[key] = dec
-                                dc_cond[key] = None
-                        elif cache_policy == 3:
-                            if pkt.inter_group >= 0 and my_group != pkt.dst_group:
-                                dc_pkt[key] = pkt
-                                dc_dec[key] = dec
-                                dc_cond[key] = None
-                            elif routing.last_decide_pure:
-                                dc_pkt[key] = pkt
-                                dc_dec[key] = dec
-                                g = routing.last_decide_guard
-                                if g is None:
-                                    dc_cond[key] = epoch
-                                elif g:
-                                    dc_cond[key] = g  # single-counter guard
-                                else:  # GUARD_STABLE: frozen-pure decision
-                                    dc_cond[key] = None
-                        demand_port = dec[0]
-                    if transit_demand is None:
-                        transit_demand = {demand_port}
-                    else:
-                        transit_demand.add(demand_port)
-                continue
-            pkt = q[0]
-            if dc_pkt[key] is pkt and (
-                (cond := dc_cond[key]) is None
-                or cond == epoch
-                or (
-                    cond.__class__ is tuple
-                    and (credits_used[cond[1]] if cond[0] else out_occ[cond[1]])
-                    == cond[2]
-                )
-            ):
-                dec = dc_dec[key]
-            else:
-                dec = decide(pkt, self)
-                # Inlined cache-policy switch (decision_stable).
-                if cache_policy == 1:
-                    dc_pkt[key] = pkt
-                    dc_dec[key] = dec
-                    dc_cond[key] = None
-                elif cache_policy == 2:
-                    if pkt.plan:
-                        dc_pkt[key] = pkt
-                        dc_dec[key] = dec
-                        dc_cond[key] = None
-                elif cache_policy == 3:
-                    if pkt.inter_group >= 0 and my_group != pkt.dst_group:
-                        dc_pkt[key] = pkt
-                        dc_dec[key] = dec
-                        dc_cond[key] = None
-                    elif routing.last_decide_pure:
-                        dc_pkt[key] = pkt
-                        dc_dec[key] = dec
-                        g = routing.last_decide_guard
-                        if g is None:
-                            dc_cond[key] = epoch
-                        elif g:
-                            dc_cond[key] = g  # single-counter guard
-                        else:  # GUARD_STABLE: frozen-pure decision
-                            dc_cond[key] = None
-            out_port = dec[0]
-            if is_transit and use_priority:
-                if transit_demand is None:
-                    transit_demand = {out_port}
-                else:
-                    transit_demand.add(out_port)
-            t_sw = switch_free[out_port]
-            if t_sw > now:
-                if next_time is None or t_sw < next_time:
-                    next_time = t_sw
-                continue
-            size = pkt.size
-            if out_occ[out_port] + size > out_cap[out_port]:
-                continue  # woken by release_output
-            if credit_nvc[out_port] and (
-                credits_used[out_port * max_vcs + dec[1]] + size
-                > credit_cap[out_port]
-            ):
-                continue  # woken by release_credit
-            if cand_by_out is None:
-                cand_by_out = {out_port: [(key, pkt, dec)]}
-            else:
-                lst = cand_by_out.get(out_port)
-                if lst is None:
-                    cand_by_out[out_port] = [(key, pkt, dec)]
-                else:
-                    lst.append((key, pkt, dec))
-
-        if dead is not None:
-            for key in dead:
-                active_keys.discard(key)
-
-        for out_port, cands in (() if cand_by_out is None else cand_by_out.items()):
-            if len(cands) == 1:
-                # Uncontended fast path: apply the same filters without
-                # building intermediate lists.
-                winner = cands[0]
-                if in_port_free[key_port[winner[0]]] > now:
-                    continue  # an earlier grant consumed the input port
-                if (
-                    transit_demand is not None
-                    and out_port in transit_demand
-                    and winner[0] < boundary
-                ):
-                    continue  # strict priority masks the injection request
-            else:
-                # A grant earlier in this pass may have consumed the port.
-                cands = [c for c in cands if in_port_free[key_port[c[0]]] <= now]
-                if transit_demand is not None and out_port in transit_demand:
-                    # Strict priority: pending transit masks injections.
-                    cands = [c for c in cands if c[0] >= boundary]
-                if not cands:
-                    continue
-                if len(cands) == 1:
-                    winner = cands[0]
-                else:
-                    winner = select_winner(
-                        cands,
-                        self.last_grant[out_port],
-                        self.nkeys,
-                        transit_priority=use_priority,
-                        injection_boundary=boundary,
-                    )
-            self.last_grant[out_port] = winner[0]
-            self._commit(out_port, winner[0], winner[1], winner[2], now)
-            granted = True
-
-        if next_time is not None:
-            t = next_time
-        elif granted and active_keys:
-            # Progress happened this cycle; backlogged heads (arbitration
-            # losers or multi-VC queues) retry next cycle.  Heads blocked on
-            # buffers/credits are re-woken by the release activations.
-            t = now + 1
-        else:
-            return
-        # Inlined schedule_arb(t): _arb_time is None throughout a pass.
-        self._arb_time = t
-        bucket = self._eq_get(t)
-        if bucket is None:
-            self._eq_buckets[t] = [self._token]
-            heappush(self._eq_times, t)
-        else:
-            bucket.append(self._token)
-
-    def _commit(
-        self, out_port: int, key: int, pkt: Packet, dec: tuple, now: int
-    ) -> None:
-        """Grant *pkt* from input *key* to *out_port* with decision *dec*."""
-        (
-            active_keys,
-            dc_pkt,
-            in_port_free,
-            switch_free,
-            out_occ,
-            in_occ,
-            credits_used,
-            credit_nvc,
-            credit_cap,
-            credit_recs,
-            eq_buckets,
-            eq_get,
-            eq_times,
-            local_in,
-            link_lat,
-            hop_cost,
-            routing_commit,
-            on_injection,
-            max_vcs,
-            internal,
-            num_node_ports,
-            psize,
-            pipe_lat,
-        ) = self._hot2
-        in_port = key // max_vcs
-        out_vc = dec[1]
-        size = pkt.size
-        q = self.in_q[key]
-        q.popleft()
-        if not q:
-            active_keys.discard(key)
-        dc_pkt[key] = None  # head changed: decision no longer valid
-        self._cong_epoch += 1  # out_occ / credits are about to change
-        in_port_free[in_port] = now + internal
-        switch_free[out_port] = now + internal
-        out_occ[out_port] += size
-
-        if in_port < num_node_ports:
-            # Injection: record the moment the packet entered the network.
-            pkt.inject_time = now
-            on_injection(self.router_id, now)
-        else:
-            wait = now - pkt.t_enq
-            if wait:
-                if local_in[in_port]:
-                    pkt.wait_local += wait
-                else:
-                    pkt.wait_global += wait
-            in_occ[key] -= size
-            if CHECK_INVARIANTS and in_occ[key] < 0:
-                raise FlowControlError(
-                    f"router {self.router_id}: negative input occupancy "
-                    f"port {in_port} vc {key - in_port * max_vcs}"
-                )
-            rec = credit_recs[key]
-            if rec is not None:
-                if size != psize:  # non-default packet size: fresh record
-                    rec = (OP_CREDIT, rec[1], rec[2], rec[3], size)
-                t = now + internal + link_lat[in_port]
-                bucket = eq_get(t)
-                if bucket is None:
-                    eq_buckets[t] = [rec]
-                    heappush(eq_times, t)
-                else:
-                    bucket.append(rec)
-
-        if credit_nvc[out_port]:
-            ck = out_port * max_vcs + out_vc
-            credits_used[ck] += size
-            if CHECK_INVARIANTS and (credits_used[ck] > credit_cap[out_port]):
-                raise FlowControlError(
-                    f"router {self.router_id}: credit overcommit on port "
-                    f"{out_port} vc {out_vc}"
-                )
-
-        if routing_commit is None:
-            # Inlined RoutingMechanism.commit (hop ledger + diversion bind).
-            if local_in[out_port]:
-                pkt.local_hops += 1
-                glh = pkt.group_local_hops + 1
-                pkt.group_local_hops = glh
-                if glh > 2:
-                    raise RoutingError(
-                        f"packet {pkt.pid} took a third local hop in group "
-                        f"{self.group}; VC safety would be violated"
-                    )
-            elif self._global_out[out_port]:
-                pkt.global_hops += 1
-            if dec[2] == 1:
-                pkt.inter_group = dec[3]
-        else:
-            routing_commit(pkt, self, dec)
-        pkt.service_sum += hop_cost[out_port]
-        # Switch traversal: the packet reaches the output FIFO after the
-        # pipeline latency (OP_OUT_ARRIVE).
-        t = now + pipe_lat
-        rec = (OP_OUT_ARRIVE, self, out_port, pkt, out_vc)
-        bucket = eq_get(t)
-        if bucket is None:
-            eq_buckets[t] = [rec]
-            heappush(eq_times, t)
-        else:
-            bucket.append(rec)
+    # The consolidated arbitration → commit pipeline lives in the engine
+    # kernel module (one implementation for method dispatch and the
+    # drain loop); assigning the function makes it this class's method.
+    step = _kernel.step
 
     # ------------------------------------------------------------------
     # output phase
@@ -1070,15 +654,17 @@ class Router:
             eq_buckets,
             eq_get,
             eq_times,
+            pb,
         ) = self._hot3
-        out_fifo[port].append((pkt, vc, now))
-        if out_pumping[port]:
+        gp = pb + port
+        out_fifo[gp].append((pkt, vc, now))
+        if out_pumping[gp]:
             return
         # Idle link: start pumping at the link's next free cycle.
-        dep = link_free[port]
+        dep = link_free[gp]
         if dep < now:
             dep = now
-        out_pumping[port] = True
+        out_pumping[gp] = 1
         rec = send_recs[port]
         bucket = eq_get(dep)
         if bucket is None:
@@ -1103,18 +689,20 @@ class Router:
             eq_buckets,
             eq_get,
             eq_times,
+            pb,
         ) = self._hot3
-        fifo = out_fifo[port]
+        gp = pb + port
+        fifo = out_fifo[gp]
         pkt, vc, t_arr = fifo.popleft()
         wait = now - t_arr
         if wait:
-            if global_out[port]:
+            if global_out[gp]:
                 pkt.wait_global += wait
             else:  # local and node (ejection) FIFO waits
                 pkt.wait_local += wait
         size = pkt.size
         free_t = now + size
-        link_free[port] = free_t
+        link_free[gp] = free_t
         if fifo:
             # Busy link: merge the tail release with the next transmission
             # into one OP_LINK record (the two legacy events were adjacent
@@ -1123,7 +711,7 @@ class Router:
                 link_recs[port] if size == psize else (OP_LINK, self, port, size)
             )
         else:
-            out_pumping[port] = False
+            out_pumping[gp] = 0
             rec = (
                 rel_recs[port] if size == psize else (OP_RELEASE, self, port, size)
             )
@@ -1134,7 +722,7 @@ class Router:
         else:
             bucket.append(rec)
         peer = out_peer[port]
-        t = free_t + link_lat[port]
+        t = free_t + link_lat[gp]
         if peer is None:
             rec = (OP_DELIVER, pkt)  # ejection into the simulation sink
         else:
@@ -1153,9 +741,10 @@ class Router:
         steady-state case (the output FIFO was non-empty when the current
         transmission started, so the link pumps back to back).
         """
-        self._cong_epoch += 1
-        self.out_occ[port] -= size
-        if CHECK_INVARIANTS and self.out_occ[port] < 0:
+        self._epochs[self.router_id] += 1
+        gp = self.pb + port
+        self.out_occ[gp] -= size
+        if CHECK_INVARIANTS and self.out_occ[gp] < 0:
             raise FlowControlError(
                 f"router {self.router_id}: negative output occupancy port {port}"
             )
@@ -1174,9 +763,10 @@ class Router:
 
     def release_output(self, port: int, size: int, now: int) -> None:
         """Phase handler: a packet's tail left the link; FIFO space frees."""
-        self._cong_epoch += 1
-        self.out_occ[port] -= size
-        if CHECK_INVARIANTS and self.out_occ[port] < 0:
+        self._epochs[self.router_id] += 1
+        gp = self.pb + port
+        self.out_occ[gp] -= size
+        if CHECK_INVARIANTS and self.out_occ[gp] < 0:
             raise FlowControlError(
                 f"router {self.router_id}: negative output occupancy port {port}"
             )
@@ -1193,8 +783,8 @@ class Router:
 
     def release_credit(self, port: int, vc: int, size: int, now: int) -> None:
         """Phase handler: credits for (port, vc) returned from downstream."""
-        self._cong_epoch += 1
-        ck = port * self.max_vcs + vc
+        self._epochs[self.router_id] += 1
+        ck = self.kb + port * self.max_vcs + vc
         self.credits_used[ck] -= size
         if CHECK_INVARIANTS and self.credits_used[ck] < 0:
             raise FlowControlError(
@@ -1214,7 +804,8 @@ class Router:
     # ------------------------------------------------------------------
     def backlog(self) -> int:
         """Total packets waiting in this router's input queues (debug)."""
-        return sum(len(q) for q in self.in_q if q)
+        kb = self.kb
+        return sum(len(q) for q in self.in_q[kb : kb + self.nkeys] if q)
 
     def injection_backlog(self) -> int:
         """Packets waiting in this router's injection (node-port) FIFOs.
@@ -1223,9 +814,14 @@ class Router:
         nothing may remain queued at injection.
         """
         return sum(
-            len(self.in_q[port * self.max_vcs])
+            len(self.in_q[self.kb + port * self.max_vcs])
             for port in range(self._num_node_ports)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Router({self.router_id}, g{self.group}r{self.pos})"
+
+
+# The kernel reads CHECK_INVARIANTS dynamically; hand it this module
+# (importing it back from the kernel would create an import cycle).
+_kernel._router_mod = sys.modules[__name__]

@@ -207,30 +207,32 @@ class SimOracle:
     def _check_credit_balance(self, sim) -> OracleCheck:
         problems: list[str] = []
         for r in sim.routers:
+            kb, pb = r.kb, r.pb  # flat SoA base offsets (see engine.soa)
             for port in range(r.radix):
-                nvc = r.credit_nvc[port]
+                nvc = r.credit_nvc[pb + port]
                 for vc in range(nvc):
-                    used = r.credits_used[port * r.max_vcs + vc]
+                    used = r.credits_used[kb + port * r.max_vcs + vc]
                     if used != 0:
                         problems.append(
                             f"router {r.router_id} port {port} vc {vc}: "
                             f"{used} credits still held"
                         )
-                if r.out_occ[port] != 0:
+                if r.out_occ[pb + port] != 0:
                     problems.append(
                         f"router {r.router_id} port {port}: output occupancy "
-                        f"{r.out_occ[port]} != 0"
+                        f"{r.out_occ[pb + port]} != 0"
                     )
-                if r.out_fifo[port]:
+                if r.out_fifo[pb + port]:
                     problems.append(
                         f"router {r.router_id} port {port}: "
-                        f"{len(r.out_fifo[port])} packets stuck in output FIFO"
+                        f"{len(r.out_fifo[pb + port])} packets stuck in "
+                        "output FIFO"
                     )
             for key in range(r.nkeys):
-                if r.in_occ[key] != 0:
+                if r.in_occ[kb + key] != 0:
                     problems.append(
                         f"router {r.router_id} input key {key}: occupancy "
-                        f"{r.in_occ[key]} != 0"
+                        f"{r.in_occ[kb + key]} != 0"
                     )
         if problems:
             # Cap the detail so a systemic failure stays readable.

@@ -141,8 +141,11 @@ class RoutingMechanism(ABC):
     #: Values: ``None`` — no single-counter guard, fall back to the epoch
     #: condition; :data:`GUARD_STABLE` — the decision read no congestion
     #: state at all (unconditionally stable while the packet heads the
-    #: queue); ``(0, port, occ)`` — valid while ``out_occ[port] == occ``;
+    #: queue); ``(0, gp, occ)`` — valid while ``out_occ[gp] == occ``;
     #: ``(1, ck, used)`` — valid while ``credits_used[ck] == used``.
+    #: ``gp``/``ck`` are *flat* SoA-store indices (``router.pb + port``
+    #: resp. ``router.kb + port * max_vcs + vc``, see repro.engine.soa),
+    #: so kernel revalidation is a single flat load.
     last_decide_guard: tuple | None = None
 
     # ------------------------------------------------------------------

@@ -124,11 +124,13 @@ class InTransitAdaptiveRouting(RoutingMechanism):
         credit_cap = router.credit_cap
         credit_nvc = router.credit_nvc
         max_vcs = router.max_vcs
+        kb = router.kb
+        pb = router.pb
         # Opportunistic (OLM): only when the minimal local hop is blocked.
         if not (
-            credit_nvc[min_port]
-            and credits_used[min_port * max_vcs + min_vc] + size
-            > credit_cap[min_port]
+            credit_nvc[pb + min_port]
+            and credits_used[kb + min_port * max_vcs + min_vc] + size
+            > credit_cap[pb + min_port]
         ):
             return None
         a = self.topo.a
@@ -138,7 +140,10 @@ class InTransitAdaptiveRouting(RoutingMechanism):
         pos = router.pos
         first_local = self._first_local
         best_port = -1
-        best_frac = credits_used[min_port * max_vcs + min_vc] / credit_cap[min_port]
+        best_frac = (
+            credits_used[kb + min_port * max_vcs + min_vc]
+            / credit_cap[pb + min_port]
+        )
         vc = min_vc  # same stage VC; the corrective hop will use the escape
         getrandbits = self._getrandbits
         a_bits = self._a_bits
@@ -151,10 +156,11 @@ class InTransitAdaptiveRouting(RoutingMechanism):
             if w == pos or w == avoid_pos:
                 continue
             port = first_local + (w if w < pos else w - 1)
-            ck = port * max_vcs + vc
-            if credit_nvc[port] and credits_used[ck] + size > credit_cap[port]:
+            ck = kb + port * max_vcs + vc
+            gp = pb + port
+            if credit_nvc[gp] and credits_used[ck] + size > credit_cap[gp]:
                 continue
-            frac = credits_used[ck] / credit_cap[port] if credit_nvc[port] else 0.0
+            frac = credits_used[ck] / credit_cap[gp] if credit_nvc[gp] else 0.0
             if frac < best_frac:
                 best_frac = frac
                 best_port = port
@@ -189,12 +195,14 @@ class InTransitAdaptiveRouting(RoutingMechanism):
             vc = self.n_local_vcs - 1 if pkt.group_local_hops >= 1 else 2
             # Inlined OLM precheck (enable + one-per-group + blocked);
             # only a genuinely blocked minimal hop enters the sampler.
+            # Guards carry *flat* store indices (see repro.engine.soa).
             if self.enable_local_misroute and pkt.group_local_hops == 0:
-                ck = port * router.max_vcs + vc
+                ck = router.kb + port * router.max_vcs + vc
+                gp = router.pb + port
                 used = router.credits_used[ck]
                 if (
-                    router.credit_nvc[port]
-                    and used + pkt.size > router.credit_cap[port]
+                    router.credit_nvc[gp]
+                    and used + pkt.size > router.credit_cap[gp]
                 ):
                     self._rng_used = False
                     alt = self._try_local_misroute(pkt, router, port, vc, ti)
@@ -208,7 +216,7 @@ class InTransitAdaptiveRouting(RoutingMechanism):
                 else:
                     self.last_decide_pure = True
                     self.last_decide_guard = (
-                        (1, ck, used) if router.credit_nvc[port] else GUARD_STABLE
+                        (1, ck, used) if router.credit_nvc[gp] else GUARD_STABLE
                     )
             else:
                 self.last_decide_pure = True
@@ -269,31 +277,37 @@ class InTransitAdaptiveRouting(RoutingMechanism):
             credit_cap = router.credit_cap
             credit_nvc = router.credit_nvc
             max_vcs = router.max_vcs
+            kb = router.kb
+            pb = router.pb
             glh = pkt.group_local_hops
             size = pkt.size
             if glh == 0:
                 # Source router: proactive trigger on the minimal port's
-                # output FIFO (integer threshold, see __init__).
-                best_occ = out_occ[min_port]
+                # output FIFO (integer threshold, see __init__; the guard
+                # carries the flat store index).
+                best_occ = out_occ[pb + min_port]
                 if best_occ < self._thr_occ:
                     self.last_decide_pure = True
-                    self.last_decide_guard = (0, min_port, best_occ)
+                    self.last_decide_guard = (0, pb + min_port, best_occ)
                     return min_dec
                 code = self._code_source
             else:
                 # PAR second decision point: opportunistic (OLM) — divert
                 # only when the minimal output is credit-blocked outright.
-                mk = min_port * max_vcs + min_vc
+                mk = kb + min_port * max_vcs + min_vc
                 used = credits_used[mk]
                 if not (
-                    credit_nvc[min_port] and used + size > credit_cap[min_port]
+                    credit_nvc[pb + min_port]
+                    and used + size > credit_cap[pb + min_port]
                 ):
                     self.last_decide_pure = True
                     self.last_decide_guard = (
-                        (1, mk, used) if credit_nvc[min_port] else GUARD_STABLE
+                        (1, mk, used)
+                        if credit_nvc[pb + min_port]
+                        else GUARD_STABLE
                     )
                     return min_dec
-                best_occ = router.out_cap[min_port]  # sentinel: frac < 1.0
+                best_occ = router.out_cap[pb + min_port]  # sentinel: frac < 1.0
                 code = self._code_transit
             if code == 0:  # CRG: memoized per (router, src_group, dst_group)
                 by_pair = self._crg_by_router[router.router_id]
@@ -324,13 +338,15 @@ class InTransitAdaptiveRouting(RoutingMechanism):
                     vc = local_vc
                 else:
                     vc = 0
-                if out_occ[port] >= best_occ:
+                gp = pb + port
+                if out_occ[gp] >= best_occ:
                     continue
-                if credit_nvc[port] and (
-                    credits_used[port * max_vcs + vc] + size > credit_cap[port]
+                if credit_nvc[gp] and (
+                    credits_used[kb + port * max_vcs + vc] + size
+                    > credit_cap[gp]
                 ):
                     continue
-                best_occ = out_occ[port]
+                best_occ = out_occ[gp]
                 best_port = port
                 best_vc = vc
                 best_inter = inter_group
@@ -342,11 +358,12 @@ class InTransitAdaptiveRouting(RoutingMechanism):
             # Intermediate group: OLM local misrouting of the hop towards
             # the gateway of the destination group (inlined precheck).
             if self.enable_local_misroute and pkt.group_local_hops == 0:
-                ck = min_port * router.max_vcs + min_vc
+                ck = router.kb + min_port * router.max_vcs + min_vc
+                gp = router.pb + min_port
                 used = router.credits_used[ck]
                 if (
-                    router.credit_nvc[min_port]
-                    and used + pkt.size > router.credit_cap[min_port]
+                    router.credit_nvc[gp]
+                    and used + pkt.size > router.credit_cap[gp]
                 ):
                     self._rng_used = False
                     alt = self._try_local_misroute(
@@ -360,7 +377,7 @@ class InTransitAdaptiveRouting(RoutingMechanism):
                 else:
                     self.last_decide_pure = True
                     self.last_decide_guard = (
-                        (1, ck, used) if router.credit_nvc[min_port] else GUARD_STABLE
+                        (1, ck, used) if router.credit_nvc[gp] else GUARD_STABLE
                     )
             else:
                 self.last_decide_pure = True

@@ -113,23 +113,23 @@ class TestBusyTransitMasking:
 
         transit_pkt = sim._make_packet(2, dst_node, 0)  # generated elsewhere
         transit_pkt.global_hops = 1  # arrived through the global link
-        key = 2 * r.max_vcs  # global input port 2, VC 0
-        r.in_q[key].append(transit_pkt)
+        key = 2 * r.max_vcs  # global input port 2, VC 0 (router-local key)
+        r.in_q[r.kb + key].append(transit_pkt)  # kb/pb: flat SoA offsets
         r.active_keys.add(key)
-        r.in_port_free[2] = 5  # transit input port busy until cycle 5
+        r.in_port_free[r.pb + 2] = 5  # transit input port busy until cycle 5
         return sim, r, inj_pkt
 
     def test_busy_transit_head_masks_injection(self):
         sim, r, inj_pkt = self._setup(priority=True)
         r.step(0)
         assert not inj_pkt.injected  # suppressed by the pending transit
-        assert len(r.in_q[0]) == 1
+        assert len(r.in_q[r.kb + 0]) == 1
 
     def test_injection_granted_without_priority(self):
         sim, r, inj_pkt = self._setup(priority=False)
         r.step(0)
         assert inj_pkt.injected
-        assert len(r.in_q[0]) == 0
+        assert len(r.in_q[r.kb + 0]) == 0
 
     def test_injection_granted_when_transit_demands_other_port(self):
         """Only the *demanded* output is masked, not every output."""
@@ -140,7 +140,7 @@ class TestBusyTransitMasking:
         delta = 1 if topo.gw_router_by_delta[1] == 0 else 2
         dst_node = topo.router_id(delta, 0) * topo.p
         key = 2 * r.max_vcs
-        q = r.in_q[key]
+        q = r.in_q[r.kb + key]
         q.clear()
         q.append(sim._make_packet(2, dst_node, 0))
         r.step(0)
@@ -155,9 +155,9 @@ class TestOccupancyQueries:
         sim.run()
         for r in sim.routers:
             for port in range(r.radix):
-                if not r.credit_nvc[port]:
+                if not r.credit_nvc[r.pb + port]:
                     continue
-                for vc in range(r.credit_nvc[port]):
+                for vc in range(r.credit_nvc[r.pb + port]):
                     assert 0.0 <= r.credit_frac(port, vc) <= 1.0
                 assert 0.0 <= r.out_frac(port) <= 1.0 + 1e-9
 

@@ -86,9 +86,12 @@ class TestLoudFailures:
         sim = _audited_sim(pattern="uniform")
         self._run_engine_only(sim)
         router = sim.routers[0]
-        # Deliberately corrupt a credit counter of the first credited port.
-        port = next(p for p in range(router.radix) if router.credit_nvc[p])
-        router.credits_used[port * router.max_vcs] += 8
+        # Deliberately corrupt a credit counter of the first credited port
+        # (flat SoA indices: kb/pb are the router's base offsets).
+        port = next(
+            p for p in range(router.radix) if router.credit_nvc[router.pb + p]
+        )
+        router.credits_used[router.kb + port * router.max_vcs] += 8
         with pytest.raises(OracleError, match="credit_balance"):
             sim.oracle.verify(sim)
 
