@@ -24,6 +24,10 @@ import time
 from repro.config import SimulationConfig, small_config
 from repro.exec.runner import default_jobs
 
+# Re-exported: the affinity-aware count moved to repro.utils so
+# default_jobs() and the perf artifacts agree on one implementation.
+from repro.utils.cpu import usable_cpu_count  # noqa: F401
+
 __all__ = [
     "PROFILE",
     "bench_config",
@@ -103,23 +107,6 @@ def git_sha() -> str:
     except (OSError, subprocess.SubprocessError):
         return "unknown"
     return out.stdout.strip() if out.returncode == 0 else "unknown"
-
-
-def usable_cpu_count() -> int:
-    """CPUs actually available to this process.
-
-    ``os.cpu_count()`` reports the host's logical CPUs, which under
-    container/cgroup CPU limits or an affinity mask can be wildly wrong
-    (the perf artifacts recorded ``cpu_count: 1`` on multi-core CI
-    runners).  Prefer the affinity-aware counts.
-    """
-    getter = getattr(os, "process_cpu_count", None)  # Python >= 3.13
-    if getter is not None:
-        return getter()
-    try:
-        return len(os.sched_getaffinity(0))
-    except (AttributeError, OSError):  # non-Linux fallback
-        return os.cpu_count() or 1
 
 
 def machine_metadata() -> dict:

@@ -23,7 +23,7 @@ from collections.abc import Sequence
 from repro.config import SimulationConfig
 from repro.exec.aggregate import LoadSweepResult, average_injections
 from repro.exec.plan import ExperimentPlan
-from repro.exec.runner import Runner
+from repro.exec.runner import RetryPolicy, Runner
 from repro.exec.store import ResultStore
 from repro.utils.ascii_plot import ascii_plot
 from repro.utils.tables import format_table
@@ -58,6 +58,7 @@ def figure2_sweeps(
     jobs: int = 1,
     store: ResultStore | str | os.PathLike | None = None,
     offline: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> dict[str, LoadSweepResult]:
     """One latency/throughput curve per mechanism for one traffic pattern.
 
@@ -68,7 +69,8 @@ def figure2_sweeps(
         ExperimentPlan.sweep(base.with_(routing=mech), loads, seeds=seeds)
         for mech in mechanisms
     )
-    res = Runner(jobs=jobs, store=store, offline=offline).run(plan)
+    res = Runner(jobs=jobs, store=store, offline=offline, retry=retry).run(plan)
+    res.raise_for_failures()
     return {mech: res.sweep(base.with_(routing=mech), loads) for mech in mechanisms}
 
 
@@ -116,11 +118,13 @@ def figure3_breakdown(
     jobs: int = 1,
     store: ResultStore | str | os.PathLike | None = None,
     offline: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> list[tuple[float, dict[str, float]]]:
     """Latency components vs injection rate for in-transit-MM under ADVc."""
     cfg = base.with_(routing="in-trns-mm").with_traffic(pattern="advc")
     plan = ExperimentPlan.sweep(cfg, loads, seeds=seeds)
-    res = Runner(jobs=jobs, store=store, offline=offline).run(plan)
+    res = Runner(jobs=jobs, store=store, offline=offline, retry=retry).run(plan)
+    res.raise_for_failures()
     out = []
     for load in loads:
         pt = res.point(cfg.with_traffic(load=load))
@@ -158,6 +162,7 @@ def figure4_injections(
     jobs: int = 1,
     store: ResultStore | str | os.PathLike | None = None,
     offline: bool = False,
+    retry: RetryPolicy | None = None,
 ) -> dict[str, list[float]]:
     """Injected packets per router of one group under ADVc at *load*.
 
@@ -173,7 +178,8 @@ def figure4_injections(
         ExperimentPlan.point(point_cfg(mech), seeds=seeds)
         for mech in mechanisms
     )
-    res = Runner(jobs=jobs, store=store, offline=offline).run(plan)
+    res = Runner(jobs=jobs, store=store, offline=offline, retry=retry).run(plan)
+    res.raise_for_failures()
     out: dict[str, list[float]] = {}
     for mech in mechanisms:
         per_router = average_injections(res.results_for(point_cfg(mech)))

@@ -53,6 +53,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.analysis.figures import figure2_sweeps, format_figure2
@@ -67,8 +68,9 @@ from repro.config import (
 from repro.core.simulation import run_simulation
 from repro.engine.kernel import BACKEND_ENV, ENGINE_BACKEND_CHOICES, resolve_backend
 from repro.errors import ReproError
+from repro.exec.leases import LeaseCoordinator
 from repro.exec.plan import ExperimentPlan, Shard
-from repro.exec.runner import Runner
+from repro.exec.runner import RetryPolicy, Runner
 from repro.exec.store import ResultStore
 from repro.routing.factory import ROUTING_NAMES
 from repro.traffic.scenarios import (
@@ -174,6 +176,21 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="result cache directory; re-runs only compute missing cells",
         )
+        sp.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="attempts per cell before quarantining it (default: 3)",
+        )
+        sp.add_argument(
+            "--cell-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock limit per cell attempt (parallel runs only; "
+            "default: none)",
+        )
 
     run_p = sub.add_parser("run", help="run one simulation")
     common(run_p)
@@ -217,16 +234,18 @@ def build_parser() -> argparse.ArgumentParser:
     plan_p = sub.add_parser(
         "plan",
         help="declarative routings x patterns x loads x seeds grids: "
-        "show (default), run [--shard K/N], merge, status",
+        "show (default), run [--shard K/N], resume, merge, status",
     )
     plan_p.add_argument(
         "action",
         nargs="?",
-        choices=("show", "run", "merge", "status"),
+        choices=("show", "run", "resume", "merge", "status"),
         default="show",
         help="show = print digest + cells without running (default); "
-        "run = execute (optionally one shard); merge = union shard "
-        "stores; status = report missing cells of a store",
+        "run = execute (optionally one shard); resume = recompute the "
+        "cells a store is still missing after a crash/fault; merge = "
+        "union shard stores; status = report missing cells, failures, "
+        "quarantine and leases of a store",
     )
     plan_p.add_argument(
         "stores",
@@ -272,6 +291,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--execute",
         action="store_true",
         help="legacy alias for the run action",
+    )
+    plan_p.add_argument(
+        "--leases",
+        action="store_true",
+        help="coordinate cells through on-disk leases in --cache, so "
+        "several runners pointed at the same store split the plan "
+        "dynamically and adopt each other's results",
+    )
+    plan_p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="lease heartbeat deadline; a lease older than this is "
+        "reclaimable by other workers (default: 60)",
     )
 
     fig_p = sub.add_parser(
@@ -403,7 +437,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "sweep":
         cfg = _config(args)
         plan = ExperimentPlan.sweep(cfg, args.loads, seeds=args.seeds)
-        res = Runner(jobs=args.jobs, store=args.cache).run(plan)
+        res = Runner(
+            jobs=args.jobs, store=args.cache, retry=_retry_policy(args)
+        ).run(plan)
+        if _print_failures(res):
+            return 1
         print(_sweep_table(res.sweep(cfg, args.loads)))
         return 1 if _print_oracle_verdicts(res) else 0
 
@@ -464,6 +502,38 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _retry_policy(args: argparse.Namespace) -> RetryPolicy | None:
+    """RetryPolicy from --retries/--cell-timeout (None = runner default)."""
+    kwargs = {}
+    if getattr(args, "retries", None) is not None:
+        kwargs["max_attempts"] = args.retries
+    if getattr(args, "cell_timeout", None) is not None:
+        kwargs["cell_timeout"] = args.cell_timeout
+    return RetryPolicy(**kwargs) if kwargs else None
+
+
+def _print_failures(res) -> int:
+    """Report retry recoveries and unrecovered cells; returns the latter."""
+    if res.retried:
+        print(f"recovered {len(res.retried)} cell(s) after retries")
+    if res.adopted:
+        print(f"adopted {res.adopted} cell(s) computed by peer workers")
+    if not res.failures:
+        return 0
+    print(
+        f"FAILED: {len(res.failures)} cell(s) unrecovered after retries",
+        file=sys.stderr,
+    )
+    for digest in sorted(res.failures):
+        f = res.failures[digest]
+        print(
+            f"  {digest[:12]}… {f.kind} after {f.attempts} attempt(s): "
+            f"{f.error}",
+            file=sys.stderr,
+        )
+    return len(res.failures)
 
 
 def _print_oracle_verdicts(res) -> int:
@@ -567,13 +637,70 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         print(f"store {args.cache}: {done}/{plan.unique_cells()} cells present")
         for cell in missing:
             print(f"  missing {cell.digest[:12]}… {cell.label()}")
+        quarantined = store.quarantined()
+        if quarantined:
+            print(f"quarantine: {len(quarantined)} corrupt entr(y/ies) set aside")
+            for digest in quarantined:
+                print(f"  quarantined {digest[:12]}…")
+        journal = store.read_failures(plan.digest)
+        if journal:
+            print(f"failures journal: {len(journal)} record(s) from the last run")
+            for rec in journal:
+                print(
+                    f"  {rec.get('digest', '?')[:12]}… "
+                    f"{rec.get('kind', '?')} after "
+                    f"{rec.get('attempts', '?')} attempt(s): "
+                    f"{rec.get('error', '')}"
+                )
+        leases = LeaseCoordinator(store.root, plan.digest).active()
+        if leases:
+            now = time.time()
+            print(f"active leases: {len(leases)}")
+            for cell, rec in sorted(leases.items()):
+                state = "EXPIRED" if rec.expired(now) else (
+                    f"expires in {rec.deadline - now:.0f}s"
+                )
+                print(f"  {cell[:12]}… held by {rec.owner} ({state})")
+        if missing:
+            print("run `repro plan resume` with the same grid to complete it")
         return 1 if missing else 0
 
-    # action == "run"
+    # action in ("run", "resume")
     if shard is not None and args.cache is None:
-        raise ReproError("plan run --shard needs --cache DIR")
-    runner = Runner(jobs=args.jobs, store=args.cache)
+        raise ReproError(f"plan {action} --shard needs --cache DIR")
+    if action == "resume" and not args.cache:
+        raise ReproError("plan resume needs --cache DIR (the store to complete)")
+    if args.leases and not args.cache:
+        raise ReproError("--leases needs --cache DIR (leases live in the store)")
+    runner = Runner(
+        jobs=args.jobs,
+        store=args.cache,
+        retry=_retry_policy(args),
+        leases=args.leases,
+        lease_ttl=args.lease_ttl,
+    )
     res = runner.run(plan, shard=shard)
+    failed = _print_failures(res)
+
+    if action == "resume":
+        print(f"plan digest: {plan.digest}")
+        scope = f"shard {shard}: " if shard is not None else ""
+        print(
+            f"{scope}resume: {res.cached} cell(s) already present, "
+            f"{res.computed} recomputed with jobs={runner.jobs}"
+        )
+        if failed:
+            print(
+                f"{failed} cell(s) remain unrecovered — see the failure "
+                "records above",
+                file=sys.stderr,
+            )
+            return 1
+        print("store is complete")
+        return 1 if _print_oracle_verdicts(res) else 0
+
+    if failed:
+        return 1
     if shard is not None:
         print(f"plan digest: {plan.digest}")
         print(
@@ -615,6 +742,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         store=args.cache,
         offline=args.offline,
+        retry=_retry_policy(args),
     )
     priority = "with" if base.router.transit_priority else "without"
     print(

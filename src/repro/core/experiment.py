@@ -48,7 +48,9 @@ def run_point(
 ) -> SweepPoint:
     """Run ``seeds`` independent simulations of *config* and average them."""
     plan = ExperimentPlan.point(config, seeds=seeds)
-    return Runner(jobs=jobs, store=store).run(plan).point(config)
+    executed = Runner(jobs=jobs, store=store).run(plan)
+    executed.raise_for_failures()
+    return executed.point(config)
 
 
 def run_load_sweep(
@@ -63,4 +65,6 @@ def run_load_sweep(
     if not loads:
         raise AnalysisError("run_load_sweep needs at least one load")
     plan = ExperimentPlan.sweep(config, loads, seeds=seeds)
-    return Runner(jobs=jobs, store=store).run(plan).sweep(config, loads)
+    executed = Runner(jobs=jobs, store=store).run(plan)
+    executed.raise_for_failures()
+    return executed.sweep(config, loads)

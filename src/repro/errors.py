@@ -69,3 +69,32 @@ class FlowControlError(ReproError, RuntimeError):
 
 class AnalysisError(ReproError, ValueError):
     """Raised when experiment post-processing receives unusable inputs."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A plan execution could not compute every required cell.
+
+    Raised by consumers that need a complete :class:`~repro.exec.runner.
+    PlanResult` (figure/table generators, the experiment shims) when the
+    fault-tolerant runner exhausted its retries and quarantined cells.
+    The structured per-cell records live in ``PlanResult.failures``.
+    """
+
+
+class LeaseError(ExecutionError):
+    """A cell lease was lost or could not be maintained.
+
+    Raised by :class:`repro.exec.leases.LeaseCoordinator` when a
+    heartbeat discovers the lease file now carries another worker's
+    token (the cell was reclaimed after our deadline expired, or stolen
+    by an idle worker) or was removed (the cell completed elsewhere).
+    """
+
+
+class FaultInjection(ReproError, RuntimeError):
+    """A deliberately injected fault from the ``REPRO_FAULTS`` harness.
+
+    Never raised in production: only :class:`repro.exec.faults.
+    FaultInjector` constructs it, so chaos tests can tell injected
+    failures apart from real simulator bugs in failure records.
+    """

@@ -22,18 +22,32 @@ from repro.exec.aggregate import (
     average_injections,
     average_results,
 )
+from repro.exec.faults import FaultInjector, FaultSpec, pick_cells
+from repro.exec.leases import LeaseCoordinator, LeaseRecord
 from repro.exec.plan import Cell, ExperimentPlan, Shard
-from repro.exec.runner import PlanResult, Runner, default_jobs
+from repro.exec.runner import (
+    CellFailure,
+    PlanResult,
+    RetryPolicy,
+    Runner,
+    default_jobs,
+)
 from repro.exec.serialize import config_digest, plan_digest
 from repro.exec.store import MergeReport, ResultStore, ShardManifest
 
 __all__ = [
     "Cell",
+    "CellFailure",
     "ExperimentPlan",
+    "FaultInjector",
+    "FaultSpec",
+    "LeaseCoordinator",
+    "LeaseRecord",
     "LoadSweepResult",
     "MergeReport",
     "PlanResult",
     "ResultStore",
+    "RetryPolicy",
     "Runner",
     "Shard",
     "ShardManifest",
@@ -42,5 +56,6 @@ __all__ = [
     "average_results",
     "config_digest",
     "default_jobs",
+    "pick_cells",
     "plan_digest",
 ]

@@ -1,0 +1,279 @@
+"""Deterministic fault injection for chaos-testing the exec tier.
+
+The ``REPRO_FAULTS`` environment variable carries a :class:`FaultSpec`:
+a comma-separated list of ``key=value`` directives describing faults to
+inject into plan execution.  Because the variable is inherited by the
+runner's worker processes, one spec drives the whole fleet.
+
+Grammar (all keys optional, list keys repeatable)::
+
+    seed=42                  # identifies the chaos scenario; feeds pick_cells
+    ledger=DIR               # cross-process once-only accounting (required
+                             # whenever any fault op below is present)
+    kill_after=N             # a worker process exits hard after completing
+    kill_times=K             #   N cells; fires in at most K workers (def. 1)
+    raise_cell=PREFIX        # cells whose digest starts with PREFIX raise
+    raise_times=K            #   FaultInjection; at most K firings per prefix
+    stall_cell=PREFIX        # matching cells sleep stall_seconds before
+    stall_seconds=S          #   running (exercises cell timeouts)
+    stall_times=K
+    truncate_cell=PREFIX     # the store entry of a matching cell is
+                             # truncated right after its atomic write lands
+                             # (a simulated torn write; once per prefix)
+    heartbeat_delay=S        # every lease heartbeat sleeps S seconds first
+
+Determinism: *which* cells a chaos scenario hits is chosen up front with
+:func:`pick_cells` (a seeded hash ranking over the plan's cell digests),
+and every firing is capped through the on-disk ledger, so a faulted run
+recovers to results bit-identical to the fault-free run — the per-cell
+simulations themselves are pure functions of their configs and cannot
+observe the faults.  Race winners (which worker dies, which attempt of a
+retried cell raises) may vary between replays; the *recovered results*
+never do, and that is the property the chaos tests pin.
+
+Worker death (``kill_after``) only fires inside pool worker processes
+(``multiprocessing.parent_process() is not None``), never in the
+coordinating process, so a serial ``jobs=1`` run with a kill spec set is
+not terminated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pathlib
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, FaultInjection
+
+__all__ = ["ENV_VAR", "FaultInjector", "FaultSpec", "pick_cells"]
+
+#: environment variable the injector reads its spec from.
+ENV_VAR = "REPRO_FAULTS"
+
+#: exit status of a worker killed by ``kill_after`` (distinctive in logs).
+KILL_EXIT_CODE = 170
+
+
+def pick_cells(
+    digests: Iterable[str], *, seed: int, count: int = 1
+) -> list[str]:
+    """Deterministically pick *count* victim cells out of *digests*.
+
+    Ranks the digests by ``sha256(f"{seed}:{digest}")`` — stable across
+    machines and independent of iteration order — so a chaos scenario is
+    fully described by ``(plan, seed, count)``.
+    """
+    ranked = sorted(
+        set(digests),
+        key=lambda d: hashlib.sha256(f"{seed}:{d}".encode()).hexdigest(),
+    )
+    return ranked[:count]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Parsed form of a ``REPRO_FAULTS`` directive string."""
+
+    seed: int = 0
+    ledger: str | None = None
+    kill_after: int | None = None
+    kill_times: int = 1
+    raise_cells: tuple[str, ...] = ()
+    raise_times: int = 1
+    stall_cells: tuple[str, ...] = ()
+    stall_seconds: float = 5.0
+    stall_times: int = 1
+    truncate_cells: tuple[str, ...] = ()
+    heartbeat_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kill_after is not None and self.kill_after < 1:
+            raise ConfigurationError(f"kill_after must be >= 1, got {self.kill_after}")
+        for name in ("kill_times", "raise_times", "stall_times"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.stall_seconds < 0 or self.heartbeat_delay < 0:
+            raise ConfigurationError("fault delays must be >= 0")
+        capped = (
+            self.kill_after is not None
+            or self.raise_cells
+            or self.stall_cells
+            or self.truncate_cells
+        )
+        if capped and not self.ledger:
+            raise ConfigurationError(
+                "REPRO_FAULTS with kill/raise/stall/truncate ops needs "
+                "ledger=DIR: firings are capped through on-disk claim "
+                "files so retried cells and rebuilt workers do not "
+                "re-inject the same fault forever"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the ``REPRO_FAULTS`` grammar (see module docstring)."""
+        kwargs: dict = {}
+        lists: dict[str, list[str]] = {
+            "raise_cells": [],
+            "stall_cells": [],
+            "truncate_cells": [],
+        }
+        singular = {
+            "raise_cell": "raise_cells",
+            "stall_cell": "stall_cells",
+            "truncate_cell": "truncate_cells",
+        }
+        ints = {
+            "seed",
+            "kill_after",
+            "kill_times",
+            "raise_times",
+            "stall_times",
+        }
+        floats = {"stall_seconds", "heartbeat_delay"}
+        for token in (t.strip() for t in text.split(",")):
+            if not token:
+                continue
+            key, sep, value = token.partition("=")
+            if not sep or not value:
+                raise ConfigurationError(
+                    f"REPRO_FAULTS directive must be key=value, got {token!r}"
+                )
+            if key in singular:
+                lists[singular[key]].append(value)
+            elif key in ints:
+                try:
+                    kwargs[key] = int(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"REPRO_FAULTS {key}= needs an integer, got {value!r}"
+                    ) from None
+            elif key in floats:
+                try:
+                    kwargs[key] = float(value)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"REPRO_FAULTS {key}= needs a number, got {value!r}"
+                    ) from None
+            elif key == "ledger":
+                kwargs[key] = value
+            else:
+                raise ConfigurationError(f"unknown REPRO_FAULTS directive {key!r}")
+        for name, values in lists.items():
+            if values:
+                kwargs[name] = tuple(values)
+        return cls(**kwargs)
+
+    def to_env(self) -> str:
+        """Serialize back to the ``REPRO_FAULTS`` grammar (round-trips)."""
+        parts: list[str] = [f"seed={self.seed}"]
+        if self.ledger:
+            parts.append(f"ledger={self.ledger}")
+        if self.kill_after is not None:
+            parts.append(f"kill_after={self.kill_after}")
+            parts.append(f"kill_times={self.kill_times}")
+        for prefix in self.raise_cells:
+            parts.append(f"raise_cell={prefix}")
+        if self.raise_cells:
+            parts.append(f"raise_times={self.raise_times}")
+        for prefix in self.stall_cells:
+            parts.append(f"stall_cell={prefix}")
+        if self.stall_cells:
+            parts.append(f"stall_seconds={self.stall_seconds}")
+            parts.append(f"stall_times={self.stall_times}")
+        for prefix in self.truncate_cells:
+            parts.append(f"truncate_cell={prefix}")
+        if self.heartbeat_delay:
+            parts.append(f"heartbeat_delay={self.heartbeat_delay}")
+        return ",".join(parts)
+
+
+@dataclass
+class FaultInjector:
+    """Runtime hooks the exec tier calls at its fault points.
+
+    Instantiated from the environment once per process (and cached), so
+    the per-worker cell counter behind ``kill_after`` survives across
+    cells executed by the same pool worker.
+    """
+
+    spec: FaultSpec
+    _cells_done: int = field(default=0, repr=False)
+
+    def _claim(self, slot: str, times: int) -> bool:
+        """Claim one of *times* firing slots for *slot* (exactly-once).
+
+        Claim files are created with ``O_EXCL`` in the shared ledger
+        directory, so concurrent workers racing for the same fault agree
+        on who fires it.
+        """
+        ledger = pathlib.Path(self.spec.ledger)
+        ledger.mkdir(parents=True, exist_ok=True)
+        for i in range(times):
+            try:
+                fd = os.open(
+                    ledger / f"{slot}.{i}", os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    # -- hooks ---------------------------------------------------------------
+    def on_cell_start(self, digest: str) -> None:
+        """Called before a cell simulates: may raise or stall."""
+        for prefix in self.spec.raise_cells:
+            if digest.startswith(prefix) and self._claim(
+                f"raise-{prefix}", self.spec.raise_times
+            ):
+                raise FaultInjection(
+                    f"injected failure in cell {digest[:12]}… (REPRO_FAULTS)"
+                )
+        for prefix in self.spec.stall_cells:
+            if digest.startswith(prefix) and self._claim(
+                f"stall-{prefix}", self.spec.stall_times
+            ):
+                time.sleep(self.spec.stall_seconds)
+
+    def on_cell_end(self, digest: str) -> None:
+        """Called after a cell simulates: may kill this worker process."""
+        self._cells_done += 1
+        if (
+            self.spec.kill_after is not None
+            and self._cells_done >= self.spec.kill_after
+            and multiprocessing.parent_process() is not None
+            and self._claim("kill", self.spec.kill_times)
+        ):
+            os._exit(KILL_EXIT_CODE)
+
+    def on_store_write(self, path: pathlib.Path, digest: str) -> None:
+        """Called after a store entry lands: may truncate it (torn write)."""
+        for prefix in self.spec.truncate_cells:
+            if digest.startswith(prefix) and self._claim(f"truncate-{prefix}", 1):
+                data = path.read_bytes()
+                path.write_bytes(data[: max(1, len(data) // 2)])
+
+    def on_heartbeat(self) -> None:
+        """Called before every lease heartbeat: may delay it."""
+        if self.spec.heartbeat_delay > 0:
+            time.sleep(self.spec.heartbeat_delay)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_env(cls) -> "FaultInjector | None":
+        """The process-wide injector, or None when ``REPRO_FAULTS`` is unset."""
+        text = os.environ.get(ENV_VAR, "").strip()
+        if not text:
+            return None
+        global _ACTIVE
+        if _ACTIVE is None or _ACTIVE[0] != text:
+            _ACTIVE = (text, cls(FaultSpec.parse(text)))
+        return _ACTIVE[1]
+
+
+#: process-wide injector cache: (env text, injector).
+_ACTIVE: tuple[str, FaultInjector] | None = None

@@ -1,0 +1,242 @@
+"""File-based per-cell leases for cooperating sweep workers.
+
+A :class:`LeaseCoordinator` hands out short-lived, heartbeat-renewed
+leases over the cells of one plan (keyed by the plan digest), using only
+a shared directory — no daemon, no sockets — so any filesystem the
+workers can all see (one machine, NFS, a CI artifact volume) is a
+coordination substrate.
+
+Protocol
+--------
+* **Acquire** — atomic ``O_CREAT | O_EXCL`` creation of
+  ``leases/<plan>/<cell>.json``.  Exactly one contender wins; the file
+  carries the owner id, a per-acquisition token, and a deadline.
+* **Heartbeat** — the owner periodically rewrites the file with a fresh
+  deadline.  A heartbeat first re-reads the file: if the token inside is
+  no longer ours the lease was reclaimed or stolen and
+  :class:`repro.errors.LeaseError` is raised — the worker must stop
+  claiming the cell (its in-flight result may still be saved: cells are
+  pure functions of their configs, so duplicate saves are bit-identical
+  and harmless).
+* **Reclaim** — a lease whose deadline passed belongs to a dead worker.
+  Takeover renames the file to a per-contender tombstone (only one
+  rename can succeed) and then re-creates the lease exclusively, so
+  concurrent reclaimers cannot both win.
+* **Steal** — an idle worker may take over a live but slow lease via
+  the same tombstone move (:meth:`LeaseCoordinator.steal`).  The
+  previous owner learns of the loss on its next heartbeat.
+* **Complete/Release** — the owner deletes the file; the durable record
+  of completion is the result entry in the :class:`~repro.exec.store.
+  ResultStore`, never the lease itself.
+
+The invariant the property tests pin: at any instant there is at most
+one lease *file* per cell, carrying exactly one token, and every worker
+whose token is not the one in the file finds out no later than its next
+heartbeat.  Combined with idempotent (bit-identical) result writes this
+gives exactly-once *completion* per cell even though a stolen cell may
+transiently be computed twice.
+
+Clocks are injectable (``clock=``) so expiry/steal interleavings are
+testable without sleeping; the default is wall-clock ``time.time`` since
+deadlines must be comparable across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import time
+import uuid
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.errors import AnalysisError, LeaseError
+from repro.exec.faults import FaultInjector
+
+__all__ = ["LEASE_DIR_NAME", "LeaseCoordinator", "LeaseRecord"]
+
+#: subdirectory of a store root that holds per-plan lease directories.
+LEASE_DIR_NAME = "leases"
+
+
+def default_worker_id() -> str:
+    """Host-qualified worker identity (stable for one process)."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """One worker's claim on one cell, as stored in the lease file."""
+
+    cell: str
+    owner: str
+    token: str
+    acquired_at: float
+    deadline: float
+    generation: int = 0
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cell": self.cell,
+            "owner": self.owner,
+            "token": self.token,
+            "acquired_at": self.acquired_at,
+            "deadline": self.deadline,
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LeaseRecord":
+        return cls(
+            cell=data["cell"],
+            owner=data["owner"],
+            token=data["token"],
+            acquired_at=float(data["acquired_at"]),
+            deadline=float(data["deadline"]),
+            generation=int(data.get("generation", 0)),
+        )
+
+
+class LeaseCoordinator:
+    """Acquire/heartbeat/reclaim cell leases under one store directory."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        plan_digest: str,
+        *,
+        worker_id: str | None = None,
+        ttl: float = 60.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if ttl <= 0:
+            raise AnalysisError(f"lease ttl must be > 0, got {ttl}")
+        self.dir = pathlib.Path(root) / LEASE_DIR_NAME / plan_digest[:16]
+        self.worker_id = worker_id or default_worker_id()
+        self.ttl = float(ttl)
+        self.clock = clock
+
+    def _path(self, cell: str) -> pathlib.Path:
+        return self.dir / f"{cell}.json"
+
+    def _fresh(self, cell: str, generation: int) -> LeaseRecord:
+        now = self.clock()
+        return LeaseRecord(
+            cell=cell,
+            owner=self.worker_id,
+            token=uuid.uuid4().hex,
+            acquired_at=now,
+            deadline=now + self.ttl,
+            generation=generation,
+        )
+
+    @staticmethod
+    def _write(fd: int, record: LeaseRecord) -> None:
+        with os.fdopen(fd, "w") as f:
+            f.write(json.dumps(record.to_dict()))
+
+    # -- core protocol -------------------------------------------------------
+    def acquire(self, cell: str) -> LeaseRecord | None:
+        """Lease *cell* if it is free or expired; None when held elsewhere."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        record = self._fresh(cell, 0)
+        try:
+            fd = os.open(self._path(cell), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            current = self.read(cell)
+            if current is None:
+                # Released/unreadable between our create and read: treat
+                # as held and let the caller retry on its next pass.
+                return None
+            if current.expired(self.clock()):
+                return self._takeover(cell, current)
+            return None
+        self._write(fd, record)
+        return record
+
+    def _takeover(self, cell: str, current: LeaseRecord) -> LeaseRecord | None:
+        """Replace *current* with our own lease; None if we lost the race."""
+        tombstone = self.dir / f"{cell}.{uuid.uuid4().hex}.tomb"
+        try:
+            os.rename(self._path(cell), tombstone)
+        except OSError:
+            return None  # another contender renamed it first
+        try:
+            record = self._fresh(cell, current.generation + 1)
+            try:
+                fd = os.open(self._path(cell), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                # A fresh acquirer slipped in while the path was vacant.
+                return None
+            self._write(fd, record)
+            return record
+        finally:
+            tombstone.unlink(missing_ok=True)
+
+    def heartbeat(self, record: LeaseRecord) -> LeaseRecord:
+        """Extend *record*'s deadline; raises LeaseError if no longer ours."""
+        injector = FaultInjector.from_env()
+        if injector is not None:
+            injector.on_heartbeat()
+        current = self.read(record.cell)
+        if current is None or current.token != record.token:
+            holder = current.owner if current is not None else "completion"
+            raise LeaseError(f"lease on cell {record.cell[:12]}… lost to {holder}")
+        renewed = replace(record, deadline=self.clock() + self.ttl)
+        tmp = self.dir / f"{record.cell}.{record.token}.hb"
+        tmp.write_text(json.dumps(renewed.to_dict()))
+        os.replace(tmp, self._path(record.cell))
+        return renewed
+
+    def release(self, record: LeaseRecord) -> None:
+        """Drop *record* if we still own it (no-op when already lost)."""
+        current = self.read(record.cell)
+        if current is not None and current.token == record.token:
+            try:
+                self._path(record.cell).unlink()
+            except OSError:
+                pass
+
+    def complete(self, record: LeaseRecord) -> None:
+        """Mark *record*'s cell done (the store entry is the evidence)."""
+        self.release(record)
+
+    def steal(self, cell: str) -> LeaseRecord | None:
+        """Take over *cell* even from a live holder (idle work-stealing).
+
+        The displaced owner discovers the loss on its next heartbeat.
+        Returns None when the cell is unleased-and-unacquirable this
+        instant or the takeover race was lost; callers just retry later.
+        """
+        current = self.read(cell)
+        if current is None:
+            return self.acquire(cell)
+        if current.owner == self.worker_id:
+            return None  # never steal from ourselves
+        return self._takeover(cell, current)
+
+    # -- introspection -------------------------------------------------------
+    def read(self, cell: str) -> LeaseRecord | None:
+        """Current lease record of *cell*, or None (free/unreadable)."""
+        try:
+            data = json.loads(self._path(cell).read_text())
+            return LeaseRecord.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def active(self) -> dict[str, LeaseRecord]:
+        """All readable lease records, keyed by cell digest."""
+        if not self.dir.is_dir():
+            return {}
+        out: dict[str, LeaseRecord] = {}
+        for path in sorted(self.dir.glob("*.json")):
+            record = self.read(path.stem)
+            if record is not None:
+                out[record.cell] = record
+        return out

@@ -28,9 +28,11 @@ from repro.config import (
 from repro.core.results import SimulationResult
 
 __all__ = [
+    "canonical_json",
     "config_digest",
     "config_to_dict",
     "config_from_dict",
+    "entry_checksum",
     "plan_digest",
     "result_to_dict",
     "result_from_dict",
@@ -39,7 +41,23 @@ __all__ = [
 #: bump when the simulator's semantics change in a way that invalidates
 #: previously stored results (checked by the result store).
 #: v2: scenario fields in TrafficConfig + oracle flag/verdict (PR 4).
-STORE_VERSION = 2
+#: v3: per-entry checksums for the crash-safe store (PR 7).
+STORE_VERSION = 3
+
+
+def canonical_json(data: Any) -> str:
+    """Canonical JSON text of *data* (sorted keys, no whitespace).
+
+    The checksum base: two dicts with equal content produce equal bytes
+    on every machine, so store entries written by different workers are
+    byte-comparable.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def entry_checksum(result_data: dict[str, Any]) -> str:
+    """SHA-256 over the canonical form of a stored result payload."""
+    return hashlib.sha256(canonical_json(result_data).encode("utf-8")).hexdigest()
 
 
 def config_to_dict(config: SimulationConfig) -> dict[str, Any]:

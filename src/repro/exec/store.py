@@ -2,14 +2,28 @@
 
 One JSON file per simulated cell, named ``<digest>.json`` under the store
 root.  Re-running a plan against the same store only computes cells whose
-digest is missing; everything else is loaded back.  Writes are atomic
-(temp file + rename) so concurrent runners sharing a store directory
-never observe a torn file.
+digest is missing; everything else is loaded back.  Writes are atomic and
+durable (temp file + fsync + rename) so concurrent runners sharing a
+store directory never observe a torn file and a killed writer leaves no
+partial entry visible.
+
+Every entry carries a SHA-256 checksum over its canonical result
+payload.  :meth:`ResultStore.load` **never raises** on a bad entry:
+truncated, unparseable, or checksum-mismatched files are *quarantined*
+(moved to ``quarantine/`` and logged) and reported as cache misses, so
+the runner transparently recomputes them — a corrupt store degrades to a
+cold cache, never a crashed sweep.
 
 The store embeds :data:`repro.exec.serialize.STORE_VERSION`; entries with
-a different version are ignored (treated as misses), so bumping the
-version after a semantics-changing simulator update invalidates stale
-results without manual cleanup.
+a different version are ignored (treated as misses, left in place — they
+are foreign, not corrupt), so bumping the version after a
+semantics-changing simulator update invalidates stale results without
+manual cleanup.
+
+Alongside the result entries a store may hold a shard manifest
+(``shard.json``), a failures journal (``failures.json``, the structured
+per-cell failure records of the last run against this store), and the
+lease directory (``leases/``) of the fault-tolerant runner.
 
 Sharded runs additionally write a :class:`ShardManifest` (``shard.json``)
 into their store: the plan digest, the shard coordinates, and the exact
@@ -23,6 +37,7 @@ producing a silently incomplete merged store.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import pathlib
 import subprocess
@@ -33,16 +48,49 @@ from typing import Any
 
 from repro.core.results import SimulationResult
 from repro.errors import AnalysisError
+from repro.exec.faults import FaultInjector
 from repro.exec.serialize import (
     STORE_VERSION,
+    entry_checksum,
     result_from_dict,
     result_to_dict,
 )
 
-__all__ = ["MANIFEST_NAME", "MergeReport", "ResultStore", "ShardManifest"]
+__all__ = [
+    "FAILURES_NAME",
+    "MANIFEST_NAME",
+    "MergeReport",
+    "QUARANTINE_DIR",
+    "ResultStore",
+    "ShardManifest",
+]
+
+log = logging.getLogger(__name__)
 
 #: file name of the per-shard manifest inside a store directory.
 MANIFEST_NAME = "shard.json"
+
+#: file name of the per-run failure journal inside a store directory.
+FAILURES_NAME = "failures.json"
+
+#: subdirectory corrupt entries are moved to (never read back as results).
+QUARANTINE_DIR = "quarantine"
+
+#: store-root file names that are not result entries.
+_NON_RESULT_NAMES = frozenset({MANIFEST_NAME, FAILURES_NAME})
+
+
+def _payload_ok(payload: str) -> bool:
+    """True when raw entry text parses, matches the version, and checksums."""
+    try:
+        data = json.loads(payload)
+        return (
+            isinstance(data, dict)
+            and data.get("version") == STORE_VERSION
+            and data.get("checksum") == entry_checksum(data["result"])
+        )
+    except (ValueError, KeyError, TypeError):
+        return False
 
 
 def current_git_sha() -> str | None:
@@ -122,24 +170,85 @@ class ResultStore:
         return self._path(digest).exists()
 
     def load(self, digest: str) -> SimulationResult | None:
-        """Return the stored result for *digest*, or None on a miss."""
+        """Return the stored result for *digest*, or None on a miss.
+
+        Never raises on a bad entry: a truncated/unparseable file or a
+        checksum mismatch is quarantined (moved aside, logged) and
+        reported as a miss so the caller recomputes the cell.  Entries
+        with a foreign ``STORE_VERSION`` are plain misses (left in
+        place: they are stale, not corrupt).
+        """
         path = self._path(digest)
         try:
-            data = json.loads(path.read_text())
-            if data.get("version") != STORE_VERSION:
+            raw = path.read_text()
+        except OSError:
+            return None  # plain miss
+        try:
+            data = json.loads(raw)
+        except ValueError:
+            self._quarantine(path, digest, "unparseable JSON (torn write?)")
+            return None
+        if not isinstance(data, dict):
+            self._quarantine(path, digest, "entry is not an object")
+            return None
+        if data.get("version") != STORE_VERSION:
+            return None  # foreign entry: a miss, but not corrupt
+        try:
+            entry = data["result"]
+            if data.get("checksum") != entry_checksum(entry):
+                self._quarantine(path, digest, "checksum mismatch")
                 return None
-            return result_from_dict(data["result"])
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
-            # Unreadable, foreign, or schema-malformed entries are misses
-            # (ValueError covers JSONDecodeError and ConfigurationError).
+            return result_from_dict(entry)
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # ValueError covers ConfigurationError from config rebuild.
+            self._quarantine(path, digest, "schema-malformed entry")
             return None
 
     def save(self, digest: str, result: SimulationResult) -> pathlib.Path:
-        """Persist *result* under *digest* (atomic, last-writer-wins)."""
+        """Persist *result* under *digest* (atomic, last-writer-wins).
+
+        Identical results serialize to identical bytes, so concurrent
+        workers racing on the same (deterministic) cell are harmless.
+        """
+        entry = result_to_dict(result)
         payload = json.dumps(
-            {"version": STORE_VERSION, "result": result_to_dict(result)}
+            {
+                "version": STORE_VERSION,
+                "checksum": entry_checksum(entry),
+                "result": entry,
+            }
         )
-        return self._write_atomic(self._path(digest), payload)
+        path = self._write_atomic(self._path(digest), payload)
+        injector = FaultInjector.from_env()
+        if injector is not None:
+            injector.on_store_write(path, digest)
+        return path
+
+    def _quarantine(self, path: pathlib.Path, digest: str, reason: str) -> None:
+        """Move a corrupt entry to ``quarantine/`` (best-effort) and log it."""
+        qdir = self.root / QUARANTINE_DIR
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        i = 0
+        while target.exists():
+            target = qdir / f"{path.name}.{i}"
+            i += 1
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass  # raced with another quarantiner/writer; the miss stands
+        log.warning(
+            "quarantined corrupt store entry %s… (%s); it will be recomputed",
+            digest[:12],
+            reason,
+        )
+
+    def quarantined(self) -> list[str]:
+        """Digests of entries that were quarantined as corrupt."""
+        qdir = self.root / QUARANTINE_DIR
+        if not qdir.is_dir():
+            return []
+        return sorted({p.name.partition(".")[0] for p in qdir.iterdir()})
 
     def _write_atomic(self, path: pathlib.Path, payload: str) -> pathlib.Path:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -147,6 +256,8 @@ class ResultStore:
         try:
             with os.fdopen(fd, "w") as f:
                 f.write(payload)
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -162,11 +273,13 @@ class ResultStore:
         return len(self.digests())
 
     def digests(self) -> list[str]:
-        """Digests of every result entry in the store (manifest excluded)."""
+        """Digests of every result entry (manifest/journal excluded)."""
         if not self.root.is_dir():
             return []
         return sorted(
-            p.stem for p in self.root.glob("*.json") if p.name != MANIFEST_NAME
+            p.stem
+            for p in self.root.glob("*.json")
+            if p.name not in _NON_RESULT_NAMES
         )
 
     def _read_payload(self, digest: str) -> str | None:
@@ -175,6 +288,48 @@ class ResultStore:
             return self._path(digest).read_text()
         except OSError:
             return None
+
+    # -- failures journal ---------------------------------------------------
+    @property
+    def failures_path(self) -> pathlib.Path:
+        return self.root / FAILURES_NAME
+
+    def write_failures(
+        self, plan_digest: str, records: Sequence[dict[str, Any]]
+    ) -> None:
+        """Persist the structured failure records of the last run.
+
+        An empty *records* clears the journal (the plan's cells all
+        completed).  The journal is advisory — ``plan status`` and
+        ``plan resume`` read it to explain what went wrong — so it is
+        tolerant on read and last-writer-wins on write.
+        """
+        if not records:
+            self.failures_path.unlink(missing_ok=True)
+            return
+        payload = json.dumps(
+            {
+                "version": STORE_VERSION,
+                "plan_digest": plan_digest,
+                "failures": list(records),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        self._write_atomic(self.failures_path, payload)
+
+    def read_failures(self, plan_digest: str | None = None) -> list[dict[str, Any]]:
+        """Failure records from the journal ([] when absent/foreign/bad)."""
+        try:
+            data = json.loads(self.failures_path.read_text())
+            if data.get("version") != STORE_VERSION:
+                return []
+            if plan_digest is not None and data.get("plan_digest") != plan_digest:
+                return []
+            records = data["failures"]
+            return list(records) if isinstance(records, list) else []
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return []
 
     # -- shard manifests ----------------------------------------------------
     @property
@@ -297,6 +452,13 @@ class ResultStore:
                         f"shard {man.shard_index} ({src.root}) is "
                         f"incomplete: no result for claimed cell "
                         f"{digest[:12]}…"
+                    )
+                if not _payload_ok(payload):
+                    raise AnalysisError(
+                        f"shard {man.shard_index} ({src.root}) is "
+                        f"incomplete: corrupt result for claimed cell "
+                        f"{digest[:12]}… — run `plan resume` against the "
+                        "shard store to recompute it"
                     )
                 existing = self._read_payload(digest)
                 if existing is not None:

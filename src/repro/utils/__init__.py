@@ -4,6 +4,7 @@ These are deliberately dependency-light so the hot simulation path can use
 them without import cost or heavy abstractions.
 """
 
+from repro.utils.cpu import usable_cpu_count
 from repro.utils.rng import geometric_gap, make_rng, split_seed
 from repro.utils.stats import (
     OnlineStats,
@@ -28,4 +29,5 @@ __all__ = [
     "mean",
     "population_std",
     "split_seed",
+    "usable_cpu_count",
 ]

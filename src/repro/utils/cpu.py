@@ -1,0 +1,25 @@
+"""CPU counting that respects affinity masks and cgroup limits.
+
+``os.cpu_count()`` reports the host's logical CPUs, which under
+container/cgroup CPU limits or an affinity mask can be wildly wrong (the
+perf artifacts once recorded ``cpu_count: 1`` on multi-core CI runners,
+and a pinned process would oversubscribe its single core with a
+worker-per-host-CPU pool).  Prefer the affinity-aware counts.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["usable_cpu_count"]
+
+
+def usable_cpu_count() -> int:
+    """CPUs actually available to this process (never less than 1)."""
+    getter = getattr(os, "process_cpu_count", None)  # Python >= 3.13
+    if getter is not None:
+        return getter() or 1
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # non-Linux fallback
+        return os.cpu_count() or 1

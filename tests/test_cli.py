@@ -226,7 +226,9 @@ class TestCommands:
             p for p in (tmp_path / "merged").glob("*.json") if p.name != "shard.json"
         )
         victim.write_text('{"version": 99, "result": {}}')
-        rc = main(_fast(["plan", "status"] + grid) + ["--cache", str(tmp_path / "merged")])
+        rc = main(
+            _fast(["plan", "status"] + grid) + ["--cache", str(tmp_path / "merged")]
+        )
         assert rc == 1
 
     def test_plan_merge_missing_shard_fails(self, capsys, tmp_path):
@@ -347,6 +349,144 @@ class TestCommands:
         )
         assert rc == 0
         assert "priority=off" in capsys.readouterr().out
+
+
+class TestResumeAndFaults:
+    GRID = ["--preset", "tiny", "--routings", "min", "--loads", "0.1", "0.2"]
+
+    def test_resume_requires_cache(self, capsys):
+        rc = main(_fast(["plan", "resume"] + self.GRID))
+        assert rc == 2
+        assert "needs --cache" in capsys.readouterr().err
+
+    def test_resume_completes_a_partial_store(self, capsys, tmp_path):
+        store = str(tmp_path)
+        # Seed the store with half the plan …
+        rc = main(
+            _fast(["plan", "run", "--preset", "tiny", "--loads", "0.1"])
+            + ["--cache", store, "--jobs", "1"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        # … status reports the gap and points at resume …
+        rc = main(_fast(["plan", "status"] + self.GRID) + ["--cache", store])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "1/2 cells present" in out
+        assert "plan resume" in out
+        # … resume computes only the missing cell and exits zero …
+        rc = main(
+            _fast(["plan", "resume"] + self.GRID)
+            + ["--cache", store, "--jobs", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 cell(s) already present" in out
+        assert "1 recomputed" in out
+        assert "store is complete" in out
+        # … and a second resume is pure cache hits.
+        rc = main(
+            _fast(["plan", "resume"] + self.GRID)
+            + ["--cache", store, "--jobs", "1"]
+        )
+        assert rc == 0
+        assert "0 recomputed" in capsys.readouterr().out
+
+    def test_resume_recovers_a_corrupt_entry(self, capsys, tmp_path):
+        store = str(tmp_path)
+        rc = main(
+            _fast(["plan", "run"] + self.GRID) + ["--cache", store, "--jobs", "1"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        victim = next(p for p in tmp_path.glob("*.json") if p.name != "shard.json")
+        victim.write_text("{torn")
+        rc = main(
+            _fast(["plan", "resume"] + self.GRID)
+            + ["--cache", store, "--jobs", "1"]
+        )
+        assert rc == 0
+        assert "1 recomputed" in capsys.readouterr().out
+        # The torn entry was quarantined and shows up in status.
+        rc = main(_fast(["plan", "status"] + self.GRID) + ["--cache", store])
+        assert rc == 0
+        assert "quarantine" in capsys.readouterr().out
+
+    def test_status_reports_failures_journal(self, capsys, tmp_path, monkeypatch):
+        from repro.exec.faults import ENV_VAR, FaultSpec, pick_cells
+        from repro.exec.plan import ExperimentPlan
+        from repro.config import tiny_config
+
+        store = str(tmp_path / "store")
+        plan = ExperimentPlan.grid(
+            tiny_config(warmup_cycles=100, measure_cycles=400),
+            routings=["min"],
+            loads=[0.1, 0.2],
+        )
+        victim = pick_cells(plan.cell_digests(), seed=1)[0]
+        spec = FaultSpec(
+            ledger=str(tmp_path / "ledger"),
+            raise_cells=(victim[:16],),
+            raise_times=3,
+        )
+        monkeypatch.setenv(ENV_VAR, spec.to_env())
+        rc = main(
+            _fast(["plan", "run"] + self.GRID) + ["--cache", store, "--jobs", "1"]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "FAILED: 1 cell(s) unrecovered" in err
+        assert "3 attempt(s)" in err
+        monkeypatch.delenv(ENV_VAR)
+        rc = main(_fast(["plan", "status"] + self.GRID) + ["--cache", store])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "failures journal: 1 record(s)" in out
+        assert victim[:12] in out
+
+    def test_sweep_retry_flags_recover_injected_fault(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.config import tiny_config
+        from repro.exec.faults import ENV_VAR, FaultSpec
+        from repro.exec.plan import ExperimentPlan
+
+        cfg = tiny_config(seed=1, warmup_cycles=100, measure_cycles=400)
+        victim = ExperimentPlan.sweep(cfg, [0.2]).cells[0].digest
+        spec = FaultSpec(ledger=str(tmp_path / "ledger"), raise_cells=(victim[:16],))
+        monkeypatch.setenv(ENV_VAR, spec.to_env())
+        rc = main(
+            _fast(
+                [
+                    "sweep",
+                    "--preset",
+                    "tiny",
+                    "--loads",
+                    "0.2",
+                    "--retries",
+                    "2",
+                    "--jobs",
+                    "1",
+                ]
+            )
+        )
+        assert rc == 0
+        assert "recovered 1 cell(s) after retries" in capsys.readouterr().out
+
+    def test_leases_flag_requires_cache(self, capsys):
+        rc = main(_fast(["plan", "run"] + self.GRID + ["--leases"]))
+        assert rc == 2
+        assert "--leases needs --cache" in capsys.readouterr().err
+
+    def test_plan_run_with_leases_round_trip(self, capsys, tmp_path):
+        rc = main(
+            _fast(["plan", "run"] + self.GRID)
+            + ["--cache", str(tmp_path), "--jobs", "1", "--leases"]
+        )
+        assert rc == 0
+        assert "executed 2 cells" in capsys.readouterr().out
+        # No leases survive a completed run.
+        assert not list(tmp_path.glob("leases/**/*.json"))
 
 
 class TestScenariosCommand:

@@ -1,0 +1,223 @@
+"""Chaos regression tests: injected faults, recovery, bit-identical resume.
+
+Each test drives the runner under a ``REPRO_FAULTS`` spec and asserts
+the recovery contract: completed cells are never lost, failed cells are
+recomputed (same bytes — the simulations are pure), and a faulted +
+resumed + merged pipeline is indistinguishable from a fault-free one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import tiny_config
+from repro.errors import AnalysisError, ExecutionError
+from repro.exec import ExperimentPlan, ResultStore, Runner, Shard
+from repro.exec.faults import ENV_VAR, FaultSpec, pick_cells
+from repro.exec.runner import RetryPolicy
+from repro.exec.store import MANIFEST_NAME
+
+
+def quick_cfg(**kw):
+    return tiny_config(warmup_cycles=100, measure_cycles=300, **kw)
+
+
+def sweep_plan(loads=(0.1, 0.2), routings=("min",)):
+    return ExperimentPlan.grid(quick_cfg(), routings=list(routings), loads=list(loads))
+
+
+def set_faults(monkeypatch, tmp_path, **kw):
+    spec = FaultSpec(ledger=str(tmp_path / "ledger"), **kw)
+    monkeypatch.setenv(ENV_VAR, spec.to_env())
+    return spec
+
+
+def entry_bytes(store_root):
+    """digest -> raw entry bytes of every result entry in a store."""
+    return {
+        p.stem: p.read_bytes()
+        for p in store_root.glob("*.json")
+        if p.name not in (MANIFEST_NAME, "failures.json")
+    }
+
+
+class TestRaiseInjection:
+    def test_injected_raise_is_retried_and_recovered(self, monkeypatch, tmp_path):
+        plan = sweep_plan()
+        clean = Runner(jobs=1).run(plan)
+        victim = pick_cells(plan.cell_digests(), seed=5)[0]
+        set_faults(monkeypatch, tmp_path, raise_cells=(victim[:16],))
+        faulted = Runner(jobs=1, store=tmp_path / "store").run(plan)
+        assert faulted.ok
+        assert faulted.retried == {victim: 2}
+        assert faulted.results == clean.results  # bit-identical recovery
+
+    def test_sibling_results_survive_a_poison_cell(self, monkeypatch, tmp_path):
+        """Regression for the old all-or-nothing pool.map: one failing
+        cell must not discard its siblings' results."""
+        plan = sweep_plan()
+        victim = pick_cells(plan.cell_digests(), seed=5)[0]
+        # More firings than attempts: the victim fails permanently.
+        set_faults(monkeypatch, tmp_path, raise_cells=(victim[:16],), raise_times=3)
+        store = ResultStore(tmp_path / "store")
+        res = Runner(jobs=2, store=store).run(plan)
+        assert not res.ok
+        assert set(res.failures) == {victim}
+        failure = res.failures[victim]
+        assert failure.attempts == 3
+        assert failure.quarantined
+        assert "FaultInjection" in failure.error
+        # Every sibling landed in memory AND on disk.
+        siblings = set(plan.cell_digests()) - {victim}
+        assert siblings <= set(res.results)
+        assert siblings <= set(store.digests())
+        # The failure journal records the poison cell for `plan status`.
+        journal = store.read_failures(plan.digest)
+        assert [r["digest"] for r in journal] == [victim]
+        with pytest.raises(ExecutionError, match="unrecovered"):
+            res.raise_for_failures()
+
+    def test_resume_completes_only_the_failed_cell(self, monkeypatch, tmp_path):
+        plan = sweep_plan()
+        victim = pick_cells(plan.cell_digests(), seed=5)[0]
+        set_faults(monkeypatch, tmp_path, raise_cells=(victim[:16],), raise_times=3)
+        store = ResultStore(tmp_path / "store")
+        assert not Runner(jobs=1, store=store).run(plan).ok
+        # Faults off: resume computes exactly the quarantined cell.
+        monkeypatch.delenv(ENV_VAR)
+        resumed = Runner(jobs=1, store=store).run(plan)
+        assert resumed.ok
+        assert resumed.computed == 1
+        assert resumed.cached == len(plan.cell_digests()) - 1
+        # A completed run clears the journal.
+        assert store.read_failures(plan.digest) == []
+        assert resumed.results == Runner(jobs=1).run(plan).results
+
+    def test_deterministic_simulator_error_fails_fast(self, monkeypatch):
+        """ReproErrors other than injected faults are not retried."""
+        from repro.errors import ConfigurationError
+        import repro.exec.runner as runner_mod
+
+        def poisoned(digest, config):
+            raise ConfigurationError("broken config")
+
+        monkeypatch.setattr(runner_mod, "_run_cell", poisoned)
+        res = Runner(jobs=1).run(sweep_plan(loads=(0.1,)))
+        (failure,) = res.failures.values()
+        assert failure.attempts == 1  # no retries burned
+        assert "ConfigurationError" in failure.error
+
+
+class TestWorkerDeath:
+    def test_killed_worker_recovers_bit_identical(self, monkeypatch, tmp_path):
+        plan = sweep_plan(loads=(0.1, 0.2), routings=("min", "obl-crg"))
+        clean = Runner(jobs=1).run(plan)
+        set_faults(monkeypatch, tmp_path, kill_after=1)
+        faulted = Runner(jobs=2, store=tmp_path / "store").run(plan)
+        assert faulted.ok
+        assert faulted.results == clean.results
+        # The ledger proves the kill actually fired in a worker.
+        assert list((tmp_path / "ledger").glob("kill.*"))
+
+    def test_timeout_terminates_stalled_cell_and_recovers(
+        self, monkeypatch, tmp_path
+    ):
+        plan = sweep_plan()
+        victim = pick_cells(plan.cell_digests(), seed=5)[0]
+        set_faults(
+            monkeypatch,
+            tmp_path,
+            stall_cells=(victim[:16],),
+            stall_seconds=30.0,
+        )
+        retry = RetryPolicy(cell_timeout=2.0, base_delay=0.01)
+        res = Runner(jobs=2, retry=retry, store=tmp_path / "store").run(plan)
+        assert res.ok  # the stall fires once; the retry completes
+        assert victim in res.retried
+        assert res.results == Runner(jobs=1).run(plan).results
+
+
+class TestTruncatedStore:
+    def test_truncated_entry_is_quarantined_and_recomputed(
+        self, monkeypatch, tmp_path
+    ):
+        plan = sweep_plan()
+        victim = pick_cells(plan.cell_digests(), seed=5)[0]
+        set_faults(monkeypatch, tmp_path, truncate_cells=(victim[:16],))
+        store = ResultStore(tmp_path / "store")
+        Runner(jobs=1, store=store).run(plan)
+        monkeypatch.delenv(ENV_VAR)
+        # The entry on disk is torn; load() must downgrade it to a miss.
+        assert store.load(victim) is None
+        assert victim in store.quarantined()
+        resumed = Runner(jobs=1, store=store).run(plan)
+        assert resumed.ok
+        assert resumed.computed == 1
+        assert store.load(victim) is not None
+
+
+class TestChaosPipeline:
+    """Golden pipeline: sharded sweep + kill + truncate, resumed and
+    merged, must be byte-identical to the fault-free merge."""
+
+    def test_faulted_pipeline_merges_bit_identical(self, monkeypatch, tmp_path):
+        plan = sweep_plan(loads=(0.1, 0.2), routings=("min", "obl-crg"))
+        shards = [Shard(k, 2) for k in range(2)]
+
+        # Fault-free reference pipeline.
+        for k, shard in enumerate(shards):
+            Runner(jobs=1, store=tmp_path / f"clean{k}").run(plan, shard=shard)
+        ResultStore(tmp_path / "clean-merged").merge(
+            [tmp_path / "clean0", tmp_path / "clean1"]
+        )
+
+        # Chaos pipeline: a worker dies mid-shard and one stored entry
+        # is torn right after its write.
+        victim = pick_cells(plan.cell_digests(), seed=13)[0]
+        set_faults(
+            monkeypatch,
+            tmp_path,
+            kill_after=1,
+            truncate_cells=(victim[:16],),
+        )
+        for k, shard in enumerate(shards):
+            Runner(jobs=2, store=tmp_path / f"chaos{k}").run(plan, shard=shard)
+        monkeypatch.delenv(ENV_VAR)
+
+        # Merging with the torn entry in place must fail loudly …
+        with pytest.raises(AnalysisError, match="incomplete"):
+            ResultStore(tmp_path / "premature").merge(
+                [tmp_path / "chaos0", tmp_path / "chaos1"]
+            )
+
+        # … resume each shard store, then the merge goes through …
+        for k, shard in enumerate(shards):
+            resumed = Runner(jobs=1, store=tmp_path / f"chaos{k}").run(
+                plan, shard=shard
+            )
+            assert resumed.ok
+        ResultStore(tmp_path / "chaos-merged").merge(
+            [tmp_path / "chaos0", tmp_path / "chaos1"]
+        )
+
+        # … and the recovered store is byte-identical to the clean one.
+        assert entry_bytes(tmp_path / "chaos-merged") == entry_bytes(
+            tmp_path / "clean-merged"
+        )
+
+
+class TestLeaseCoordinatedRunners:
+    def test_two_runners_split_one_plan_through_the_store(self, tmp_path):
+        """Two sequential lease-coordinated runners over one store: the
+        second adopts everything the first computed."""
+        plan = sweep_plan()
+        store = tmp_path / "store"
+        first = Runner(jobs=1, store=store, leases=True, worker_id="w1").run(plan)
+        second = Runner(jobs=1, store=store, leases=True, worker_id="w2").run(plan)
+        assert first.ok and second.ok
+        assert first.computed == len(plan.cell_digests())
+        assert second.computed == 0
+        assert second.cached == len(plan.cell_digests())
+        assert first.results == second.results
+        # No leases left behind.
+        assert not list(store.glob("leases/**/*.json"))

@@ -1,0 +1,119 @@
+"""Tests for the deterministic fault-injection harness (REPRO_FAULTS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, FaultInjection
+from repro.exec.faults import ENV_VAR, FaultInjector, FaultSpec, pick_cells
+
+DIGESTS = [f"{i:02x}{'0' * 62}" for i in range(16)]
+
+
+class TestPickCells:
+    def test_deterministic_and_order_independent(self):
+        a = pick_cells(DIGESTS, seed=7, count=3)
+        b = pick_cells(list(reversed(DIGESTS)), seed=7, count=3)
+        assert a == b
+        assert len(a) == 3
+        assert set(a) <= set(DIGESTS)
+
+    def test_seed_changes_selection(self):
+        picks = {tuple(pick_cells(DIGESTS, seed=s, count=2)) for s in range(20)}
+        assert len(picks) > 1
+
+    def test_count_caps_at_population(self):
+        assert len(pick_cells(DIGESTS[:3], seed=1, count=10)) == 3
+
+
+class TestFaultSpec:
+    def test_parse_round_trips(self, tmp_path):
+        spec = FaultSpec.parse(
+            f"seed=3,ledger={tmp_path},kill_after=2,kill_times=2,"
+            "raise_cell=ab,raise_times=2,stall_cell=cd,stall_seconds=0.5,"
+            "stall_times=1,truncate_cell=ef,heartbeat_delay=0.1"
+        )
+        assert spec.seed == 3
+        assert spec.kill_after == 2
+        assert spec.raise_cells == ("ab",)
+        assert spec.stall_cells == ("cd",)
+        assert spec.truncate_cells == ("ef",)
+        assert FaultSpec.parse(spec.to_env()) == spec
+
+    def test_empty_spec_parses(self):
+        assert FaultSpec.parse("seed=5") == FaultSpec(seed=5)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "bogus=1",  # unknown key
+            "seed",  # missing value
+            "seed=x",  # non-integer
+            "stall_seconds=x",  # non-float
+            "kill_after=2",  # capped op without a ledger
+        ],
+    )
+    def test_invalid_specs_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse(text)
+
+    def test_validation_bounds(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kill_after=0, ledger=str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            FaultSpec(stall_seconds=-1)
+
+
+class TestFaultInjector:
+    def test_raise_fires_exactly_times(self, tmp_path):
+        spec = FaultSpec(
+            raise_cells=(DIGESTS[0][:4],), raise_times=2, ledger=str(tmp_path)
+        )
+        injector = FaultInjector(spec)
+        for _ in range(2):
+            with pytest.raises(FaultInjection):
+                injector.on_cell_start(DIGESTS[0])
+        injector.on_cell_start(DIGESTS[0])  # slots exhausted: no raise
+        injector.on_cell_start(DIGESTS[1])  # non-matching digest: no raise
+
+    def test_claims_shared_across_injectors(self, tmp_path):
+        """The on-disk ledger caps firings across processes (simulated
+        here by two injector instances sharing the directory)."""
+        spec = FaultSpec(raise_cells=(DIGESTS[0][:4],), ledger=str(tmp_path))
+        with pytest.raises(FaultInjection):
+            FaultInjector(spec).on_cell_start(DIGESTS[0])
+        FaultInjector(spec).on_cell_start(DIGESTS[0])  # already claimed
+
+    def test_truncate_corrupts_entry_once(self, tmp_path):
+        target = tmp_path / "entry.json"
+        payload = b'{"version": 3, "result": {"x": 1}}'
+        target.write_bytes(payload)
+        spec = FaultSpec(
+            truncate_cells=(DIGESTS[0][:4],), ledger=str(tmp_path / "ledger")
+        )
+        injector = FaultInjector(spec)
+        injector.on_store_write(target, DIGESTS[0])
+        assert len(target.read_bytes()) < len(payload)
+        # Second firing is capped: a rewritten entry stays intact.
+        target.write_bytes(payload)
+        injector.on_store_write(target, DIGESTS[0])
+        assert target.read_bytes() == payload
+
+    def test_kill_never_fires_in_parent_process(self, tmp_path):
+        """kill_after must not terminate the coordinating process."""
+        spec = FaultSpec(kill_after=1, ledger=str(tmp_path))
+        injector = FaultInjector(spec)
+        injector.on_cell_end(DIGESTS[0])  # would os._exit in a pool worker
+        assert injector._cells_done == 1
+        # The kill slot must still be unclaimed for an actual worker.
+        assert not list(tmp_path.glob("kill.*"))
+
+    def test_from_env_roundtrip_and_cache(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert FaultInjector.from_env() is None
+        spec = FaultSpec(seed=9, raise_cells=("ab",), ledger=str(tmp_path))
+        monkeypatch.setenv(ENV_VAR, spec.to_env())
+        first = FaultInjector.from_env()
+        assert first is not None
+        assert first.spec == spec
+        assert FaultInjector.from_env() is first  # cached per env text

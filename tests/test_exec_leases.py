@@ -1,0 +1,246 @@
+"""Tests for the file-based lease coordinator.
+
+The deterministic tests drive the protocol with a fake clock; the
+hypothesis tests pin the two invariants the elastic tier rests on:
+
+* whatever sequence of acquire/steal/expiry happens, each cell has at
+  most one lease file carrying exactly one token at any instant;
+* a sweep resumed by any mix of lease-coordinated runners covers the
+  plan exactly once at the result level.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.errors import AnalysisError, LeaseError
+from repro.exec.leases import LeaseCoordinator
+
+CELLS = [f"{i:02x}{'0' * 62}" for i in range(4)]
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def coord(tmp_path, worker, clock, ttl=60.0):
+    return LeaseCoordinator(tmp_path, "f" * 64, worker_id=worker, ttl=ttl, clock=clock)
+
+
+class TestLeaseProtocol:
+    def test_acquire_is_exclusive(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock)
+        b = coord(tmp_path, "b", clock)
+        lease = a.acquire(CELLS[0])
+        assert lease is not None
+        assert lease.owner == "a"
+        assert b.acquire(CELLS[0]) is None
+        # Other cells stay acquirable.
+        assert b.acquire(CELLS[1]) is not None
+
+    def test_release_frees_the_cell(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock)
+        b = coord(tmp_path, "b", clock)
+        lease = a.acquire(CELLS[0])
+        a.release(lease)
+        assert b.acquire(CELLS[0]) is not None
+
+    def test_expired_lease_is_reclaimed(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock, ttl=10.0)
+        b = coord(tmp_path, "b", clock, ttl=10.0)
+        stale = a.acquire(CELLS[0])
+        assert b.acquire(CELLS[0]) is None  # still live
+        clock.now += 11.0
+        taken = b.acquire(CELLS[0])
+        assert taken is not None
+        assert taken.owner == "b"
+        assert taken.generation == stale.generation + 1
+
+    def test_heartbeat_extends_deadline(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock, ttl=10.0)
+        lease = a.acquire(CELLS[0])
+        clock.now += 8.0
+        renewed = a.heartbeat(lease)
+        assert renewed.deadline == clock.now + 10.0
+        assert renewed.token == lease.token
+
+    def test_heartbeat_after_reclaim_raises(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock, ttl=10.0)
+        b = coord(tmp_path, "b", clock, ttl=10.0)
+        stale = a.acquire(CELLS[0])
+        clock.now += 11.0
+        assert b.acquire(CELLS[0]) is not None
+        with pytest.raises(LeaseError):
+            a.heartbeat(stale)
+
+    def test_heartbeat_after_completion_raises(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock)
+        lease = a.acquire(CELLS[0])
+        a.complete(lease)
+        with pytest.raises(LeaseError):
+            a.heartbeat(lease)
+
+    def test_steal_displaces_a_live_holder(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock)
+        b = coord(tmp_path, "b", clock)
+        stale = a.acquire(CELLS[0])
+        stolen = b.steal(CELLS[0])
+        assert stolen is not None
+        assert stolen.owner == "b"
+        # The displaced owner learns of the loss on its next heartbeat …
+        with pytest.raises(LeaseError):
+            a.heartbeat(stale)
+        # … and its release is a harmless no-op on the thief's lease.
+        a.release(stale)
+        assert b.read(CELLS[0]).token == stolen.token
+
+    def test_never_steals_from_self(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock)
+        a.acquire(CELLS[0])
+        assert a.steal(CELLS[0]) is None
+
+    def test_steal_of_free_cell_acquires(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock)
+        assert a.steal(CELLS[0]) is not None
+
+    def test_unreadable_lease_file_counts_as_held(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock)
+        a.acquire(CELLS[0])
+        a._path(CELLS[0]).write_text("{torn")
+        assert a.read(CELLS[0]) is None
+        # acquire treats it as transient contention, not as free.
+        assert coord(tmp_path, "b", clock).acquire(CELLS[0]) is None
+
+    def test_active_lists_current_leases(self, tmp_path):
+        clock = FakeClock()
+        a = coord(tmp_path, "a", clock)
+        a.acquire(CELLS[0])
+        a.acquire(CELLS[1])
+        held = a.active()
+        assert set(held) == {CELLS[0], CELLS[1]}
+        assert all(rec.owner == "a" for rec in held.values())
+
+    def test_invalid_ttl_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            LeaseCoordinator(tmp_path, "f" * 64, ttl=0)
+
+
+# -- property tests ----------------------------------------------------------
+
+# One random op: (worker index, op kind, cell index) plus clock advance.
+_ops = st.lists(
+    st.tuples(
+        st.integers(0, 2),  # worker
+        st.sampled_from(["acquire", "steal", "release", "heartbeat", "tick"]),
+        st.integers(0, 2),  # cell
+        st.floats(0.0, 30.0),  # clock advance before the op
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_at_most_one_lease_file_per_cell(tmp_path_factory, ops):
+    """Any interleaving leaves <= 1 readable lease file/token per cell."""
+    tmp_path = tmp_path_factory.mktemp("leases")
+    clock = FakeClock()
+    workers = [coord(tmp_path, f"w{i}", clock, ttl=20.0) for i in range(3)]
+    held: dict[tuple[int, int], object] = {}  # (worker, cell) -> record
+    for worker, op, cell, advance in ops:
+        clock.now += advance
+        w = workers[worker]
+        digest = CELLS[cell]
+        if op == "tick":
+            continue
+        if op == "acquire":
+            record = w.acquire(digest)
+            if record is not None:
+                held[(worker, cell)] = record
+        elif op == "steal":
+            record = w.steal(digest)
+            if record is not None:
+                held[(worker, cell)] = record
+        elif op == "release":
+            record = held.pop((worker, cell), None)
+            if record is not None:
+                w.release(record)
+        elif op == "heartbeat":
+            record = held.get((worker, cell))
+            if record is not None:
+                try:
+                    held[(worker, cell)] = w.heartbeat(record)
+                except LeaseError:
+                    del held[(worker, cell)]  # reclaimed or stolen
+        # Invariant: per cell, at most one lease file, no tombstone
+        # leaks, and the file parses to exactly one token.
+        for c in CELLS:
+            paths = list(tmp_path.glob(f"leases/*/{c}*"))
+            files = [p for p in paths if p.suffix == ".json"]
+            assert len(files) <= 1, f"cell {c[:4]} has {len(files)} leases"
+            for p in files:
+                data = json.loads(p.read_text())
+                assert data["cell"] == c
+    # Leftover tombstones would make cells permanently unacquirable.
+    assert not list(tmp_path.glob("leases/*/*.tomb"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    split=st.integers(0, 4),
+    steal_rest=st.booleans(),
+)
+def test_resumed_sweep_covers_plan_exactly_once(tmp_path_factory, split, steal_rest):
+    """However a plan's cells are split between two coordinated workers
+    (including steals of the remainder), every cell ends up completed by
+    exactly one of them and none is ever double-leased.
+
+    Models the runner's protocol: a worker first checks the result store
+    (here ``done/``) and only leases cells whose result is missing —
+    completion is recorded in the store, the lease is only mutual
+    exclusion while computing.
+    """
+    tmp_path = tmp_path_factory.mktemp("resume")
+    done = tmp_path / "done"
+    done.mkdir()
+    clock = FakeClock()
+    a = coord(tmp_path, "a", clock, ttl=20.0)
+    b = coord(tmp_path, "b", clock, ttl=20.0)
+    completed: dict[str, str] = {}
+
+    def work(w, name, cells):
+        for digest in cells:
+            if (done / digest).exists():
+                continue  # adopted from the store
+            record = w.acquire(digest) if not steal_rest else w.steal(digest)
+            if record is None:
+                continue  # held by the other worker
+            assert digest not in completed, "double completion"
+            completed[digest] = name
+            (done / digest).touch()
+            w.complete(record)
+
+    plan = [f"{i:02x}{'f' * 62}" for i in range(5)]
+    work(a, "a", plan[:split])
+    work(b, "b", plan)  # b resumes the whole plan
+    work(a, "a", plan)  # a resumes the whole plan too
+    assert set(completed) == set(plan)
+    assert not list(tmp_path.glob("leases/*/*.json"))

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import dataclasses
+import json
+import random
 
 import pytest
 
@@ -13,6 +15,7 @@ from repro.errors import AnalysisError
 from repro.exec import (
     ExperimentPlan,
     ResultStore,
+    RetryPolicy,
     Runner,
     average_injections,
     average_results,
@@ -21,6 +24,7 @@ from repro.exec import (
 from repro.exec.serialize import (
     config_from_dict,
     config_to_dict,
+    entry_checksum,
     result_from_dict,
     result_to_dict,
 )
@@ -184,6 +188,113 @@ class TestResultCache:
         assert len(store) == 0
         Runner(jobs=1, store=store).run(ExperimentPlan.point(quick_cfg(), seeds=2))
         assert len(store) == 2
+
+
+class TestCrashSafeStore:
+    def _stored_digest(self, tmp_path):
+        cfg = quick_cfg()
+        plan = ExperimentPlan.point(cfg)
+        Runner(jobs=1, store=tmp_path).run(plan)
+        return ResultStore(tmp_path), plan.cells[0].digest
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        store, digest = self._stored_digest(tmp_path)
+        path = tmp_path / f"{digest}.json"
+        entry = json.loads(path.read_text())
+        entry["result"]["avg_latency"] += 1.0  # bit-flip the payload
+        path.write_text(json.dumps(entry))
+        assert store.load(digest) is None  # never raises, downgraded
+        assert store.quarantined() == [digest]
+        assert not path.exists()  # moved aside, not left to re-trip
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        store, digest = self._stored_digest(tmp_path)
+        path = tmp_path / f"{digest}.json"
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        assert store.load(digest) is None
+        assert store.quarantined() == [digest]
+
+    def test_quarantined_cell_is_recomputed(self, tmp_path):
+        store, digest = self._stored_digest(tmp_path)
+        (tmp_path / f"{digest}.json").write_text("{torn")
+        res = Runner(jobs=1, store=store).run(ExperimentPlan.point(quick_cfg()))
+        assert res.computed == 1
+        assert store.load(digest) is not None  # healthy entry rewritten
+
+    def test_foreign_version_left_in_place(self, tmp_path):
+        """A foreign STORE_VERSION is stale, not corrupt: a plain miss."""
+        store, digest = self._stored_digest(tmp_path)
+        path = tmp_path / f"{digest}.json"
+        path.write_text('{"version": 99, "result": {}}')
+        assert store.load(digest) is None
+        assert store.quarantined() == []
+        assert path.exists()
+
+    def test_killed_writer_leaves_no_partial_entry(self, tmp_path, monkeypatch):
+        """A writer dying before the atomic rename publishes nothing."""
+        store, digest = self._stored_digest(tmp_path)
+        result = store.load(digest)
+        (tmp_path / f"{digest}.json").unlink()
+
+        def dies(src, dst):  # the crash happens mid-save
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("os.replace", dies)
+        with pytest.raises(KeyboardInterrupt):
+            store.save(digest, result)
+        monkeypatch.undo()
+        # No visible entry, no temp litter; the cell is a clean miss.
+        assert store.load(digest) is None
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert store.digests() == []
+
+    def test_entry_checksum_matches_on_disk(self, tmp_path):
+        store, digest = self._stored_digest(tmp_path)
+        data = json.loads((tmp_path / f"{digest}.json").read_text())
+        assert data["checksum"] == entry_checksum(data["result"])
+
+    def test_failures_journal_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        records = [
+            {"digest": "ab" * 32, "attempts": 3, "kind": "error",
+             "error": "boom", "quarantined": True},
+        ]
+        store.write_failures("f" * 64, records)
+        assert store.read_failures("f" * 64) == records
+        assert store.read_failures("0" * 64) == []  # foreign plan
+        store.write_failures("f" * 64, [])  # a clean run clears it
+        assert store.read_failures("f" * 64) == []
+        assert not store.failures_path.exists()
+        # The journal is never mistaken for a result entry.
+        store.write_failures("f" * 64, records)
+        assert store.digests() == []
+
+
+class TestRunnerValidation:
+    def test_leases_require_a_store(self):
+        with pytest.raises(AnalysisError):
+            Runner(jobs=1, leases=True)
+
+    def test_offline_requires_a_store(self):
+        with pytest.raises(AnalysisError):
+            Runner(jobs=1, offline=True)
+
+    def test_retry_policy_bounds(self):
+        with pytest.raises(AnalysisError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(AnalysisError):
+            RetryPolicy(cell_timeout=0)
+        with pytest.raises(AnalysisError):
+            RetryPolicy(backoff=0.5)
+
+    def test_backoff_is_seeded_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=0.3, jitter=0.5)
+        rng_a = random.Random("backoff:plan:cell")
+        rng_b = random.Random("backoff:plan:cell")
+        delays_a = [policy.delay(k, rng_a) for k in range(1, 5)]
+        delays_b = [policy.delay(k, rng_b) for k in range(1, 5)]
+        assert delays_a == delays_b  # same seed, same schedule
+        assert all(d <= 0.3 * 1.5 for d in delays_a)
 
 
 class TestAverageResultsEdgeCases:
