@@ -51,7 +51,12 @@ stores, check completeness, and render a figure offline::
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
+import json
+import logging
 import os
+import signal
 import sys
 import time
 from collections.abc import Sequence
@@ -343,6 +348,121 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario to describe in detail (default: list all)",
     )
 
+    def endpoint_opts(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--host",
+            default="127.0.0.1",
+            help="service address (default: 127.0.0.1)",
+        )
+        sp.add_argument(
+            "--port",
+            type=int,
+            default=7351,
+            help="service TCP port (default: 7351; serve accepts 0 = ephemeral)",
+        )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the sweep daemon: accept plans over TCP, dedupe cells "
+        "by digest against a shared store, stream results back",
+    )
+    endpoint_opts(serve_p)
+    serve_p.add_argument(
+        "--cache",
+        required=True,
+        metavar="DIR",
+        help="shared result store the daemon owns (cells computed for one "
+        "tenant are cache hits for every later one)",
+    )
+    serve_p.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded worker pool size (default: all cores, or $REPRO_JOBS)",
+    )
+    serve_p.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="reject submits (busy) beyond this many pending cells "
+        "(default: 1024)",
+    )
+    serve_p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="evict finished plans idle this long; their results stay "
+        "in the store (default: 300)",
+    )
+    serve_p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="graceful-shutdown wait for in-flight cells (default: 30)",
+    )
+    serve_p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts per cell before reporting it failed (default: 3)",
+    )
+    serve_p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit per cell attempt (default: none)",
+    )
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a plan grid to a running daemon and stream the "
+        "per-cell results (cache/shared provenance, oracle verdicts)",
+    )
+    endpoint_opts(submit_p)
+    common_base(submit_p)
+    submit_p.add_argument(
+        "--routings",
+        nargs="+",
+        choices=ROUTING_NAMES,
+        default=["min"],
+        help="routing mechanisms to cross",
+    )
+    submit_p.add_argument(
+        "--patterns",
+        nargs="+",
+        choices=_PATTERNS,
+        default=None,
+        help="traffic patterns to cross (default: uniform; exclusive "
+        "with --scenario)",
+    )
+    scenario_opt(submit_p)
+    submit_p.add_argument("--loads", type=float, nargs="+", default=None)
+    submit_p.add_argument("--seeds", type=int, default=1)
+    submit_p.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write a machine-readable submission summary "
+        "(per-cell provenance, counters)",
+    )
+    submit_p.add_argument(
+        "--stats",
+        action="store_true",
+        help="query the daemon's counters instead of submitting "
+        "(grid flags are ignored)",
+    )
+    submit_p.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-cell progress lines",
+    )
+
     return p
 
 
@@ -501,7 +621,121 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
+    if args.command == "serve":
+        try:
+            return _cmd_serve(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "submit":
+        try:
+            return _cmd_submit(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep daemon until SIGINT/SIGTERM, then drain and exit."""
+    from repro.service.server import PlanService, ServiceConfig
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
+    service = PlanService(
+        args.cache,
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            max_workers=args.max_workers,
+            max_pending_cells=args.max_pending,
+            idle_timeout=args.idle_timeout,
+            drain_timeout=args.drain_timeout,
+        ),
+        retry=_retry_policy(args),
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        # Machine-readable readiness line (CI and tests poll for it; the
+        # port matters when --port 0 asked for an ephemeral one).
+        print(f"serving on {service.config.host}:{service.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop.set)
+        forever = loop.create_task(service.serve_forever())
+        await stop.wait()
+        print("draining…", flush=True)
+        await service.shutdown()
+        forever.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await forever
+
+    asyncio.run(_serve())
+    print("daemon stopped", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a grid to a running daemon and stream its outcomes."""
+    from repro.service.client import fetch_stats, submit_plan
+
+    if args.stats:
+        stats = fetch_stats(args.host, args.port)
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+
+    _, plan, _, _ = _grid_plan(args)
+    print(f"submitting {plan.unique_cells()} unique cell(s), plan {plan.digest}")
+
+    def on_event(event: dict) -> None:
+        kind = event["type"]
+        if args.quiet and kind != "plan_done":
+            return
+        if kind == "cell_done":
+            oracle = event.get("oracle")
+            verdict = "" if oracle is None else (
+                " oracle=ok" if oracle else " oracle=FAILED"
+            )
+            print(
+                f"  {event['digest'][:12]}… {event['provenance']}"
+                f" ({event['attempts']} attempt(s)){verdict}"
+            )
+        elif kind == "cell_failed":
+            print(
+                f"  {event['digest'][:12]}… FAILED {event['kind']} after "
+                f"{event['attempts']} attempt(s): {event['error']}",
+                file=sys.stderr,
+            )
+        elif kind == "plan_done":
+            print(
+                f"plan done: {event['computed']} computed, "
+                f"{event['cache_hits']} cache hits, {event['shared']} "
+                f"shared, {event['failed']} failed"
+            )
+
+    outcome = submit_plan(args.host, args.port, plan, on_event=on_event)
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(outcome.to_dict(), f, indent=2, sort_keys=True)
+        print(f"summary written to {args.json}")
+    if outcome.failed:
+        print(f"FAILED: {len(outcome.failed)} cell(s)", file=sys.stderr)
+        return 1
+    if outcome.oracle_failures:
+        print(
+            f"oracle FAILED on {len(outcome.oracle_failures)} cell(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _retry_policy(args: argparse.Namespace) -> RetryPolicy | None:
@@ -579,7 +813,9 @@ def _grid_plan(
     elif patterns is None:
         patterns = ["uniform"]
     if not loads:
-        raise ReproError(f"plan {args.action} needs --loads")
+        action = getattr(args, "action", None)
+        verb = f"plan {action}" if action else args.command
+        raise ReproError(f"{verb} needs --loads")
     plan = ExperimentPlan.grid(
         base,
         routings=args.routings,
@@ -663,7 +899,10 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 print(f"  {cell[:12]}… held by {rec.owner} ({state})")
         if missing:
             print("run `repro plan resume` with the same grid to complete it")
-        return 1 if missing else 0
+        # Non-zero on a non-empty failures journal even when every cell is
+        # present (e.g. a sibling run completed them later): CI gates on
+        # this exit code, and quarantined failures deserve a red build.
+        return 1 if (missing or journal) else 0
 
     # action in ("run", "resume")
     if shard is not None and args.cache is None:

@@ -91,6 +91,26 @@ class LeaseError(ExecutionError):
     """
 
 
+class ServiceError(ReproError, RuntimeError):
+    """The sweep service could not accept or finish a request.
+
+    Raised by the :mod:`repro.service` client/daemon for operational
+    failures that are not protocol violations: the daemon rejected a
+    plan under backpressure (``busy``), a subscription referenced an
+    evicted plan, or the connection died before ``plan_done``.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A malformed or illegal frame on the service wire protocol.
+
+    Covers framing violations (oversized or truncated frames, bytes that
+    are not a JSON object) and messages whose type or payload the
+    receiving side cannot interpret.  A peer that triggers this is
+    disconnected: framing errors leave the stream unsynchronized.
+    """
+
+
 class FaultInjection(ReproError, RuntimeError):
     """A deliberately injected fault from the ``REPRO_FAULTS`` harness.
 

@@ -31,6 +31,9 @@ from repro.exec.runner import (
     RetryPolicy,
     Runner,
     default_jobs,
+    describe_error,
+    is_retryable,
+    run_cell,
 )
 from repro.exec.serialize import config_digest, plan_digest
 from repro.exec.store import MergeReport, ResultStore, ShardManifest
@@ -56,6 +59,9 @@ __all__ = [
     "average_results",
     "config_digest",
     "default_jobs",
+    "describe_error",
+    "is_retryable",
     "pick_cells",
     "plan_digest",
+    "run_cell",
 ]

@@ -82,6 +82,9 @@ __all__ = [
     "RetryPolicy",
     "Runner",
     "default_jobs",
+    "describe_error",
+    "is_retryable",
+    "run_cell",
 ]
 
 #: wait-loop slice: future polling, foreign-lease store polling, idle sleep.
@@ -97,11 +100,13 @@ def default_jobs() -> int:
     return usable_cpu_count()
 
 
-def _run_cell(digest: str, config: SimulationConfig) -> SimulationResult:
+def run_cell(digest: str, config: SimulationConfig) -> SimulationResult:
     """Top-level worker entry point (must be picklable for the pool).
 
     Threads the cell digest through so the ``REPRO_FAULTS`` harness can
-    target individual cells deterministically.
+    target individual cells deterministically.  Public so other
+    executors — the :mod:`repro.service` daemon's scheduler — can fan
+    the exact same entry point out over their own pools.
     """
     injector = FaultInjector.from_env()
     if injector is not None:
@@ -110,6 +115,12 @@ def _run_cell(digest: str, config: SimulationConfig) -> SimulationResult:
     if injector is not None:
         injector.on_cell_end(digest)
     return result
+
+
+#: internal alias — the execution loops (and the chaos tests' monkeypatch
+#: seam) route through this name so a patched entry point affects every
+#: executor uniformly.
+_run_cell = run_cell
 
 
 @dataclass(frozen=True)
@@ -156,7 +167,7 @@ class RetryPolicy:
         return d
 
 
-def _retryable(exc: BaseException) -> bool:
+def is_retryable(exc: BaseException) -> bool:
     """Whether a cell failure may heal on retry.
 
     Infrastructure failures (worker death, timeouts, pickling hiccups —
@@ -589,7 +600,7 @@ class _PlanExecution:
                 result = _run_cell(digest, st.config)
             except Exception as exc:
                 self._attempt_failed(
-                    st, "error", _describe(exc), retryable=_retryable(exc)
+                    st, "error", describe_error(exc), retryable=is_retryable(exc)
                 )
                 if digest in self.pending:
                     queue.append(digest)
@@ -672,8 +683,8 @@ class _PlanExecution:
                             self._attempt_failed(
                                 st,
                                 "error",
-                                _describe(exc),
-                                retryable=_retryable(exc),
+                                describe_error(exc),
+                                retryable=is_retryable(exc),
                             )
                         else:
                             self._complete(st, result)
@@ -755,7 +766,7 @@ class _PlanExecution:
         return best[1]
 
 
-def _describe(exc: BaseException) -> str:
+def describe_error(exc: BaseException) -> str:
     """Compact one-line rendering of an exception for failure records."""
     text = f"{type(exc).__name__}: {exc}"
     return text if len(text) <= 500 else text[:497] + "..."

@@ -1,0 +1,57 @@
+"""Sweep-as-a-service: a long-running plan daemon with a shared cache.
+
+This package turns the digest-keyed execution machinery of
+:mod:`repro.exec` into a multi-tenant network service::
+
+    repro serve  --cache daemon-store --port 7351 &
+    repro submit --host 127.0.0.1 --port 7351 --loads 0.1 0.2 --seeds 2
+
+Clients submit :class:`~repro.exec.plan.ExperimentPlan` cells over a
+small length-prefixed JSON protocol (:mod:`repro.service.protocol`); the
+daemon (:mod:`repro.service.server`) dedupes every cell by config digest
+against both its :class:`~repro.exec.store.ResultStore` (cache hit) and
+the currently-running computations (stampede suppression), schedules the
+remainder onto a bounded worker pool (:mod:`repro.service.scheduler`),
+and streams per-cell outcomes — with oracle verdicts and cache
+provenance — back to every subscriber incrementally.  A cell computed
+for one tenant is a cache hit for every later tenant: the sweep scales
+with the number of *unique* configurations, not the number of users.
+"""
+
+from repro.service.client import (
+    PlanTicket,
+    ServiceClient,
+    SubmitOutcome,
+    fetch_stats,
+    submit_plan,
+)
+from repro.service.protocol import (
+    MAX_FRAME,
+    FrameDecoder,
+    cells_from_wire,
+    encode_frame,
+    plan_to_wire,
+    read_frame,
+    write_frame,
+)
+from repro.service.scheduler import CellOutcome, CellScheduler
+from repro.service.server import PlanService, ServiceConfig
+
+__all__ = [
+    "MAX_FRAME",
+    "CellOutcome",
+    "CellScheduler",
+    "FrameDecoder",
+    "PlanService",
+    "PlanTicket",
+    "ServiceClient",
+    "ServiceConfig",
+    "SubmitOutcome",
+    "cells_from_wire",
+    "encode_frame",
+    "fetch_stats",
+    "plan_to_wire",
+    "read_frame",
+    "submit_plan",
+    "write_frame",
+]

@@ -1,0 +1,244 @@
+"""The ``repro submit`` client of the sweep daemon.
+
+:class:`ServiceClient` is the asyncio primitive: connect, submit a plan
+(or resume one by digest), then iterate the event stream until
+``plan_done``.  :func:`submit_plan` wraps it for synchronous callers —
+the CLI, scripts, tests — including transparent reconnect: if the
+connection drops mid-plan, the client dials again and resumes its
+subscription by plan digest, deduplicating the replayed prefix against
+what it already saw.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ProtocolError, ServiceError
+from repro.exec.plan import ExperimentPlan
+from repro.service.protocol import plan_to_wire, read_frame, write_frame
+
+__all__ = ["PlanTicket", "ServiceClient", "SubmitOutcome", "fetch_stats", "submit_plan"]
+
+
+@dataclass(frozen=True)
+class PlanTicket:
+    """The daemon's acceptance of a submit/resume."""
+
+    plan_digest: str
+    cells: int
+    cached: int
+    resumed: bool
+
+
+@dataclass
+class SubmitOutcome:
+    """Client-side summary of one completed plan submission."""
+
+    plan_digest: str
+    cells: dict[str, dict[str, Any]] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    reconnects: int = 0
+
+    @property
+    def failed(self) -> list[str]:
+        return sorted(
+            d for d, cell in self.cells.items() if cell["type"] == "cell_failed"
+        )
+
+    @property
+    def oracle_failures(self) -> list[str]:
+        return sorted(
+            d
+            for d, cell in self.cells.items()
+            if cell["type"] == "cell_done" and cell.get("oracle") is False
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and not self.oracle_failures
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the ``repro submit --json`` artifact)."""
+        return {
+            "plan": self.plan_digest,
+            "counters": self.counters,
+            "reconnects": self.reconnects,
+            "failed": self.failed,
+            "oracle_failures": self.oracle_failures,
+            "cells": {
+                digest: {k: v for k, v in cell.items() if k not in ("type", "plan")}
+                for digest, cell in sorted(self.cells.items())
+            },
+        }
+
+
+class ServiceClient:
+    """One TCP connection to a :class:`~repro.service.server.PlanService`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send *message* and return the next frame (EOF is an error)."""
+        assert self._writer is not None, "connect() first"
+        await write_frame(self._writer, message)
+        reply = await read_frame(self._reader)
+        if reply is None:
+            raise ServiceError("daemon closed the connection mid-request")
+        return reply
+
+    async def _accept(self, reply: dict[str, Any]) -> PlanTicket:
+        kind = reply["type"]
+        if kind == "busy":
+            raise ServiceError(f"daemon busy: {reply.get('reason', '?')}")
+        if kind == "error":
+            raise ServiceError(f"daemon rejected the request: {reply.get('error')}")
+        if kind != "plan_accepted":
+            raise ProtocolError(f"expected plan_accepted, got {kind!r}")
+        return PlanTicket(
+            plan_digest=reply["plan"],
+            cells=int(reply["cells"]),
+            cached=int(reply.get("cached", 0)),
+            resumed=bool(reply.get("resumed", False)),
+        )
+
+    async def submit(self, plan: ExperimentPlan) -> PlanTicket:
+        """Submit *plan*; returns the acceptance ticket."""
+        reply = await self.request({"type": "submit", "plan": plan_to_wire(plan)})
+        return await self._accept(reply)
+
+    async def resume(self, plan_digest: str) -> PlanTicket:
+        """Re-subscribe to a previously submitted plan by digest."""
+        reply = await self.request({"type": "resume", "plan": plan_digest})
+        return await self._accept(reply)
+
+    async def events(self):
+        """Yield frames until (and including) ``plan_done``."""
+        while True:
+            event = await read_frame(self._reader)
+            if event is None:
+                raise ConnectionError("daemon hung up before plan_done")
+            yield event
+            if event["type"] == "plan_done":
+                return
+
+    async def stats(self) -> dict[str, Any]:
+        return await self.request({"type": "stats"})
+
+    async def ping(self) -> None:
+        reply = await self.request({"type": "ping"})
+        if reply["type"] != "pong":
+            raise ProtocolError(f"expected pong, got {reply['type']!r}")
+
+
+async def run_plan(
+    host: str,
+    port: int,
+    plan: ExperimentPlan,
+    *,
+    on_event: Callable[[dict[str, Any]], None] | None = None,
+    max_reconnects: int = 3,
+    reconnect_delay: float = 0.5,
+) -> SubmitOutcome:
+    """Submit *plan* and collect the full event stream (async form).
+
+    A dropped connection is retried up to *max_reconnects* times by
+    resuming the subscription by plan digest; the daemon replays history
+    and the dedup here keeps each cell's first-seen event (so provenance
+    reflects this client's original submission, not the replay).
+    """
+    outcome: SubmitOutcome | None = None
+    attempts = 0
+    while True:
+        client = ServiceClient(host, port)
+        try:
+            await client.connect()
+            if outcome is None:
+                ticket = await client.submit(plan)
+                outcome = SubmitOutcome(plan_digest=ticket.plan_digest)
+            else:
+                await client.resume(outcome.plan_digest)
+            async for event in client.events():
+                kind = event["type"]
+                if kind in ("cell_done", "cell_failed"):
+                    if event["digest"] in outcome.cells:
+                        continue  # replayed prefix after a reconnect
+                    outcome.cells[event["digest"]] = event
+                elif kind == "plan_done":
+                    outcome.counters = {
+                        k: v
+                        for k, v in event.items()
+                        if k not in ("type", "plan")
+                    }
+                elif kind == "error":
+                    raise ServiceError(f"daemon error: {event.get('error')}")
+                if on_event is not None:
+                    on_event(event)
+            return outcome
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            if outcome is None:
+                raise ServiceError(
+                    f"cannot reach the daemon at {host}:{port} — is "
+                    "`repro serve` running?"
+                ) from None
+            attempts += 1
+            if attempts > max_reconnects:
+                raise ServiceError(
+                    f"connection to {host}:{port} lost {attempts} times "
+                    f"mid-plan; giving up on {outcome.plan_digest[:12]}…"
+                ) from None
+            outcome.reconnects += 1
+            await asyncio.sleep(reconnect_delay)
+        finally:
+            await client.close()
+
+
+def submit_plan(
+    host: str,
+    port: int,
+    plan: ExperimentPlan,
+    *,
+    on_event: Callable[[dict[str, Any]], None] | None = None,
+    max_reconnects: int = 3,
+) -> SubmitOutcome:
+    """Synchronous wrapper over :func:`run_plan` (the CLI entry)."""
+    return asyncio.run(
+        run_plan(host, port, plan, on_event=on_event, max_reconnects=max_reconnects)
+    )
+
+
+def fetch_stats(host: str, port: int) -> dict[str, Any]:
+    """One-shot daemon counter snapshot (``repro submit --stats``)."""
+
+    async def _fetch() -> dict[str, Any]:
+        client = ServiceClient(host, port)
+        try:
+            await client.connect()
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach the daemon at {host}:{port}: {exc}"
+            ) from None
+        try:
+            return await client.stats()
+        finally:
+            await client.close()
+
+    return asyncio.run(_fetch())

@@ -1,0 +1,263 @@
+"""Digest-keyed cell scheduling for the sweep daemon.
+
+The :class:`CellScheduler` is the daemon-side twin of the PR 7
+:class:`repro.exec.runner.Runner` wait loop, rebuilt for asyncio: one
+shared :class:`repro.exec.store.ResultStore`, one bounded process pool,
+and an **in-flight table** keyed by cell digest that gives the service
+its multi-tenant economics:
+
+* a digest already in the store is a **cache hit** — no work, any
+  tenant's past computation serves every later tenant;
+* a digest currently computing is **coalesced** — the second (third,
+  …) subscriber awaits the same future instead of submitting a
+  duplicate simulation (cache-stampede suppression);
+* only a digest that is neither gets a worker slot.
+
+Each computation reuses the Runner's machinery wholesale: the
+:func:`repro.exec.runner.run_cell` worker entry point (same
+``REPRO_FAULTS`` seam), the seeded :class:`~repro.exec.runner.
+RetryPolicy` backoff, the :func:`~repro.exec.runner.is_retryable`
+error classification, and as-it-lands persistence into the store.
+Because cells are pure functions of their configs, the daemon may share
+its store directory with offline ``plan run --leases`` workers — both
+sides write bit-identical bytes atomically, so whoever computes a cell
+first serves it to everyone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.exec.runner import (
+    RetryPolicy,
+    default_jobs,
+    describe_error,
+    is_retryable,
+    run_cell,
+)
+from repro.exec.store import ResultStore
+
+__all__ = ["CellOutcome", "CellScheduler"]
+
+#: provenance labels a scheduled cell can resolve with.
+PROVENANCE_COMPUTED = "computed"
+PROVENANCE_CACHE_HIT = "cache_hit"
+PROVENANCE_SHARED = "shared"
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Terminal state of one scheduled cell, ready for the wire.
+
+    ``provenance`` is *per subscriber*: the same computation resolves as
+    ``computed`` for the tenant that triggered it and ``shared`` for
+    every tenant that coalesced onto it.
+    """
+
+    digest: str
+    ok: bool
+    provenance: str
+    attempts: int = 1
+    kind: str | None = None  # "error" | "timeout" | "worker-lost"
+    error: str | None = None
+    oracle: bool | None = None
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def to_event(self, plan_digest: str) -> dict[str, Any]:
+        """The ``cell_done``/``cell_failed`` message body for *plan*."""
+        if self.ok:
+            return {
+                "type": "cell_done",
+                "plan": plan_digest,
+                "digest": self.digest,
+                "provenance": self.provenance,
+                "attempts": self.attempts,
+                "oracle": self.oracle,
+                "metrics": self.metrics,
+            }
+        return {
+            "type": "cell_failed",
+            "plan": plan_digest,
+            "digest": self.digest,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+def _result_outcome(
+    digest: str, result: SimulationResult, provenance: str, attempts: int = 1
+) -> CellOutcome:
+    oracle = None if result.oracle is None else bool(result.oracle["passed"])
+    return CellOutcome(
+        digest=digest,
+        ok=True,
+        provenance=provenance,
+        attempts=attempts,
+        oracle=oracle,
+        metrics={
+            "offered_load": result.offered_load,
+            "accepted_load": result.accepted_load,
+            "avg_latency": result.avg_latency,
+        },
+    )
+
+
+class CellScheduler:
+    """Shared-store, stampede-suppressing cell executor.
+
+    ``executor``/``compute_fn`` are injection seams for tests (thread
+    pools, deterministic stand-ins); production uses a lazily built
+    :class:`~concurrent.futures.ProcessPoolExecutor` over
+    :func:`repro.exec.runner.run_cell`.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        max_workers: int | None = None,
+        retry: RetryPolicy | None = None,
+        executor: Executor | None = None,
+        compute_fn: Callable[[str, SimulationConfig], SimulationResult] | None = None,
+    ) -> None:
+        self.store = store
+        self.max_workers = max_workers or default_jobs()
+        self.retry = retry or RetryPolicy()
+        self._pool: Executor | None = executor
+        self._owns_pool = executor is None
+        self._compute = compute_fn or run_cell
+        self._inflight: dict[str, asyncio.Future[CellOutcome]] = {}
+        self.counters: dict[str, int] = {
+            "computed": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "retried": 0,
+            "failed": 0,
+        }
+
+    # -- scheduling ----------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Cells currently being computed (or queued on the pool)."""
+        return len(self._inflight)
+
+    def schedule(
+        self, digest: str, config: SimulationConfig
+    ) -> tuple[asyncio.Future[CellOutcome], str]:
+        """Resolve *digest*: returns ``(future, provenance)``.
+
+        The provenance is this caller's: ``cache_hit`` resolves
+        immediately from the store, ``shared`` awaits a computation some
+        earlier caller started, ``computed`` starts one.  The shared
+        future always carries the *computing* subscriber's outcome; use
+        :meth:`outcome` to re-tag it for this caller.
+        """
+        loop = asyncio.get_running_loop()
+        hit = self.store.load(digest)
+        if hit is not None:
+            self.counters["cache_hits"] += 1
+            future: asyncio.Future[CellOutcome] = loop.create_future()
+            future.set_result(_result_outcome(digest, hit, PROVENANCE_CACHE_HIT))
+            return future, PROVENANCE_CACHE_HIT
+        running = self._inflight.get(digest)
+        if running is not None:
+            self.counters["coalesced"] += 1
+            return running, PROVENANCE_SHARED
+        task = loop.create_task(self._drive(digest, config))
+        self._inflight[digest] = task
+        return task, PROVENANCE_COMPUTED
+
+    async def outcome(self, digest: str, config: SimulationConfig) -> CellOutcome:
+        """Schedule *digest* and await its outcome, re-tagged per caller."""
+        future, provenance = self.schedule(digest, config)
+        outcome = await asyncio.shield(future)
+        if outcome.ok and outcome.provenance != provenance:
+            outcome = replace(outcome, provenance=provenance)
+        return outcome
+
+    # -- computation ---------------------------------------------------------
+    def _executor(self) -> Executor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    async def _attempt(self, digest: str, config: SimulationConfig):
+        loop = asyncio.get_running_loop()
+        call = loop.run_in_executor(self._executor(), self._compute, digest, config)
+        if self.retry.cell_timeout is None:
+            return await call
+        # The worker itself cannot be interrupted; on timeout the attempt
+        # is charged and the stray result, if it ever lands, is discarded
+        # (a later duplicate save would be bit-identical anyway).
+        return await asyncio.wait_for(call, timeout=self.retry.cell_timeout)
+
+    async def _drive(self, digest: str, config: SimulationConfig) -> CellOutcome:
+        """Retry loop of one cell: the Runner contract, await-shaped."""
+        policy = self.retry
+        rng = random.Random(f"backoff:service:{digest}")
+        attempts = 0
+        try:
+            while True:
+                attempts += 1
+                try:
+                    result = await self._attempt(digest, config)
+                except Exception as exc:
+                    kind = "error"
+                    if isinstance(exc, asyncio.TimeoutError):
+                        kind = "timeout"
+                    elif isinstance(exc, BrokenProcessPool):
+                        kind = "worker-lost"
+                        if self._owns_pool and self._pool is not None:
+                            # The pool is unusable; rebuild it lazily.
+                            self._pool.shutdown(wait=False, cancel_futures=True)
+                            self._pool = None
+                    retryable = kind != "error" or is_retryable(exc)
+                    if retryable and attempts < policy.max_attempts:
+                        await asyncio.sleep(policy.delay(attempts, rng))
+                        continue
+                    self.counters["failed"] += 1
+                    return CellOutcome(
+                        digest=digest,
+                        ok=False,
+                        provenance=PROVENANCE_COMPUTED,
+                        attempts=attempts,
+                        kind=kind,
+                        error=describe_error(exc),
+                    )
+                self.store.save(digest, result)
+                self.counters["computed"] += 1
+                if attempts > 1:
+                    self.counters["retried"] += 1
+                return _result_outcome(digest, result, PROVENANCE_COMPUTED, attempts)
+        finally:
+            self._inflight.pop(digest, None)
+
+    # -- lifecycle -----------------------------------------------------------
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait for every in-flight cell; False when *timeout* expired."""
+        pending = [f for f in self._inflight.values() if not f.done()]
+        if not pending:
+            return True
+        _, left = await asyncio.wait(pending, timeout=timeout)
+        return not left
+
+    def close(self) -> None:
+        """Release the worker pool (queued work is abandoned)."""
+        for future in self._inflight.values():
+            future.cancel()
+        self._inflight.clear()
+        if self._pool is not None and self._owns_pool:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot plus the in-flight gauge."""
+        return {**self.counters, "inflight": len(self._inflight)}

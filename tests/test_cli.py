@@ -640,3 +640,130 @@ class TestProfileCommand:
         assert "engine:" in captured
         assert "activations" in captured
         assert out.exists()
+
+
+class TestServiceCommands:
+    """CLI wiring of the sweep service: serve/submit parsing, end-to-end
+    submit against an in-process daemon, and the status exit-code gate."""
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--cache", "d"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7351
+        assert args.cache == "d"
+        assert args.max_workers is None
+
+    def test_serve_requires_cache(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_parser_defaults(self):
+        args = build_parser().parse_args(["submit", "--loads", "0.1"])
+        assert (args.host, args.port) == ("127.0.0.1", 7351)
+        assert args.seeds == 1
+        assert not args.stats and not args.quiet and args.json is None
+
+    def test_submit_without_loads_fails_cleanly(self, capsys):
+        rc = main(["submit", "--port", "1"])
+        assert rc == 2
+        assert "needs --loads" in capsys.readouterr().err
+
+    def test_submit_unreachable_daemon_fails_cleanly(self, capsys):
+        # Port 1 is privileged and unbound: connection refused, not a hang.
+        rc = main(_fast(["submit", "--port", "1", "--loads", "0.1"]))
+        assert rc == 2
+        assert "repro serve" in capsys.readouterr().err
+
+    def test_stats_unreachable_daemon_fails_cleanly(self, capsys):
+        rc = main(["submit", "--port", "1", "--stats"])
+        assert rc == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_round_trip_against_daemon(self, capsys, tmp_path):
+        """`repro submit` against a live in-process daemon, twice: first
+        computes, then a superset grid reuses the shared store."""
+        import asyncio
+        import json as jsonlib
+        import threading
+
+        from repro.service import PlanService, ServiceConfig
+
+        ready = threading.Event()
+        stop: dict = {}
+
+        def daemon():
+            async def serve():
+                service = PlanService(
+                    tmp_path / "store",
+                    ServiceConfig(port=0, max_workers=1),
+                )
+                await service.start()
+                stop["port"] = service.port
+                stop["event"] = asyncio.Event()
+                stop["loop"] = asyncio.get_running_loop()
+                ready.set()
+                await stop["event"].wait()
+                await service.shutdown()
+
+            asyncio.run(serve())
+
+        thread = threading.Thread(target=daemon, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10.0)
+        try:
+            common = [
+                "--preset",
+                "tiny",
+                "--port",
+                str(stop["port"]),
+                "--json",
+                str(tmp_path / "out.json"),
+            ]
+            rc = main(_fast(["submit"] + common + ["--loads", "0.1"]))
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "computed" in out and "plan done:" in out
+            summary = jsonlib.loads((tmp_path / "out.json").read_text())
+            assert summary["counters"]["computed"] == 1
+            assert summary["failed"] == []
+            # A superset grid is a *different* plan whose overlap cell is
+            # served straight from the daemon's store.
+            rc = main(_fast(["submit"] + common + ["--loads", "0.1", "0.2"]))
+            assert rc == 0
+            summary = jsonlib.loads((tmp_path / "out.json").read_text())
+            assert summary["counters"]["cache_hits"] == 1
+            assert summary["counters"]["computed"] == 1
+        finally:
+            stop["loop"].call_soon_threadsafe(stop["event"].set)
+            thread.join(timeout=10.0)
+
+
+class TestPlanStatusExitCode:
+    def test_nonempty_failures_journal_fails_status(self, capsys, tmp_path):
+        """All cells present but a failures journal remains -> exit 1.
+
+        CI gates on this code: a sibling worker may have completed the
+        cells later, but the recorded failures still deserve a red build.
+        """
+        from repro.exec import ResultStore
+
+        grid = ["--preset", "tiny", "--loads", "0.1"]
+        cache = ["--cache", str(tmp_path / "store")]
+        rc = main(_fast(["plan", "run"] + grid + cache + ["--jobs", "1"]))
+        assert rc == 0
+        rc = main(_fast(["plan", "status"] + grid + cache))
+        out = capsys.readouterr().out
+        assert rc == 0  # complete store, empty journal: green
+        digest = next(
+            line.split()[-1] for line in out.splitlines()
+            if line.startswith("plan digest:")
+        )
+        ResultStore(tmp_path / "store").write_failures(
+            digest,
+            [{"digest": "d" * 64, "kind": "error", "attempts": 3, "error": "boom"}],
+        )
+        rc = main(_fast(["plan", "status"] + grid + cache))
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "failures journal: 1 record(s)" in out
+        assert "1/1 cells present" in out  # present cells alone don't excuse it
