@@ -1,0 +1,204 @@
+"""Batched sweep throughput: aggregate events/s of `Runner --batch` packs.
+
+Measures the perf-gate configs as a *batched sweep*: each gate config is
+widened to an 8-member batch (same config, seeds 0..7 — the planner's
+compat rule) and drained through one fused
+:func:`repro.core.batch.run_simulation_batch` call, against a per-cell
+reference that runs the same 8 members through the unbatched engine.
+Both timings include simulation build, matching the committed history's
+contract.  Writes:
+
+* ``benchmarks/results/batch_throughput.txt`` — human-readable table
+  with the batched/per-cell ratio and the before/after comparison
+  against the PR-6 per-cell baselines (this backend's and the
+  pure-Python one) from ``benchmarks/perf_baseline.json``;
+* ``benchmarks/results/batch_throughput.json`` — schema-3 artifact
+  whose ``backend`` is ``"<name>-batched"`` so
+  ``benchmarks/check_perf_regression.py`` gates the batched trajectory
+  in its own ``backends["<name>-batched"]`` baseline section, separate
+  from the per-cell sections.
+
+What the numbers mean: batched cells never interact, so the fused drain
+does exactly the per-cell engine's per-event work — the batched/per-cell
+ratio is ~1.0x by construction (the batch axis buys sweep *packing*:
+one engine invocation, one store, one dispatch per K cells — not a
+lower per-event cost).  The aggregate criterion lives in the PR-6
+columns: a batched sweep on the default (compiled-when-built) backend
+clears the PR-6 pure-Python per-cell baseline by well over 1.5x.
+
+No absolute performance assertion beyond the broken-engine floors.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from bench_common import git_sha, machine_metadata, metadata_lines, write_result
+from repro.config import SimulationConfig
+from repro.core.batch import BatchSimulation
+from repro.core.simulation import Simulation
+from repro.utils.tables import format_table
+from test_engine_throughput import calibration_ops_per_s, throughput_cases
+
+ARTIFACT_PATH = (
+    pathlib.Path(__file__).resolve().parent / "results" / "batch_throughput.json"
+)
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "perf_baseline.json"
+
+#: Sweep width measured per gate config (planner compat rule: members
+#: share everything but load/seed, so seeds 0..K-1 widen one config).
+BATCH_WIDTH = 8
+
+
+def _members(cfg: SimulationConfig) -> list[SimulationConfig]:
+    return [cfg.with_(seed=seed) for seed in range(BATCH_WIDTH)]
+
+
+def _measure_batched(configs, reps: int = 2):
+    """Best-of-*reps* aggregate wall clock of one fused batch run."""
+    elapsed = float("inf")
+    events = 0
+    backend = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        batch = BatchSimulation(configs)
+        results = batch.run()
+        wall = time.perf_counter() - start
+        if wall < elapsed:
+            elapsed = wall
+            events = sum(r.events_processed for r in results)
+            backend = batch.backend.name
+    return events, elapsed, backend
+
+
+def _measure_per_cell(configs, reps: int = 2):
+    """Best-of-*reps* summed wall clock of the unbatched member runs."""
+    elapsed = float("inf")
+    events = 0
+    for _ in range(reps):
+        wall = 0.0
+        total = 0
+        for cfg in configs:
+            start = time.perf_counter()
+            result = Simulation(cfg).run()
+            wall += time.perf_counter() - start
+            total += result.events_processed
+        if wall < elapsed:
+            elapsed = wall
+            events = total
+    return events, elapsed
+
+
+def _pr6_events_per_cal(backend: str) -> dict[str, float]:
+    """Calibration-normalised per-cell score PR-6 recorded for *backend*.
+
+    The normalised metric (the gate's own) is what makes the before/after
+    ratio meaningful when the recording host and the measuring host run
+    at different speeds — raw events/s would fold host drift into the
+    "speedup".
+    """
+    if not BASELINE_PATH.exists():
+        return {}
+    section = json.loads(BASELINE_PATH.read_text()).get("backends", {}).get(backend)
+    if not section:
+        return {}
+    return {
+        label: cfg["events_per_cal"]
+        for label, cfg in section.get("configs", {}).items()
+    }
+
+
+def test_batch_throughput(benchmark):
+    cases = throughput_cases()
+    cal = calibration_ops_per_s()
+
+    def run_all():
+        out = []
+        for label, cfg in cases:
+            members = _members(cfg)
+            ev_b, wall_b, backend = _measure_batched(members)
+            ev_s, wall_s = _measure_per_cell(members)
+            out.append((label, backend, ev_b, wall_b, ev_s, wall_s))
+        return out
+
+    measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    backend = measured[0][1]
+    pr6_same = _pr6_events_per_cal(backend)
+    pr6_python = _pr6_events_per_cal("python")
+    rows = []
+    artifact_configs = {}
+    for label, _backend, ev_b, wall_b, ev_s, wall_s in measured:
+        eps_batched = ev_b / wall_b
+        eps_cell = ev_s / wall_s
+        row = [
+            label,
+            BATCH_WIDTH,
+            ev_b,
+            f"{eps_batched:,.0f}",
+            f"{eps_cell:,.0f}",
+            f"{eps_batched / eps_cell:.2f}x",
+        ]
+        base_same = pr6_same.get(label)
+        row.append(f"{eps_batched / cal / base_same:.2f}x" if base_same else "-")
+        base_py = pr6_python.get(label)
+        row.append(f"{eps_batched / cal / base_py:.2f}x" if base_py else "-")
+        rows.append(row)
+        artifact_configs[label] = {
+            "batch_width": BATCH_WIDTH,
+            "events": ev_b,
+            "wall_s": wall_b,
+            "events_per_s": eps_batched,
+            "events_per_cal": eps_batched / cal,
+            "per_cell_events_per_s": eps_cell,
+        }
+
+    write_result(
+        "batch_throughput",
+        format_table(
+            [
+                "config",
+                "batch",
+                "events",
+                "batched ev/s",
+                "per-cell ev/s",
+                "vs per-cell",
+                f"vs PR-6 {backend}*",
+                "vs PR-6 python*",
+            ],
+            rows,
+            title=f"Batched sweep throughput ({BATCH_WIDTH}-seed batch per gate "
+            f"config, fused drain, aggregate events/s; backend={backend}; "
+            "* = calibration-normalised ratio)",
+        )
+        + "\n" + metadata_lines(),
+    )
+
+    ARTIFACT_PATH.parent.mkdir(exist_ok=True)
+    ARTIFACT_PATH.write_text(
+        json.dumps(
+            {
+                "schema": 3,
+                "backend": f"{backend}-batched",
+                "batch_width": BATCH_WIDTH,
+                "git_sha": git_sha(),
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                "machine": machine_metadata(),
+                "calibration_ops_per_s": cal,
+                "configs": artifact_configs,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    for label, _backend, ev_b, wall_b, ev_s, wall_s in measured:
+        assert ev_b == ev_s, label  # batching must not change the event count
+        assert ev_b / wall_b > 10_000, label  # broken-engine floor
+        # The fused drain does the per-cell engine's work and nothing
+        # more; a batched run far below per-cell rate means the batch
+        # path regressed (the merge-loop bug this floor was born from).
+        assert ev_b / wall_b > 0.5 * (ev_s / wall_s), label

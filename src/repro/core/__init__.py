@@ -2,6 +2,11 @@
 
 from repro.core.results import SimulationResult
 from repro.core.simulation import Simulation, run_simulation
+from repro.core.batch import (
+    BatchSimulation,
+    batch_compat_key,
+    run_simulation_batch,
+)
 from repro.core.experiment import (
     LoadSweepResult,
     SweepPoint,
@@ -11,12 +16,15 @@ from repro.core.experiment import (
 )
 
 __all__ = [
+    "BatchSimulation",
     "LoadSweepResult",
     "Simulation",
     "SimulationResult",
     "SweepPoint",
     "average_results",
+    "batch_compat_key",
     "run_load_sweep",
     "run_point",
     "run_simulation",
+    "run_simulation_batch",
 ]

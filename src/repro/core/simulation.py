@@ -78,6 +78,8 @@ class Simulation:
         *,
         check_decomposition: bool = False,
         engine_backend: str | None = None,
+        soa: SoAStore | None = None,
+        soa_base: int = 0,
     ) -> None:
         self.config = config
         # Strict timestamp validation defaults on (REPRO_ENGINE_STRICT=0
@@ -107,18 +109,30 @@ class Simulation:
 
         # Structure-of-arrays store for the hot router state (flat typed
         # buffers for the compiled backend, flat lists for the Python
-        # one), then the router views that fill their segments.
+        # one), then the router views that fill their segments.  A
+        # BatchSimulation passes a shared widened store plus this cell's
+        # base row (`soa_base`): the routers then occupy rows
+        # [soa_base, soa_base + num_routers) of the batch-axis layout.
         rc = config.router
-        self.soa = SoAStore(
-            self.topo.num_routers,
-            self.topo.radix,
-            max(rc.local_vcs, rc.global_vcs, 1),
-            typed=backend.typed,
-        )
+        self.soa_base = soa_base
+        if soa is None:
+            self.soa = SoAStore(
+                self.topo.num_routers,
+                self.topo.radix,
+                max(rc.local_vcs, rc.global_vcs, 1),
+                typed=backend.typed,
+            )
+        else:
+            self.soa = soa
 
         # Routers and wiring.
         self.routers = [Router(self, rid) for rid in range(self.topo.num_routers)]
-        self.soa.routers = self.routers
+        if soa is None:
+            self.soa.routers = self.routers
+        else:
+            # Shared store: append in cell order so store.routers lists
+            # every router of the batch in erid order.
+            self.soa.routers.extend(self.routers)
         self._wire()
         if backend.name != "python":
             self.engine.bind_backend(backend, self.soa)
@@ -334,8 +348,13 @@ class Simulation:
             self.engine.schedule(self.config.deadlock_cycles, self._watchdog)
 
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Execute the configured warmup + measurement and collect results."""
+    def start(self) -> None:
+        """Post the initial generator/watchdog records (no stepping yet).
+
+        Split out of :meth:`run` so a :class:`~repro.core.batch.
+        BatchSimulation` can start every member cell before draining
+        their calendars through one fused loop.
+        """
         # Desynchronised start: each node's Bernoulli process begins at an
         # independently drawn geometric offset, as if it had been running
         # before cycle 0.
@@ -345,8 +364,15 @@ class Simulation:
             offset = geometric_gap(self.rng_traffic, self._gen_prob) - 1
             self.engine.post(offset, self._gen_recs[node])
         self.engine.schedule(self.config.deadlock_cycles, self._watchdog)
-        self.engine.run_until(self._end_time)
 
+    def run(self) -> SimulationResult:
+        """Execute the configured warmup + measurement and collect results."""
+        self.start()
+        self.engine.run_until(self._end_time)
+        return self._collect()
+
+    def _collect(self) -> SimulationResult:
+        """Post-horizon oracle audit + result assembly (end of run())."""
         oracle_verdict = None
         if self.oracle is not None:
             self._drain()

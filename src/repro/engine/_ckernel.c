@@ -200,7 +200,7 @@ typedef struct {
     PyObject *send_recs, *link_recs, *rel_recs, *out_peer; /* owned lists */
     PyObject *rid_obj;          /* owned */
     PyObject *py_step;          /* owned bound method, or NULL: C step */
-    int64_t kb, pb, rid, group, boundary, max_vcs, nkeys, radix;
+    int64_t kb, pb, rid, erid, group, boundary, max_vcs, nkeys, radix;
     int64_t cache_policy, transit_priority, internal, num_node_ports,
         psize, pipe_lat;
 } RState;
@@ -636,7 +636,7 @@ c_commit(KState *ks, RState *rs, int64_t out_port, int64_t gout,
         && PySet_Discard(rs->active_keys, ks->key_objs[key]) < 0)
         return -1;
     PyList_SetItem(ks->dc_pkt, gk, Py_NewRef(Py_None));
-    ks->cong_epoch[rs->rid] += 1;
+    ks->cong_epoch[rs->erid] += 1;
     ks->in_port_free[gin] = now + rs->internal;
     ks->switch_free[gout] = now + rs->internal;
     ks->out_occ[gout] += size;
@@ -775,7 +775,7 @@ c_step(KState *ks, RState *rs, int64_t now, PyObject *now_obj)
     Py_ssize_t n_act, n_dead = 0, n_cand = 0, n_ports = 0;
     int64_t next_time = -1; /* -1 = None */
     int granted = 0, td_active = 0;
-    int64_t epoch = ks->cong_epoch[rs->rid];
+    int64_t epoch = ks->cong_epoch[rs->erid];
     Py_ssize_t i;
     int rc = -1;
 
@@ -1157,7 +1157,7 @@ c_release_output(KState *ks, RState *rs, int64_t port, int64_t size,
                  int64_t now)
 {
     int64_t gp = rs->pb + port;
-    ks->cong_epoch[rs->rid] += 1;
+    ks->cong_epoch[rs->erid] += 1;
     ks->out_occ[gp] -= size;
     if (ks->chk && ks->out_occ[gp] < 0) {
         PyErr_Format(ks->flow_err,
@@ -1173,7 +1173,7 @@ c_release_credit(KState *ks, RState *rs, int64_t port, int64_t vc,
                  int64_t size, int64_t now)
 {
     int64_t ck = rs->kb + port * rs->max_vcs + vc;
-    ks->cong_epoch[rs->rid] += 1;
+    ks->cong_epoch[rs->erid] += 1;
     ks->credits_used[ck] -= size;
     if (ks->chk && ks->credits_used[ck] < 0) {
         PyErr_Format(ks->flow_err,
@@ -1189,7 +1189,7 @@ c_link_step(KState *ks, RState *rs, int64_t port, int64_t size, int64_t now,
             PyObject *now_obj)
 {
     int64_t gp = rs->pb + port;
-    ks->cong_epoch[rs->rid] += 1;
+    ks->cong_epoch[rs->erid] += 1;
     ks->out_occ[gp] -= size;
     if (ks->chk && ks->out_occ[gp] < 0) {
         PyErr_Format(ks->flow_err,
@@ -1387,6 +1387,9 @@ build_rstate(KState *ks, RState *rs, PyObject *r, PyObject *kernel_step)
     rs->kb = get_ll_attr(r, "kb", &err);
     rs->pb = get_ll_attr(r, "pb", &err);
     rs->rid = get_ll_attr(r, "router_id", &err);
+    /* engine-level store row: soa_base + router_id (batch cell axis);
+     * rid stays cell-local (stats, topology coordinates, messages). */
+    rs->erid = get_ll_attr(r, "erid", &err);
     rs->group = get_ll_attr(r, "group", &err);
     rs->boundary = get_ll_attr(r, "injection_boundary", &err);
     rs->max_vcs = get_ll_attr(r, "max_vcs", &err);
@@ -1746,76 +1749,68 @@ fail:
 /* the drain entry point                                               */
 /* ------------------------------------------------------------------ */
 
-static PyObject *
-ck_drain(PyObject *self, PyObject *args)
+/* Resolve (building + caching if needed) the KState of *eq*.  Returns
+ * 0 with *out set, 1 when the queue has no bound store (caller must
+ * fall back to the Python kernel), -1 on error. */
+static int
+get_kstate(PyObject *eq, KState **out)
 {
-    PyObject *eq, *t_end_obj, *capsule, *soa;
+    PyObject *capsule, *soa;
     KState *ks;
-    int64_t t_end;
-
-    if (!PyArg_ParseTuple(args, "OO:drain", &eq, &t_end_obj))
-        return NULL;
-    t_end = as_ll(t_end_obj);
-    if (t_end == -1 && PyErr_Occurred())
-        return NULL;
 
     capsule = PyObject_GetAttrString(eq, "_ckstate");
     if (capsule == NULL)
-        return NULL;
+        return -1;
     if (capsule == Py_None) {
         Py_DECREF(capsule);
         soa = PyObject_GetAttrString(eq, "_soa");
         if (soa == NULL)
-            return NULL;
+            return -1;
         if (soa == Py_None) {
-            /* Defensive: a queue without a bound store cannot use the
-             * compiled drain; fall back to the Python kernel. */
-            PyObject *mod, *py_drain, *res;
             Py_DECREF(soa);
-            mod = PyImport_ImportModule("repro.engine.kernel");
-            if (mod == NULL)
-                return NULL;
-            py_drain = PyObject_GetAttrString(mod, "py_drain");
-            Py_DECREF(mod);
-            if (py_drain == NULL)
-                return NULL;
-            res = PyObject_CallFunctionObjArgs(py_drain, eq, t_end_obj,
-                                               NULL);
-            Py_DECREF(py_drain);
-            return res;
+            return 1;
         }
         ks = kstate_build(eq, soa);
         Py_DECREF(soa);
         if (ks == NULL)
-            return NULL;
+            return -1;
         capsule = PyCapsule_New(ks, "repro._ckernel", kstate_capsule_free);
         if (capsule == NULL) {
             kstate_free(ks);
-            return NULL;
+            return -1;
         }
         if (PyObject_SetAttrString(eq, "_ckstate", capsule) < 0) {
             Py_DECREF(capsule);
-            return NULL;
+            return -1;
         }
     }
     else
         ks = (KState *)PyCapsule_GetPointer(capsule, "repro._ckernel");
     Py_DECREF(capsule);
     if (ks == NULL)
-        return NULL;
-
+        return -1;
     /* refresh the dynamic invariant-check flag once per drain call */
     {
         PyObject *flag =
             PyObject_GetAttrString(ks->router_mod, "CHECK_INVARIANTS");
         if (flag == NULL)
-            return NULL;
+            return -1;
         ks->chk = PyObject_IsTrue(flag);
         Py_DECREF(flag);
         if (ks->chk < 0)
-            return NULL;
+            return -1;
     }
+    *out = ks;
+    return 0;
+}
 
+/* The bucket loop: process every activation with time <= t_end.  Leaves
+ * eq.now at the last drained cycle — callers advance it to the horizon
+ * themselves (ck_drain right away; ck_drain_batch only once every
+ * member queue is exhausted). */
+static int
+drain_core(KState *ks, PyObject *eq, int64_t t_end)
+{
     while (PyList_GET_SIZE(ks->times) > 0
            && as_ll(PyList_GET_ITEM(ks->times, 0)) <= t_end) {
         PyObject *t_obj = heap_pop(ks->times);
@@ -1824,7 +1819,7 @@ ck_drain(PyObject *self, PyObject *args)
         Py_ssize_t i = 0, extra = 0, n;
         int failed = 0;
         if (t_obj == NULL)
-            return NULL;
+            return -1;
         t = as_ll(t_obj);
         bucket = PyDict_GetItemWithError(ks->buckets, t_obj);
         if (bucket == NULL) {
@@ -1832,7 +1827,7 @@ ck_drain(PyObject *self, PyObject *args)
                 PyErr_SetString(PyExc_RuntimeError,
                                 "heap time with no bucket");
             Py_DECREF(t_obj);
-            return NULL;
+            return -1;
         }
         Py_INCREF(bucket);
         Py_INCREF(t_obj);
@@ -1878,10 +1873,116 @@ ck_drain(PyObject *self, PyObject *args)
         Py_DECREF(bucket);
         Py_DECREF(t_obj);
         if (failed)
-            return NULL;
+            return -1;
     }
+    return 0;
+}
+
+/* Call py_drain(eq, t_end_obj) — the defensive fallback for a queue
+ * with no bound store. */
+static PyObject *
+fallback_py_drain(PyObject *eq, PyObject *t_end_obj)
+{
+    PyObject *mod, *py_drain, *res;
+    mod = PyImport_ImportModule("repro.engine.kernel");
+    if (mod == NULL)
+        return NULL;
+    py_drain = PyObject_GetAttrString(mod, "py_drain");
+    Py_DECREF(mod);
+    if (py_drain == NULL)
+        return NULL;
+    res = PyObject_CallFunctionObjArgs(py_drain, eq, t_end_obj, NULL);
+    Py_DECREF(py_drain);
+    return res;
+}
+
+static PyObject *
+ck_drain(PyObject *self, PyObject *args)
+{
+    PyObject *eq, *t_end_obj;
+    KState *ks;
+    int64_t t_end;
+    int got;
+
+    if (!PyArg_ParseTuple(args, "OO:drain", &eq, &t_end_obj))
+        return NULL;
+    t_end = as_ll(t_end_obj);
+    if (t_end == -1 && PyErr_Occurred())
+        return NULL;
+    got = get_kstate(eq, &ks);
+    if (got < 0)
+        return NULL;
+    if (got == 1)
+        return fallback_py_drain(eq, t_end_obj);
+    if (drain_core(ks, eq, t_end) < 0)
+        return NULL;
     Py_INCREF(t_end_obj);
     slot_set(eq, ks->eq_now, t_end_obj);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+ck_drain_batch(PyObject *self, PyObject *args)
+{
+    /* Fused drain of K independent calendars.  Cells never post into
+     * each other's calendars, so each queue sees exactly the record
+     * sequence it would have seen unbatched under any cross-cell
+     * interleaving; the cheapest valid schedule — used here, mirroring
+     * kernel.py_drain_batch — drains each member straight to the
+     * horizon in cell order (deterministic by construction; a
+     * cycle-interleaved min-head merge costs a K-way head scan per
+     * distinct cycle for the same per-queue sequences). */
+    PyObject *eqs_obj, *t_end_obj, *seq;
+    PyObject **eqs;
+    KState **kss;
+    Py_ssize_t k, j;
+    int64_t t_end;
+    int ok = 0;
+
+    if (!PyArg_ParseTuple(args, "OO:drain_batch", &eqs_obj, &t_end_obj))
+        return NULL;
+    t_end = as_ll(t_end_obj);
+    if (t_end == -1 && PyErr_Occurred())
+        return NULL;
+    seq = PySequence_Fast(eqs_obj, "drain_batch expects a sequence of "
+                                   "event queues");
+    if (seq == NULL)
+        return NULL;
+    k = PySequence_Fast_GET_SIZE(seq);
+    eqs = PyMem_Malloc((size_t)(k > 0 ? k : 1) * sizeof(PyObject *));
+    kss = PyMem_Malloc((size_t)(k > 0 ? k : 1) * sizeof(KState *));
+    if (eqs == NULL || kss == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    for (j = 0; j < k; j++) {
+        int got;
+        eqs[j] = PySequence_Fast_GET_ITEM(seq, j);
+        got = get_kstate(eqs[j], &kss[j]);
+        if (got < 0)
+            goto done;
+        if (got == 1) {
+            PyErr_SetString(PyExc_RuntimeError,
+                            "drain_batch: queue has no bound SoA store "
+                            "(bind_backend was not called)");
+            goto done;
+        }
+    }
+    for (j = 0; j < k; j++) {
+        if (drain_core(kss[j], eqs[j], t_end) < 0)
+            goto done;
+    }
+    for (j = 0; j < k; j++) {
+        Py_INCREF(t_end_obj);
+        slot_set(eqs[j], kss[j]->eq_now, t_end_obj);
+    }
+    ok = 1;
+done:
+    PyMem_Free(eqs);
+    PyMem_Free(kss);
+    Py_DECREF(seq);
+    if (!ok)
+        return NULL;
     Py_RETURN_NONE;
 }
 
@@ -1889,6 +1990,9 @@ static PyMethodDef ckernel_methods[] = {
     {"drain", ck_drain, METH_VARARGS,
      "drain(eq, t_end): process activations with time <= t_end on the "
      "compiled kernel (bit-identical to repro.engine.kernel.py_drain)."},
+    {"drain_batch", ck_drain_batch, METH_VARARGS,
+     "drain_batch(eqs, t_end): fused drain of K independent calendars "
+     "(bit-identical to repro.engine.kernel.py_drain_batch)."},
     {NULL, NULL, 0, NULL},
 };
 

@@ -60,6 +60,7 @@ __all__ = [
     "EngineBackend",
     "available_backends",
     "py_drain",
+    "py_drain_batch",
     "resolve_backend",
     "step",
 ]
@@ -154,6 +155,24 @@ def py_drain(eq, t_end: int) -> None:
     eq.now = t_end
 
 
+def py_drain_batch(eqs, t_end: int) -> None:
+    """Fused drain of K independent calendars up to ``t_end``.
+
+    Because the member simulations never post into each other's
+    calendars, each queue observes exactly the record sequence it would
+    have seen unbatched whatever the interleaving across cells — so the
+    fused loop picks the cheapest valid one: each member drains straight
+    to the horizon, in cell order (deterministic by construction).  A
+    cycle-interleaved min-head merge was measured 10-25% slower purely
+    on merge bookkeeping (one drain re-entry plus a K-way head scan per
+    distinct cycle) while producing the very same per-queue record
+    sequences, so the cell-order schedule is both the fastest and the
+    simplest correct choice.
+    """
+    for eq in eqs:
+        py_drain(eq, t_end)
+
+
 # ----------------------------------------------------------------------
 # allocation pass (pure-Python backend); bound as Router.step
 # ----------------------------------------------------------------------
@@ -200,11 +219,11 @@ def step(r, now: int) -> None:
         kb,
         pb,
         epochs,
-        rid,
+        erid,
         last_grant,
     ) = r._hot
     my_group = r.group
-    epoch = epochs[rid]  # stable through the scan (no commits yet)
+    epoch = epochs[erid]  # stable through the scan (no commits yet)
 
     if len(active_keys) == 1:
         # Uncontended fast path (the most common activation shape):
@@ -581,6 +600,7 @@ def _commit(r, out_port, gout, key, gk, pkt, dec, now) -> None:
         rid,
         global_out,
         in_q,
+        erid,
     ) = r._hot2
     in_port = key // max_vcs
     gin = pb + in_port
@@ -591,7 +611,7 @@ def _commit(r, out_port, gout, key, gk, pkt, dec, now) -> None:
     if not q:
         active_keys.discard(key)
     dc_pkt[gk] = None  # head changed: decision no longer valid
-    epochs[rid] += 1  # out_occ / credits are about to change
+    epochs[erid] += 1  # out_occ / credits are about to change
     in_port_free[gin] = now + internal
     switch_free[gout] = now + internal
     out_occ[gout] += size
@@ -668,20 +688,28 @@ def _commit(r, out_port, gout, key, gk, pkt, dec, now) -> None:
 # backend selection
 # ----------------------------------------------------------------------
 class EngineBackend:
-    """A resolved engine backend: name, SoA buffer mode, drain callable."""
+    """A resolved engine backend: name, SoA buffer mode, drain callables.
 
-    __slots__ = ("name", "typed", "drain")
+    ``drain_batch`` is the fused multi-cell loop (``drain_batch(eqs,
+    t_end)``); it may be ``None`` on a compiled extension built before
+    the batch axis existed, in which case callers fall back to draining
+    each queue sequentially — bit-identical, since batched cells never
+    interact.
+    """
 
-    def __init__(self, name: str, typed: bool, drain) -> None:
+    __slots__ = ("name", "typed", "drain", "drain_batch")
+
+    def __init__(self, name: str, typed: bool, drain, drain_batch=None) -> None:
         self.name = name
         self.typed = typed
         self.drain = drain
+        self.drain_batch = drain_batch
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"EngineBackend({self.name!r}, typed={self.typed})"
 
 
-_PY_BACKEND = EngineBackend("python", False, py_drain)
+_PY_BACKEND = EngineBackend("python", False, py_drain, py_drain_batch)
 
 
 def _load_compiled() -> EngineBackend | None:
@@ -690,7 +718,12 @@ def _load_compiled() -> EngineBackend | None:
         from repro.engine import _ckernel
     except ImportError:
         return None
-    return EngineBackend("compiled", True, _ckernel.drain)
+    return EngineBackend(
+        "compiled",
+        True,
+        _ckernel.drain,
+        getattr(_ckernel, "drain_batch", None),
+    )
 
 
 def available_backends() -> tuple[str, ...]:

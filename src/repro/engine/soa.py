@@ -6,13 +6,21 @@ one *flat* buffer per field, shared by every router of a simulation,
 instead of per-:class:`~repro.hardware.router.Router` instance lists:
 
 * **per-key fields** (one slot per input FIFO) are indexed
-  ``router_id * nkeys + key`` where ``key = port * max_vcs + vc`` and
+  ``erid * nkeys + key`` where ``key = port * max_vcs + vc`` and
   ``nkeys = radix * max_vcs``;
-* **per-port fields** are indexed ``router_id * radix + port``;
-* **per-router fields** (the congestion epoch) are indexed ``router_id``.
+* **per-port fields** are indexed ``erid * radix + port``;
+* **per-router fields** (the congestion epoch) are indexed ``erid``.
 
-A router keeps its two base offsets (``kb = router_id * nkeys``,
-``pb = router_id * radix``) and references to the shared buffers, making
+``erid`` is the router's *engine row*: for a single simulation it equals
+``router_id``, and for a :class:`~repro.core.batch.BatchSimulation` the
+store grows a **cell axis** — K same-topology cells stacked as
+``erid = cell * routers_per_cell + router_id``, so "more cells" is
+literally "more rows in the same arrays" and one fused drain loop steps
+them all.  ``router_id`` stays cell-local throughout (topology
+coordinates, per-cell stats, routing comparisons).
+
+A router keeps its two base offsets (``kb = erid * nkeys``,
+``pb = erid * radix``) and references to the shared buffers, making
 it a thin view: ``router.out_occ[router.pb + port]`` is the one canonical
 copy of that counter.  Memo-guard tuples emitted by routing mechanisms
 (see :mod:`repro.routing.base`) carry these *flat* indices, so guard
@@ -69,6 +77,7 @@ class SoAStore:
         "max_vcs",
         "nkeys",
         "typed",
+        "cells",
         "routers",
         # per-key: router_id * nkeys + (port * max_vcs + vc)
         "in_q",
@@ -100,13 +109,24 @@ class SoAStore:
     )
 
     def __init__(
-        self, num_routers: int, radix: int, max_vcs: int, *, typed: bool = False
+        self,
+        num_routers: int,
+        radix: int,
+        max_vcs: int,
+        *,
+        typed: bool = False,
+        cells: int = 1,
     ) -> None:
+        # ``cells`` records the batch width: a batched store is built as
+        # ``SoAStore(K * R, radix, max_vcs, cells=K)`` and rows
+        # ``[cell * R, (cell + 1) * R)`` belong to member cell ``cell``.
+        # Unbatched stores keep the default of 1; indexing is identical.
         self.num_routers = num_routers
         self.radix = radix
         self.max_vcs = max_vcs
         self.nkeys = nkeys = radix * max_vcs
         self.typed = typed
+        self.cells = cells
         self.routers: list = []  # set by the Simulation after wiring
 
         K = num_routers * nkeys

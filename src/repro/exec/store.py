@@ -167,7 +167,18 @@ class ResultStore:
         return self.root / f"{digest}.json"
 
     def __contains__(self, digest: str) -> bool:
-        return self._path(digest).exists()
+        """True when a *loadable* entry for *digest* exists.
+
+        Applies the same validation as :meth:`load` (parse, store
+        version, checksum) so a torn write or a foreign-version entry is
+        a miss here exactly as it would be there — a bare
+        ``path.exists()`` used to answer True for entries ``load`` would
+        reject, making dedup scans skip cells that could never actually
+        be read back.  Unlike :meth:`load` this is non-mutating: corrupt
+        entries are left for ``load`` to quarantine.
+        """
+        payload = self._read_payload(digest)
+        return payload is not None and _payload_ok(payload)
 
     def load(self, digest: str) -> SimulationResult | None:
         """Return the stored result for *digest*, or None on a miss.

@@ -37,6 +37,7 @@ from repro.config import SimulationConfig
 from repro.core.results import SimulationResult
 from repro.exec.runner import (
     RetryPolicy,
+    _terminate_workers,
     default_jobs,
     describe_error,
     is_retryable,
@@ -149,7 +150,7 @@ class CellScheduler:
         """Cells currently being computed (or queued on the pool)."""
         return len(self._inflight)
 
-    def schedule(
+    async def schedule(
         self, digest: str, config: SimulationConfig
     ) -> tuple[asyncio.Future[CellOutcome], str]:
         """Resolve *digest*: returns ``(future, provenance)``.
@@ -159,9 +160,21 @@ class CellScheduler:
         earlier caller started, ``computed`` starts one.  The shared
         future always carries the *computing* subscriber's outcome; use
         :meth:`outcome` to re-tag it for this caller.
+
+        The store read (disk I/O, JSON parse, checksum) runs in a worker
+        thread — on the event loop it would stall every connected tenant
+        for the duration of each cache probe.  That makes this method a
+        coroutine, so the in-flight table is checked both before the read
+        (a running computation needs no disk probe) and after it (another
+        caller may have started one while we were off-loop); either way
+        the second subscriber coalesces instead of double-computing.
         """
         loop = asyncio.get_running_loop()
-        hit = self.store.load(digest)
+        running = self._inflight.get(digest)
+        if running is not None:
+            self.counters["coalesced"] += 1
+            return running, PROVENANCE_SHARED
+        hit = await asyncio.to_thread(self.store.load, digest)
         if hit is not None:
             self.counters["cache_hits"] += 1
             future: asyncio.Future[CellOutcome] = loop.create_future()
@@ -177,7 +190,7 @@ class CellScheduler:
 
     async def outcome(self, digest: str, config: SimulationConfig) -> CellOutcome:
         """Schedule *digest* and await its outcome, re-tagged per caller."""
-        future, provenance = self.schedule(digest, config)
+        future, provenance = await self.schedule(digest, config)
         outcome = await asyncio.shield(future)
         if outcome.ok and outcome.provenance != provenance:
             outcome = replace(outcome, provenance=provenance)
@@ -213,6 +226,17 @@ class CellScheduler:
                     kind = "error"
                     if isinstance(exc, asyncio.TimeoutError):
                         kind = "timeout"
+                        if self._owns_pool and self._pool is not None:
+                            # wait_for abandoned the future, but the
+                            # worker is still grinding the overrunning
+                            # cell and holds its pool slot — enough
+                            # timeouts and the pool has no free workers
+                            # left (slot starvation).  Kill the workers
+                            # and rebuild lazily, exactly like the
+                            # broken-pool path below.
+                            _terminate_workers(self._pool)
+                            self._pool.shutdown(wait=False, cancel_futures=True)
+                            self._pool = None
                     elif isinstance(exc, BrokenProcessPool):
                         kind = "worker-lost"
                         if self._owns_pool and self._pool is not None:
@@ -232,7 +256,10 @@ class CellScheduler:
                         kind=kind,
                         error=describe_error(exc),
                     )
-                self.store.save(digest, result)
+                # Persist off-loop too: the save fsyncs, and a tenant's
+                # burst of completions must not serialize the event loop
+                # behind the disk.
+                await asyncio.to_thread(self.store.save, digest, result)
                 self.counters["computed"] += 1
                 if attempts > 1:
                     self.counters["retried"] += 1

@@ -38,7 +38,7 @@ from typing import Any
 
 from repro.config import SimulationConfig
 from repro.errors import ProtocolError
-from repro.exec.runner import RetryPolicy
+from repro.exec.runner import CellFailure, RetryPolicy
 from repro.exec.serialize import plan_digest
 from repro.exec.store import ResultStore
 from repro.service.protocol import cells_from_wire, read_frame, write_frame
@@ -257,7 +257,7 @@ class PlanService:
                     break  # framing is unsynchronized; drop the stream
                 if message is None:
                     break
-                reply = self._dispatch(message, subscriber)
+                reply = await self._dispatch(message, subscriber)
                 if reply is not None:
                     subscriber.push(reply)
         except (ConnectionError, asyncio.CancelledError):
@@ -290,7 +290,7 @@ class PlanService:
         except (ConnectionError, OSError):
             subscriber.dropped = True
 
-    def _dispatch(
+    async def _dispatch(
         self, message: dict[str, Any], subscriber: _Subscriber
     ) -> dict[str, Any] | None:
         kind = message["type"]
@@ -299,13 +299,13 @@ class PlanService:
         if kind == "stats":
             return self._stats()
         if kind == "submit":
-            return self._handle_submit(message, subscriber)
+            return await self._handle_submit(message, subscriber)
         if kind == "resume":
             return self._handle_resume(message, subscriber)
         return {"type": "error", "error": f"unknown message type {kind!r}"}
 
     # -- message handlers ----------------------------------------------------
-    def _handle_submit(
+    async def _handle_submit(
         self, message: dict[str, Any], subscriber: _Subscriber
     ) -> dict[str, Any] | None:
         if self.draining:
@@ -322,7 +322,19 @@ class PlanService:
             # run (or a replay of a finished one), not new work.
             return self._attach(job, subscriber, resumed=True)
 
-        fresh = [d for d in cells if d not in self.store]
+        # The membership probe validates each entry (parse + checksum),
+        # so a wide plan's scan is real disk work — run it off-loop.
+        store = self.store
+        fresh = await asyncio.to_thread(
+            lambda: [d for d in cells if d not in store]
+        )
+        if self.draining or digest in self.plans:
+            # Re-check after the await: a duplicate submit may have won
+            # the race while we were scanning the store.
+            job = self.plans.get(digest)
+            if job is not None:
+                return self._attach(job, subscriber, resumed=True)
+            return {"type": "busy", "reason": "daemon is draining for shutdown"}
         if len(self.plans) >= self.config.max_plans:
             return {
                 "type": "busy",
@@ -406,7 +418,7 @@ class PlanService:
 
     # -- plan execution ------------------------------------------------------
     async def _run_plan(self, job: _PlanJob) -> None:
-        async def one(digest: str, config: SimulationConfig) -> None:
+        async def one(digest: str, config: SimulationConfig):
             outcome = await self.scheduler.outcome(digest, config)
             if outcome.ok:
                 key = "computed" if outcome.provenance == "computed" else (
@@ -416,9 +428,31 @@ class PlanService:
             else:
                 job.counters["failed"] += 1
             job.post(outcome.to_event(job.digest))
+            return outcome
 
         try:
-            await asyncio.gather(*(one(d, cfg) for d, cfg in sorted(job.cells.items())))
+            outcomes = await asyncio.gather(
+                *(one(d, cfg) for d, cfg in sorted(job.cells.items()))
+            )
+            # Journal exhausted cells exactly like Runner.run does (and
+            # clear the journal when everything completed), so `repro
+            # plan status` pointed at the shared store sees daemon-side
+            # failures too — they used to evaporate with the streaming
+            # session.
+            records = [
+                CellFailure(
+                    digest=o.digest,
+                    attempts=o.attempts,
+                    kind=o.kind or "error",
+                    error=o.error or "",
+                    quarantined=True,
+                ).to_dict()
+                for o in outcomes
+                if not o.ok
+            ]
+            await asyncio.to_thread(
+                self.store.write_failures, job.digest, records
+            )
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # defensive: a bug must not hang clients

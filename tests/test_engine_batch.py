@@ -1,0 +1,256 @@
+"""Batched multi-cell stepping is bit-identical to per-cell execution.
+
+The batching contract (README "Engine architecture", batch axis): a
+:class:`repro.core.batch.BatchSimulation` packing K compatible cells
+into one widened SoA store and one fused drain loop must produce K
+results *bit-identical* to running each cell alone — on both engine
+backends, through every execution seam (direct, ``Runner(batch=K)``,
+serial or pooled), and for **any** partition of a plan into batches
+(pinned by a hypothesis property over random pack shapes, compared at
+the byte level of the result store).  The mixed-batch test pins the
+failure contract: one poison member fails only the fused attempt, after
+which the per-cell retry path computes the innocent siblings and
+quarantines the offender alone.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import tiny_config
+from repro.core.batch import (
+    BatchSimulation,
+    batch_compat_key,
+    run_simulation_batch,
+)
+from repro.core.simulation import run_simulation
+from repro.engine.kernel import EngineBackend, resolve_backend
+from repro.errors import AnalysisError
+from repro.exec import ExperimentPlan, ResultStore, RetryPolicy, Runner
+from repro.exec.runner import run_cell, run_cell_batch
+from test_determinism_matrix import _result_fields
+from test_engine_backends import BACKENDS, needs_compiled
+
+
+def quick_cfg(**kw):
+    return tiny_config(warmup_cycles=100, measure_cycles=200, **kw)
+
+
+def _sweep_configs(loads=(0.2, 0.4, 0.6, 0.8), **kw):
+    return [quick_cfg(**kw).with_traffic(load=load) for load in loads]
+
+
+# ----------------------------------------------------------------------
+# compatibility key
+# ----------------------------------------------------------------------
+def test_compat_key_masks_load_and_seed_only():
+    base = quick_cfg()
+    assert batch_compat_key(base) == batch_compat_key(base.with_traffic(load=0.7))
+    assert batch_compat_key(base) == batch_compat_key(base.with_(seed=999))
+    assert batch_compat_key(base) != batch_compat_key(base.with_(routing="obl-crg"))
+    assert batch_compat_key(base) != batch_compat_key(
+        base.with_traffic(pattern="advc")
+    )
+    assert batch_compat_key(base) != batch_compat_key(
+        tiny_config(warmup_cycles=100, measure_cycles=300)
+    )
+
+
+def test_incompatible_cells_rejected():
+    base = quick_cfg()
+    with pytest.raises(ValueError, match="not batch-compatible"):
+        BatchSimulation([base, base.with_(routing="obl-crg")])
+    with pytest.raises(ValueError, match="at least one"):
+        BatchSimulation([])
+
+
+# ----------------------------------------------------------------------
+# core equivalence: fused drain == per-cell drain, per backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batched_matches_unbatched(backend):
+    """K cells in one fused drain == K solo runs, field for field."""
+    configs = _sweep_configs()
+    configs[1] = configs[1].with_(seed=7)  # seeds may vary inside a batch
+    solo = [run_simulation(c, engine_backend=backend) for c in configs]
+    batched = run_simulation_batch(configs, engine_backend=backend)
+    assert len(batched) == len(configs)
+    for s, b in zip(solo, batched):
+        assert _result_fields(s) == _result_fields(b)
+        assert s.config == b.config
+
+
+@needs_compiled
+def test_cross_backend_batched_sweep_golden():
+    """A batched load sweep is identical across python and compiled."""
+    configs = _sweep_configs(loads=(0.15, 0.35, 0.55, 0.75, 0.95))
+    py = run_simulation_batch(configs, engine_backend="python")
+    ck = run_simulation_batch(configs, engine_backend="compiled")
+    for p, c in zip(py, ck):
+        assert _result_fields(p) == _result_fields(c)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_store_layout(backend):
+    """Member routers occupy disjoint cell rows of the shared store."""
+    configs = _sweep_configs(loads=(0.3, 0.6))
+    batch = BatchSimulation(configs, engine_backend=backend)
+    R = batch.routers_per_cell
+    assert batch.soa.cells == 2
+    assert batch.soa.num_routers == 2 * R
+    assert len(batch.soa.routers) == 2 * R
+    for i, sim in enumerate(batch.sims):
+        assert sim.soa is batch.soa
+        for r in sim.routers:
+            assert r.erid == i * R + r.router_id
+            assert r.kb == r.erid * batch.soa.nkeys
+            assert r.pb == r.erid * batch.soa.radix
+            assert batch.soa.routers[r.erid] is r
+
+
+def test_stale_backend_without_drain_batch_falls_back():
+    """A backend lacking drain_batch degrades to sequential (identical)."""
+    configs = _sweep_configs(loads=(0.25, 0.5))
+    batch = BatchSimulation(configs, engine_backend="python")
+    backend = resolve_backend("python")
+    batch.backend = EngineBackend(backend.name, backend.typed, backend.drain)
+    results = batch.run()
+    solo = [run_simulation(c, engine_backend="python") for c in configs]
+    for s, b in zip(solo, results):
+        assert _result_fields(s) == _result_fields(b)
+
+
+# ----------------------------------------------------------------------
+# any partition of a plan -> byte-identical store entries
+# ----------------------------------------------------------------------
+_PARTITION_LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
+_REFERENCE_BYTES: dict[str, bytes] = {}
+
+
+def _reference_store_bytes() -> dict[str, bytes]:
+    """Per-cell store bytes of the unbatched reference run (computed once)."""
+    if not _REFERENCE_BYTES:
+        with tempfile.TemporaryDirectory() as d:
+            store = ResultStore(d)
+            for cell in ExperimentPlan.sweep(quick_cfg(), _PARTITION_LOADS):
+                store.save(cell.digest, run_cell(cell.digest, cell.config))
+            for path in pathlib.Path(d).glob("*.json"):
+                _REFERENCE_BYTES[path.name] = path.read_bytes()
+    return _REFERENCE_BYTES
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_any_partition_yields_byte_identical_store_entries(data):
+    """Pack shape and order are irrelevant: every partition of the sweep
+    into batches (singletons run per-cell) stores exactly the reference
+    bytes."""
+    reference = _reference_store_bytes()
+    cells = list(ExperimentPlan.sweep(quick_cfg(), _PARTITION_LOADS))
+    order = data.draw(st.permutations(cells))
+    packs: list[list] = []
+    i = 0
+    while i < len(order):
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(order) - i), label="pack"
+        )
+        packs.append(order[i : i + size])
+        i += size
+    with tempfile.TemporaryDirectory() as d:
+        store = ResultStore(d)
+        for pack in packs:
+            if len(pack) == 1:
+                store.save(pack[0].digest, run_cell(pack[0].digest, pack[0].config))
+            else:
+                results = run_cell_batch([(c.digest, c.config) for c in pack])
+                for cell, result in zip(pack, results):
+                    store.save(cell.digest, result)
+        produced = {
+            p.name: p.read_bytes() for p in pathlib.Path(d).glob("*.json")
+        }
+    assert produced == reference
+
+
+# ----------------------------------------------------------------------
+# planner grouping + runner integration
+# ----------------------------------------------------------------------
+def test_plan_batches_group_compatible_cells():
+    plan = ExperimentPlan.sweep(quick_cfg(), [0.1, 0.2, 0.3], seeds=2) + (
+        ExperimentPlan.sweep(quick_cfg(routing="obl-crg"), [0.1, 0.2])
+    )
+    packs = plan.batches(4)
+    # Chunked to width, one compat class per pack, all unique cells covered.
+    digests = [c.digest for pack in packs for c in pack]
+    assert sorted(digests) == sorted({c.digest for c in plan})
+    for pack in packs:
+        assert 1 <= len(pack) <= 4
+        assert len({batch_compat_key(c.config) for c in pack}) == 1
+    # The two routings never share a pack.
+    assert sorted(len(p) for p in packs) == [2, 2, 4]
+    with pytest.raises(AnalysisError):
+        plan.batches(0)
+
+
+def test_runner_batch_width_validated():
+    with pytest.raises(AnalysisError):
+        Runner(jobs=1, batch=1)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_runner_batched_store_is_byte_identical(tmp_path, jobs):
+    """Runner(batch=K) writes exactly the bytes the per-cell runner does."""
+    plan = ExperimentPlan.sweep(quick_cfg(), [0.1, 0.3, 0.5, 0.7, 0.9])
+    ref_root = tmp_path / "ref"
+    bat_root = tmp_path / "bat"
+    ref = Runner(jobs=jobs, store=ref_root).run(plan)
+    bat = Runner(jobs=jobs, store=bat_root, batch=3).run(plan)
+    assert ref.ok and bat.ok and bat.computed == 5
+    ref_bytes = {p.name: p.read_bytes() for p in ref_root.glob("*.json")}
+    bat_bytes = {p.name: p.read_bytes() for p in bat_root.glob("*.json")}
+    assert len(ref_bytes) == 5
+    assert bat_bytes == ref_bytes
+
+
+def test_poison_cell_falls_back_to_per_cell_retry(tmp_path, monkeypatch):
+    """One poison member fails only the fused attempt; the per-cell pass
+    computes the siblings and quarantines just the offender, without the
+    batch failure burning any of their attempts."""
+    import repro.exec.runner as runner_mod
+
+    plan = ExperimentPlan.sweep(quick_cfg(), [0.2, 0.4, 0.6, 0.8])
+    poison = plan.cells[1].digest
+    batch_calls: list[list[str]] = []
+    cell_calls: list[str] = []
+
+    def fake_batch(items):
+        batch_calls.append([d for d, _ in items])
+        if any(d == poison for d, _ in items):
+            raise OSError("injected batch poison")
+        return run_cell_batch(items)
+
+    def fake_cell(digest, config):
+        cell_calls.append(digest)
+        if digest == poison:
+            raise OSError("cell still poisoned")
+        return run_cell(digest, config)
+
+    monkeypatch.setattr(runner_mod, "_run_cell_batch", fake_batch)
+    monkeypatch.setattr(runner_mod, "_run_cell", fake_cell)
+    retry = RetryPolicy(max_attempts=2, base_delay=0.001, max_delay=0.002)
+    res = Runner(jobs=1, store=tmp_path, batch=4, retry=retry).run(plan)
+
+    assert batch_calls == [[c.digest for c in plan.cells]]  # one fused try
+    assert set(res.failures) == {poison}
+    assert res.failures[poison].attempts == retry.max_attempts
+    assert len(res.results) == 3  # innocent siblings all computed
+    # Siblings cost one per-cell attempt each — the failed batch burned
+    # none of their budget; the poison cell got its full retry quota.
+    assert cell_calls.count(poison) == retry.max_attempts
+    for cell in plan.cells:
+        if cell.digest != poison:
+            assert cell_calls.count(cell.digest) == 1

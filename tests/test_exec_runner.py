@@ -253,6 +253,21 @@ class TestCrashSafeStore:
         data = json.loads((tmp_path / f"{digest}.json").read_text())
         assert data["checksum"] == entry_checksum(data["result"])
 
+    def test_contains_applies_load_validation(self, tmp_path):
+        """`digest in store` answers what `load` would: a torn or foreign
+        entry on disk is a miss, not a hit (a bare exists() check used to
+        claim entries that could never be read back)."""
+        store, digest = self._stored_digest(tmp_path)
+        assert digest in store
+        path = tmp_path / f"{digest}.json"
+        path.write_text("{torn")  # torn write: file exists, unreadable
+        assert digest not in store
+        assert path.exists()  # non-mutating: load() quarantines, not this
+        assert store.quarantined() == []
+        path.write_text('{"version": 99, "result": {}}')  # foreign version
+        assert digest not in store
+        assert "0" * 64 not in store  # plain absence
+
     def test_failures_journal_round_trip(self, tmp_path):
         store = ResultStore(tmp_path)
         records = [

@@ -60,8 +60,8 @@ class TestCellScheduler:
             service = _service(tmp_path, compute_fn=gated)
             sched = service.scheduler
             cell = next(iter(_grid([0.1])))
-            f1, p1 = sched.schedule(cell.digest, cell.config)
-            f2, p2 = sched.schedule(cell.digest, cell.config)
+            f1, p1 = await sched.schedule(cell.digest, cell.config)
+            f2, p2 = await sched.schedule(cell.digest, cell.config)
             assert (p1, p2) == ("computed", "shared")
             assert f2 is f1  # literally the same future
             gate.set()
@@ -481,3 +481,105 @@ class TestSubscriberBackpressure:
         sub.hangup()
         sub.push({"type": "cell_done"})
         assert sub.queue.qsize() == 1  # just the sentinel
+
+
+def _sleepy_cell(digest, config):  # module level: picklable for a real pool
+    time.sleep(30)
+
+
+class TestSchedulerPoolHygiene:
+    def test_timeout_tears_down_owned_pool(self, tmp_path):
+        """A timed-out cell's worker keeps grinding and would hold its
+        pool slot forever; the scheduler must reclaim it by tearing the
+        owned pool down (rebuilt lazily), like the broken-pool path."""
+
+        async def run():
+            store = ResultStore(tmp_path / "store")
+            sched = CellScheduler(
+                store,
+                max_workers=1,
+                retry=RetryPolicy(max_attempts=1, cell_timeout=0.25),
+                compute_fn=_sleepy_cell,
+            )
+            try:
+                cell = next(iter(_grid([0.1])))
+                outcome = await sched.outcome(cell.digest, cell.config)
+                torn_down = sched._pool is None
+                rebuilt = sched._executor() is not None
+                return outcome, torn_down, rebuilt
+            finally:
+                sched.close()
+
+        outcome, torn_down, rebuilt = asyncio.run(run())
+        assert not outcome.ok and outcome.kind == "timeout"
+        assert torn_down  # the starved slot was reclaimed with the pool
+        assert rebuilt  # and the next computation gets a fresh pool
+
+    def test_timeout_leaves_injected_executor_alone(self, tmp_path):
+        """Teardown applies only to the pool the scheduler owns."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        release = threading.Event()
+
+        def sleepy(digest, config):
+            release.wait(timeout=10.0)
+
+        pool = ThreadPoolExecutor(max_workers=1)
+
+        async def run():
+            store = ResultStore(tmp_path / "store")
+            sched = CellScheduler(
+                store,
+                retry=RetryPolicy(max_attempts=1, cell_timeout=0.1),
+                executor=pool,
+                compute_fn=sleepy,
+            )
+            cell = next(iter(_grid([0.1])))
+            outcome = await sched.outcome(cell.digest, cell.config)
+            return outcome, sched._pool
+
+        try:
+            outcome, kept = asyncio.run(run())
+        finally:
+            release.set()
+            pool.shutdown(wait=True)
+        assert outcome.kind == "timeout"
+        assert kept is pool  # injected executor untouched
+
+
+class TestDaemonFailureJournal:
+    def test_daemon_failures_reach_store_journal(self, tmp_path):
+        """Cells that exhaust their attempts under the daemon land in the
+        store's failures journal exactly like Runner.run's, so `repro
+        plan status` pointed at the shared store sees them; a later clean
+        run of the plan clears the journal again."""
+        plan = _grid([0.1, 0.2])
+        bad = sorted(c.digest for c in plan)[0]
+
+        def broken_one(digest, config):
+            if digest == bad:
+                raise ConfigurationError("deterministically poisoned")
+            return run_cell(digest, config)
+
+        async def run(compute_fn):
+            service = _service(tmp_path, compute_fn=compute_fn)
+            await service.start()
+            try:
+                outcome = await run_plan("127.0.0.1", service.port, plan)
+            finally:
+                await service.shutdown()
+            return outcome, service
+
+        outcome, service = asyncio.run(run(broken_one))
+        assert outcome.counters["failed"] == 1
+        records = service.store.read_failures(outcome.plan_digest)
+        assert [r["digest"] for r in records] == [bad]
+        assert records[0]["kind"] == "error"
+        assert records[0]["quarantined"] is True
+        assert "poisoned" in records[0]["error"]
+
+        # A clean rerun (healthy compute, same store) clears the journal.
+        outcome2, service2 = asyncio.run(run(None))
+        assert outcome2.ok
+        assert service2.store.read_failures(outcome2.plan_digest) == []
+        assert not service2.store.failures_path.exists()
