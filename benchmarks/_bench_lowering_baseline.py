@@ -1,0 +1,90 @@
+"""Subprocess helper for ``bench_lowering.py``: measure a *pre-lowering*
+checkout.
+
+``bench_lowering.py`` launches this script with ``PYTHONPATH`` pointing
+at a worktree of the last commit **before** the OP_GEN/OP_DELIVER
+lowering (see its ``--baseline-src`` flag), so the "before" column of
+the committed table is the actual prior engine measured on the same
+host, same session — not a number replayed from a different machine.
+
+The script therefore only uses APIs that exist in that older tree:
+``Simulation(cfg, engine_backend=...)`` (no ``engine_lower`` keyword)
+and ``run_simulation_batch(cfgs, engine_backend=...)``.  It reads one
+JSON job spec on stdin and prints one JSON result on stdout::
+
+    {"backend": "compiled", "reps": 5,
+     "cases": [[label, kind, routing, pattern, load], ...],
+     "batch": {"kind": ..., "routing": ..., "pattern": ..., "load": ...,
+               "cells": 6}}        # optional
+
+``kind`` selects the config factory: ``tiny`` -> ``tiny_config``,
+``bench`` -> ``bench_common.bench_config``.  Timing matches the parent
+script: best-of-*reps* wall clock of ``sim.run()`` only (a fresh
+simulation is built outside the timed region each rep); the batch
+measurement times the whole ``run_simulation_batch`` call.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+def _build_config(kind: str, routing: str, pattern: str, load: float):
+    if kind == "tiny":
+        from repro.config import tiny_config
+
+        cfg = tiny_config(routing=routing)
+    else:
+        from bench_common import bench_config
+
+        cfg = bench_config(routing=routing)
+    return cfg.with_traffic(pattern=pattern, load=load)
+
+
+def main() -> int:
+    from repro.core.batch import run_simulation_batch
+    from repro.core.simulation import Simulation
+
+    job = json.load(sys.stdin)
+    backend = job["backend"]
+    reps = job.get("reps", 5)
+
+    out: dict = {"configs": {}}
+    for label, kind, routing, pattern, load in job["cases"]:
+        cfg = _build_config(kind, routing, pattern, load)
+        best = float("inf")
+        for _ in range(reps):
+            sim = Simulation(cfg, engine_backend=backend)
+            start = time.perf_counter()
+            result = sim.run()
+            best = min(best, time.perf_counter() - start)
+        out["configs"][label] = {
+            "events": result.events_processed,
+            "events_per_s": result.events_processed / best,
+        }
+
+    spec = job.get("batch")
+    if spec is not None:
+        base = _build_config(
+            spec["kind"], spec["routing"], spec["pattern"], spec["load"]
+        )
+        cfgs = [base.with_(seed=s) for s in range(spec["cells"])]
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            results = run_simulation_batch(cfgs, engine_backend=backend)
+            best = min(best, time.perf_counter() - start)
+        total = sum(r.events_processed for r in results)
+        out["batch"] = {
+            "events_total": total,
+            "aggregate_events_per_s": total / best,
+        }
+
+    json.dump(out, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

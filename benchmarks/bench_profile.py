@@ -65,6 +65,9 @@ def main(argv: list[str] | None = None) -> int:
             f"delivered={result.delivered_packets}\n"
             f"profiled rates: {metrics['events_per_s']:,.0f} events/s | "
             f"{metrics['activations_per_s']:,.0f} activations/s\n"
+            f"python-callback share (gen + sink): "
+            f"{metrics['callback_s']:.3f}s "
+            f"({metrics['callback_share']:.1%} of wall)\n"
             f"{report.rstrip()}"
         )
     sections.append(metadata_lines())

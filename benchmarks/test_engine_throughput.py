@@ -84,6 +84,10 @@ def throughput_cases():
             bench_config(routing="min").with_traffic(pattern="uniform", load=0.4),
         ),
         (
+            "small/ADVc@0.4 min",
+            bench_config(routing="min").with_traffic(pattern="advc", load=0.4),
+        ),
+        (
             "small/ADVc@0.4 in-trns-mm",
             bench_config(routing="in-trns-mm").with_traffic(pattern="advc", load=0.4),
         ),

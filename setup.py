@@ -54,7 +54,7 @@ setup(
         Extension(
             "repro.engine._ckernel",
             sources=["src/repro/engine/_ckernel.c"],
-            extra_compile_args=["-O2"],
+            extra_compile_args=["-O3"],
             optional=True,
         )
     ],

@@ -559,6 +559,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"({metrics['activations_per_s']:,.0f}/s) "
             "[profiled rates]"
         )
+        print(
+            f"python-callback share (gen + sink): "
+            f"{metrics['callback_s']:.3f}s "
+            f"({metrics['callback_share']:.1%} of wall)"
+        )
         print(result.summary())
         if args.output:
             print(f"raw profile written to {args.output}")

@@ -74,6 +74,7 @@ class BatchSimulation:
         configs: Sequence[SimulationConfig],
         *,
         engine_backend: str | None = None,
+        engine_lower: str | None = None,
         check_decomposition: bool = False,
     ) -> None:
         if not configs:
@@ -119,6 +120,7 @@ class BatchSimulation:
                 cfg,
                 check_decomposition=check_decomposition,
                 engine_backend=backend.name,
+                engine_lower=engine_lower,
                 soa=self.soa,
                 soa_base=i * R,
             )
@@ -152,6 +154,7 @@ def run_simulation_batch(
     configs: Sequence[SimulationConfig],
     *,
     engine_backend: str | None = None,
+    engine_lower: str | None = None,
     check_decomposition: bool = False,
 ) -> list[SimulationResult]:
     """Build and run one batch (convenience wrapper, mirrors
@@ -159,5 +162,6 @@ def run_simulation_batch(
     return BatchSimulation(
         configs,
         engine_backend=engine_backend,
+        engine_lower=engine_lower,
         check_decomposition=check_decomposition,
     ).run()

@@ -15,7 +15,7 @@ from math import log
 from repro.config import SimulationConfig
 from repro.core.results import SimulationResult
 from repro.engine import OP_GEN, EventQueue
-from repro.engine.kernel import resolve_backend
+from repro.engine.kernel import LowerState, resolve_backend, resolve_lower
 from repro.engine.soa import SoAStore
 from repro.errors import OracleError, SimulationError
 from repro.hardware.packet import Packet
@@ -78,6 +78,7 @@ class Simulation:
         *,
         check_decomposition: bool = False,
         engine_backend: str | None = None,
+        engine_lower: str | None = None,
         soa: SoAStore | None = None,
         soa_base: int = 0,
     ) -> None:
@@ -139,9 +140,6 @@ class Simulation:
 
         # Routing mechanism (needs self.routers for PiggyBack state).
         self.routing = make_routing(config.routing, self)
-        for r in self.routers:
-            r.routing = self.routing
-            r._bind_hot()
 
         # Traffic.  Time-varying scenario patterns read the engine clock.
         self.traffic = make_traffic(
@@ -157,14 +155,6 @@ class Simulation:
         self._pid = 0
         self._num_nodes = self.topo.num_nodes
         self._end_time = config.total_cycles
-        # Phase-boundary hooks: the queue dispatches ejections (OP_DELIVER)
-        # into the collector (directly when no oracle audits deliveries)
-        # and generator activations (OP_GEN) into `_gen_event` — no
-        # per-event callback tuples on either path.
-        self.engine.bind_sink(
-            self.stats.on_delivery if self.oracle is None else self.deliver
-        )
-        self.engine.bind_gen(self._gen_event)
         # node -> (its router, its node port): saves two divmods per
         # generated packet in the generator activation, and one constant
         # (OP_GEN, node) record per node so rescheduling never allocates.
@@ -183,9 +173,50 @@ class Simulation:
         self._c_global = pipe + psize + net.global_link_latency
         self._c_eject = pipe + psize + net.node_link_latency
         self._psize = psize
-        # Memoized minimal-path base latencies (src_router, dst_router are
-        # a small dense pair space; generation hits the same pairs often).
-        self._min_service_cache: dict[int, int] = {}
+        # Dense minimal-path base-latency table, built once per topology
+        # + cost triple and shared through the _TOPO_CACHE warm start
+        # (replaces the old unbounded per-simulation dict memo; the
+        # lowered C generator indexes the same table directly).
+        self._ms_table = self.topo.min_service_table(
+            self._c_local, self._c_global, self._c_eject
+        )
+
+        # Lowered OP_GEN / OP_DELIVER fast path (REPRO_ENGINE_LOWER; see
+        # repro.engine.kernel.LowerState).  Decided before _bind_hot so
+        # the lowered on_injection hook is the one frozen into each
+        # router's hot tuples; oracle runs, decomposition-checked runs
+        # and patterns without a lowering descriptor keep the callback
+        # path untouched.
+        mode = resolve_lower(engine_lower)
+        descriptor = None
+        if mode != "0" and self.oracle is None and not check_decomposition:
+            descriptor = self.traffic.lower()
+        self._lower = (
+            LowerState(self, descriptor) if descriptor is not None else None
+        )
+        # The pattern instance the descriptor was taken from: replacing
+        # ``sim.traffic`` after construction (tests, custom patterns)
+        # invalidates the lowering, which start() detects and undoes.
+        self._lower_src = self.traffic if self._lower is not None else None
+        if self._lower is not None:
+            low_inj = self._lower.on_injection
+            for r in self.routers:
+                r._on_injection = low_inj
+        for r in self.routers:
+            r.routing = self.routing
+            r._bind_hot()
+
+        # Phase-boundary hooks: the queue dispatches ejections (OP_DELIVER)
+        # into the collector (directly when no oracle audits deliveries)
+        # and generator activations (OP_GEN) into `_gen_event` — no
+        # per-event callback tuples on either path.  A lowered run then
+        # re-points both at the LowerState mirrors.
+        self.engine.bind_sink(
+            self.stats.on_delivery if self.oracle is None else self.deliver
+        )
+        self.engine.bind_gen(self._gen_event)
+        if self._lower is not None:
+            self.engine.bind_lower(self._lower)
 
         # Deadlock watchdog state.
         self._watch_delivered = -1
@@ -212,21 +243,13 @@ class Simulation:
     # traffic generation
     # ------------------------------------------------------------------
     def _min_service(self, src_router: int, dst_router: int) -> int:
-        """Contention-free latency of the minimal path (the Fig. 3 base)."""
-        cost = self._c_eject
-        topo = self.topo
-        g, i = divmod(src_router, topo.a)
-        tg, ti = divmod(dst_router, topo.a)
-        if g != tg:
-            gw_pos, _gw_port = topo.gateway(g, tg)
-            if i != gw_pos:
-                cost += self._c_local
-            cost += self._c_global
-            i = topo.landing_router(g, tg)
-            g = tg
-        if i != ti:
-            cost += self._c_local
-        return cost
+        """Contention-free latency of the minimal path (the Fig. 3 base).
+
+        A read of the topology-owned dense table (see
+        :meth:`~repro.topology.dragonfly.DragonflyTopology.min_service_table`
+        for the path-cost derivation).
+        """
+        return self._ms_table[src_router * self.topo.num_routers + dst_router]
 
     def _make_packet(self, src_node: int, dst_node: int, now: int) -> Packet:
         topo = self.topo
@@ -234,11 +257,7 @@ class Simulation:
         a = topo.a
         src_router = src_node // p
         dst_router = dst_node // p
-        pair = src_router * topo.num_routers + dst_router
-        base = self._min_service_cache.get(pair)
-        if base is None:
-            base = self._min_service(src_router, dst_router)
-            self._min_service_cache[pair] = base
+        base = self._ms_table[src_router * topo.num_routers + dst_router]
         self._pid = pid = self._pid + 1
         return Packet(
             pid,
@@ -279,11 +298,7 @@ class Simulation:
             a = topo.a
             src_router = node // p
             dst_router = dst // p
-            pair = src_router * topo.num_routers + dst_router
-            base = self._min_service_cache.get(pair)
-            if base is None:
-                base = self._min_service(src_router, dst_router)
-                self._min_service_cache[pair] = base
+            base = self._ms_table[src_router * topo.num_routers + dst_router]
             self._pid = pid = self._pid + 1
             pkt = Packet(
                 pid,
@@ -333,11 +348,22 @@ class Simulation:
 
     # ------------------------------------------------------------------
     def _watchdog(self) -> None:
+        # A lowered run accumulates the all-time counters in the flat
+        # stat buffers; the collector only learns them at _collect(),
+        # where commit() *adds* them to whatever the collector already
+        # holds.  The watchdog therefore observes the same union — a
+        # direct contribution to the collector (e.g. a packet injected
+        # outside the generator path) counts as in flight either way.
+        lower = self._lower
         delivered = self.stats.total_delivered
-        if delivered == self._watch_delivered and self.stats.in_flight() > 0:
+        in_flight = self.stats.in_flight()
+        if lower is not None:
+            delivered += lower.total_delivered()
+            in_flight += lower.in_flight()
+        if delivered == self._watch_delivered and in_flight > 0:
             raise SimulationError(
                 f"deadlock suspected at cycle {self.engine.now}: "
-                f"{self.stats.in_flight()} packets in flight but no delivery "
+                f"{in_flight} packets in flight but no delivery "
                 f"for {self.config.deadlock_cycles} cycles "
                 f"(routing={self.config.routing}, "
                 f"pattern={self.config.traffic.pattern}, "
@@ -348,6 +374,27 @@ class Simulation:
             self.engine.schedule(self.config.deadlock_cycles, self._watchdog)
 
     # ------------------------------------------------------------------
+    def _unlower(self) -> None:
+        """Drop the lowered fast path and restore the callback hooks.
+
+        Called by :meth:`start` when ``self.traffic`` is no longer the
+        pattern instance the lowering descriptor was taken from — the
+        replacement's ``dest()``/``active()`` must be consulted, so the
+        run falls back to the (bit-identical) callback path.  Runs
+        before the first drain, hence before the compiled kernel caches
+        its state.
+        """
+        self._lower = None
+        self._lower_src = None
+        on_inj = self.stats.on_injection
+        for r in self.routers:
+            r._on_injection = on_inj
+            r._bind_hot()
+        self.engine.unbind_lower(
+            self._gen_event,
+            self.stats.on_delivery if self.oracle is None else self.deliver,
+        )
+
     def start(self) -> None:
         """Post the initial generator/watchdog records (no stepping yet).
 
@@ -355,6 +402,8 @@ class Simulation:
         BatchSimulation` can start every member cell before draining
         their calendars through one fused loop.
         """
+        if self._lower is not None and self.traffic is not self._lower_src:
+            self._unlower()
         # Desynchronised start: each node's Bernoulli process begins at an
         # independently drawn geometric offset, as if it had been running
         # before cycle 0.
@@ -373,6 +422,8 @@ class Simulation:
 
     def _collect(self) -> SimulationResult:
         """Post-horizon oracle audit + result assembly (end of run())."""
+        if self._lower is not None:
+            self._lower.commit(self.stats)
         oracle_verdict = None
         if self.oracle is not None:
             self._drain()
@@ -424,10 +475,12 @@ def run_simulation(
     *,
     check_decomposition: bool = False,
     engine_backend: str | None = None,
+    engine_lower: str | None = None,
 ) -> SimulationResult:
     """Build and run one simulation (convenience wrapper)."""
     return Simulation(
         config,
         check_decomposition=check_decomposition,
         engine_backend=engine_backend,
+        engine_lower=engine_lower,
     ).run()

@@ -27,9 +27,9 @@
  * Python is called back for exactly the work that is Python by contract:
  * routing decisions (which may consume the simulation RNG), traffic
  * generation (OP_GEN), the delivery sink (OP_DELIVER), generic OP_CALL
- * callbacks, overridden routing hooks, stats injection callbacks and
- * deque operations (input/output FIFOs stay collections.deque so the
- * interpreted paths and tests see the same structures).
+ * callbacks, overridden routing hooks and stats injection callbacks.
+ * The input/output FIFOs are plain Python lists in both kernels, so
+ * queue access compiles to list macros instead of method calls.
  *
  * State shared with Python (packet fields, Router._arb_time, the
  * EventQueue counters) lives in __slots__; the extension resolves the
@@ -45,6 +45,7 @@
 #include <structmember.h>
 #include <stdint.h>
 #include <string.h>
+#include <math.h>
 
 /* ------------------------------------------------------------------ */
 /* small helpers                                                       */
@@ -53,6 +54,18 @@
 static inline int64_t
 as_ll(PyObject *o)
 {
+    /* Single-digit fast path: every hot int here (cycle, port, vc,
+     * node, pid) fits one 30-bit digit, and PyLong_AsLongLong's
+     * overflow machinery shows up in profiles. */
+    if (PyLong_CheckExact(o)) {
+        Py_ssize_t s = Py_SIZE(o);
+        if (s == 0)
+            return 0;
+        if (s == 1)
+            return (int64_t)((PyLongObject *)o)->ob_digit[0];
+        if (s == -1)
+            return -(int64_t)((PyLongObject *)o)->ob_digit[0];
+    }
     return (int64_t)PyLong_AsLongLong(o);
 }
 
@@ -106,6 +119,23 @@ slot_set_ll(PyObject *obj, Py_ssize_t off, int64_t v)
         return -1;
     slot_set(obj, off, o);
     return 0;
+}
+
+/* Fixed-arity vectorcalls: the hot-path replacement for the va_list
+ * based PyObject_CallFunctionObjArgs (which boxes through object_vacall
+ * on every call). */
+static inline PyObject *
+call1(PyObject *func, PyObject *a)
+{
+    PyObject *args[1] = {a};
+    return PyObject_Vectorcall(func, args, 1, NULL);
+}
+
+static inline PyObject *
+call2(PyObject *func, PyObject *a, PyObject *b)
+{
+    PyObject *args[2] = {a, b};
+    return PyObject_Vectorcall(func, args, 2, NULL);
 }
 
 /* ------------------------------------------------------------------ */
@@ -179,13 +209,86 @@ heap_pop(PyObject *heap)
 }
 
 /* ------------------------------------------------------------------ */
+/* in-kernel MT19937 (bit-exact twin of CPython's _random.Random)      */
+/* ------------------------------------------------------------------ */
+
+/* The lowered traffic generator consumes the simulation's rng_traffic
+ * stream natively: the 625-word state from random.Random.getstate() is
+ * copied in at drain entry and written back via setstate() at drain
+ * exit, and the two consumers the generator needs — random() (the
+ * 53-bit genrand_res53 construction) and getrandbits(k<=32) — are
+ * reproduced word-for-word, so the stream position and every drawn
+ * value match the interpreted path exactly. */
+
+#define MT_N 624
+#define MT_M 397
+
+typedef struct {
+    uint32_t mt[MT_N];
+    int mti;
+} MtState;
+
+static uint32_t
+mt_next(MtState *st)
+{
+    static const uint32_t mag01[2] = {0u, 0x9908b0dfu};
+    uint32_t y;
+    if (st->mti >= MT_N) {
+        uint32_t *mt = st->mt;
+        int kk;
+        for (kk = 0; kk < MT_N - MT_M; kk++) {
+            y = (mt[kk] & 0x80000000u) | (mt[kk + 1] & 0x7fffffffu);
+            mt[kk] = mt[kk + MT_M] ^ (y >> 1) ^ mag01[y & 1u];
+        }
+        for (; kk < MT_N - 1; kk++) {
+            y = (mt[kk] & 0x80000000u) | (mt[kk + 1] & 0x7fffffffu);
+            mt[kk] = mt[kk + (MT_M - MT_N)] ^ (y >> 1) ^ mag01[y & 1u];
+        }
+        y = (mt[MT_N - 1] & 0x80000000u) | (mt[0] & 0x7fffffffu);
+        mt[MT_N - 1] = mt[MT_M - 1] ^ (y >> 1) ^ mag01[y & 1u];
+        st->mti = 0;
+    }
+    y = st->mt[st->mti++];
+    y ^= (y >> 11);
+    y ^= (y << 7) & 0x9d2c5680u;
+    y ^= (y << 15) & 0xefc60000u;
+    y ^= (y >> 18);
+    return y;
+}
+
+/* random(): genrand_res53, exactly as CPython's random_random. */
+static inline double
+mt_random(MtState *st)
+{
+    uint32_t a = mt_next(st) >> 5, b = mt_next(st) >> 6;
+    return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0);
+}
+
+/* getrandbits(k) for 1 <= k <= 32. */
+static inline uint32_t
+mt_getrandbits(MtState *st, int k)
+{
+    return mt_next(st) >> (32 - k);
+}
+
+/* Python's % (result sign follows the divisor; divisors here > 0). */
+static inline int64_t
+pymod(int64_t x, int64_t m)
+{
+    int64_t r = x % m;
+    return (r < 0) ? r + m : r;
+}
+
+/* ------------------------------------------------------------------ */
 /* kernel state                                                        */
 /* ------------------------------------------------------------------ */
 
 typedef struct {
     Py_ssize_t size, t_enq, inject_time, wait_local, wait_global,
         service_sum, local_hops, global_hops, group_local_hops,
-        current_group, plan, inter_router, inter_group, dst_group, pid;
+        current_group, plan, inter_router, inter_group, dst_group, pid,
+        gen_time, base_latency, dst_router, src_node, src_router,
+        src_group, dst_node, dst_local_router, dst_node_port;
 } PacketSlots;
 
 typedef struct {
@@ -203,7 +306,70 @@ typedef struct {
     int64_t kb, pb, rid, erid, group, boundary, max_vcs, nkeys, radix;
     int64_t cache_policy, transit_priority, internal, num_node_ports,
         psize, pipe_lat;
+    /* MinimalRouting decide() lowered to C (used only on lowered runs;
+     * gw tables owned, `groups` entries each) */
+    int min_low;
+    int64_t min_a, min_groups, min_pos, first_local, first_global,
+        n_local_vcs, n_global_vcs;
+    int64_t *gw_router, *gw_port;
 } RState;
+
+/* ---- lowered OP_GEN / OP_DELIVER fast path ------------------------- */
+
+/* Stat slot layout of the flat accumulators on the SoA store; must
+ * match the SI_* / SF_* constants in repro/engine/soa.py. */
+#define SI_TOTAL_GENERATED 0
+#define SI_TOTAL_INJECTED 1
+#define SI_TOTAL_DELIVERED 2
+#define SI_GEN_PHITS 3
+#define SI_GEN_PACKETS 4
+#define SI_DEL_PHITS 5
+#define SI_DEL_PACKETS 6
+
+#define SF_LAT_MEAN 0
+#define SF_LAT_M2 1
+#define SF_LAT_MIN 2
+#define SF_LAT_MAX 3
+#define SF_BD_INJ 4
+#define SF_BD_LOCAL 5
+#define SF_BD_GLOBAL 6
+#define SF_BD_BASE 7
+#define SF_BD_MIS 8
+
+/* The C twin of repro.engine.kernel.LowerState: built from eq._lower
+ * when the KState is constructed.  Scalars and the pattern descriptor
+ * are unpacked into struct fields; the stat accumulators and the
+ * min-service table are buffer views; the traffic RNG runs in-kernel
+ * (MtState) between lstate_sync_in / lstate_sync_out. */
+typedef struct {
+    PyObject *lower;       /* owned: the Python LowerState */
+    PyObject *rng;         /* owned: the random.Random */
+    PyObject *rng_getstate, *rng_setstate; /* owned bound methods */
+    PyObject *owner;       /* owned: the Simulation (for _pid) */
+    PyObject *packet_type; /* owned */
+    PyObject *gen_recs;    /* owned list of (OP_GEN, node) records */
+    PyObject *psize_obj;   /* owned int */
+    PyObject *gauss_next;  /* owned: getstate()[2], round-tripped */
+    Py_buffer ms_view, si_view, sf_view, inj_view, del_view;
+    int64_t *ms_table;     /* R*R contention-free service costs */
+    int64_t *si;           /* this cell's NSTAT_I block */
+    double *sf;            /* this cell's NSTAT_F block */
+    int64_t *inj_router, *del_router; /* full arrays, erid-indexed */
+    int64_t soa_base, R, p, a, psize, end_time, ws, we, num_nodes;
+    double log_q;
+    int has_log_q;
+    int64_t pid;           /* mirrored from owner._pid per drain */
+    MtState mt;
+    /* descriptor (see TrafficPattern.lower) */
+    int kind;              /* 0 uniform, 1 adversarial, 2 advc, 3 perm */
+    int64_t n1, offset, per_group, groups;
+    int n1_bits, pg_bits, off_bits;
+    int64_t *offsets;      /* owned, advc */
+    Py_ssize_t n_off;
+    int64_t *perm;         /* owned, permutation (num_nodes entries) */
+} LState;
+
+static void lstate_free(LState *ls);
 
 #define N_VIEWS 18
 
@@ -239,7 +405,6 @@ typedef struct {
     PyObject **vc_objs;   /* max_vcs ints */
     PyObject *op_out_arrive, *op_credit, *op_link, *op_release,
         *op_arrive, *op_deliver;
-    PyObject *deque_append, *deque_popleft;
     PyObject *s_last_decide_pure, *s_last_decide_guard;
     PyObject *flow_err, *routing_err;
     PyObject *router_mod; /* for the dynamic CHECK_INVARIANTS flag */
@@ -255,6 +420,14 @@ typedef struct {
     int64_t *order_ports; /* radix: first-seen output order */
     uint8_t *td_mask;     /* radix: transit-demand membership */
     int64_t *f_idx;       /* nkeys: filtered candidate scratch */
+    /* lowered OP_GEN / OP_DELIVER fast path (NULL when not lowered) */
+    /* one-entry post-target memo: the bucket list `buckets` currently
+     * maps to `post_cache_t` (owned ref; INT64_MIN = invalid).  Only
+     * valid within one drain_core call — reset at its entry, dropped
+     * when the bucket is drained and deleted. */
+    int64_t post_cache_t;
+    PyObject *post_cache_bucket;
+    LState *low;
 } KState;
 
 static void
@@ -274,6 +447,8 @@ rstate_clear(RState *rs)
     Py_XDECREF(rs->out_peer);
     Py_XDECREF(rs->rid_obj);
     Py_XDECREF(rs->py_step);
+    PyMem_Free(rs->gw_router);
+    PyMem_Free(rs->gw_port);
 }
 
 static void
@@ -302,6 +477,7 @@ kstate_free(KState *ks)
             Py_XDECREF(ks->vc_objs[i]);
         PyMem_Free(ks->vc_objs);
     }
+    Py_XDECREF(ks->post_cache_bucket);
     Py_XDECREF(ks->in_q);
     Py_XDECREF(ks->dc_pkt);
     Py_XDECREF(ks->dc_dec);
@@ -316,8 +492,6 @@ kstate_free(KState *ks)
     Py_XDECREF(ks->op_release);
     Py_XDECREF(ks->op_arrive);
     Py_XDECREF(ks->op_deliver);
-    Py_XDECREF(ks->deque_append);
-    Py_XDECREF(ks->deque_popleft);
     Py_XDECREF(ks->s_last_decide_pure);
     Py_XDECREF(ks->s_last_decide_guard);
     Py_XDECREF(ks->flow_err);
@@ -336,6 +510,7 @@ kstate_free(KState *ks)
     PyMem_Free(ks->order_ports);
     PyMem_Free(ks->td_mask);
     PyMem_Free(ks->f_idx);
+    lstate_free(ks->low);
     for (i = 0; i < ks->nviews; i++)
         PyBuffer_Release(&ks->views[i]);
     PyMem_Free(ks);
@@ -403,6 +578,326 @@ get_ll_attr(PyObject *obj, const char *name, int *err)
 }
 
 /* ------------------------------------------------------------------ */
+/* LState: the lowered generator/sink twin                             */
+/* ------------------------------------------------------------------ */
+
+static void
+lstate_free(LState *ls)
+{
+    if (ls == NULL)
+        return;
+    Py_XDECREF(ls->lower);
+    Py_XDECREF(ls->rng);
+    Py_XDECREF(ls->rng_getstate);
+    Py_XDECREF(ls->rng_setstate);
+    Py_XDECREF(ls->owner);
+    Py_XDECREF(ls->packet_type);
+    Py_XDECREF(ls->gen_recs);
+    Py_XDECREF(ls->psize_obj);
+    Py_XDECREF(ls->gauss_next);
+    PyMem_Free(ls->offsets);
+    PyMem_Free(ls->perm);
+    PyBuffer_Release(&ls->ms_view);
+    PyBuffer_Release(&ls->si_view);
+    PyBuffer_Release(&ls->sf_view);
+    PyBuffer_Release(&ls->inj_view);
+    PyBuffer_Release(&ls->del_view);
+    PyMem_Free(ls);
+}
+
+/* Map an array('q')/array('d') attribute of `lower` into `view`. */
+static void *
+lstate_map(PyObject *lower, const char *name, Py_buffer *view)
+{
+    PyObject *obj = PyObject_GetAttrString(lower, name);
+    if (obj == NULL)
+        return NULL;
+    if (PyObject_GetBuffer(obj, view, PyBUF_CONTIG) < 0) {
+        Py_DECREF(obj);
+        return NULL;
+    }
+    Py_DECREF(obj);
+    if (view->itemsize != 8) {
+        PyBuffer_Release(view);
+        PyErr_Format(PyExc_TypeError,
+                     "LowerState.%s is not an 8-byte-item buffer "
+                     "(is the store typed?)", name);
+        return NULL;
+    }
+    return view->buf;
+}
+
+/* Copy an int tuple attribute into a fresh int64 array (*n_out items;
+ * an empty tuple yields a valid zero-length allocation). */
+static int64_t *
+lstate_ints(PyObject *lower, const char *name, Py_ssize_t *n_out)
+{
+    PyObject *tup = PyObject_GetAttrString(lower, name);
+    int64_t *out;
+    Py_ssize_t i, n;
+    if (tup == NULL)
+        return NULL;
+    if (!PyTuple_CheckExact(tup)) {
+        Py_DECREF(tup);
+        PyErr_Format(PyExc_TypeError, "LowerState.%s is not a tuple",
+                     name);
+        return NULL;
+    }
+    n = PyTuple_GET_SIZE(tup);
+    out = PyMem_Malloc((size_t)(n > 0 ? n : 1) * sizeof(int64_t));
+    if (out == NULL) {
+        Py_DECREF(tup);
+        PyErr_NoMemory();
+        return NULL;
+    }
+    for (i = 0; i < n; i++) {
+        out[i] = as_ll(PyTuple_GET_ITEM(tup, i));
+        if (out[i] == -1 && PyErr_Occurred()) {
+            Py_DECREF(tup);
+            PyMem_Free(out);
+            return NULL;
+        }
+    }
+    Py_DECREF(tup);
+    *n_out = n;
+    return out;
+}
+
+static LState *
+lstate_build(PyObject *lower)
+{
+    LState *ls = PyMem_Calloc(1, sizeof(LState));
+    PyObject *mod = NULL, *item = NULL;
+    int64_t si_base, sf_base;
+    int err = 0;
+
+    if (ls == NULL) {
+        PyErr_NoMemory();
+        return NULL;
+    }
+    Py_INCREF(lower);
+    ls->lower = lower;
+    ls->rng = PyObject_GetAttrString(lower, "rng");
+    ls->owner = PyObject_GetAttrString(lower, "owner");
+    ls->gen_recs = PyObject_GetAttrString(lower, "gen_recs");
+    if (ls->rng == NULL || ls->owner == NULL || ls->gen_recs == NULL)
+        goto fail;
+    if (!PyList_CheckExact(ls->gen_recs)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "LowerState.gen_recs is not a list");
+        goto fail;
+    }
+    ls->rng_getstate = PyObject_GetAttrString(ls->rng, "getstate");
+    ls->rng_setstate = PyObject_GetAttrString(ls->rng, "setstate");
+    if (ls->rng_getstate == NULL || ls->rng_setstate == NULL)
+        goto fail;
+
+    ls->soa_base = get_ll_attr(lower, "soa_base", &err);
+    ls->R = get_ll_attr(lower, "R", &err);
+    ls->p = get_ll_attr(lower, "p", &err);
+    ls->a = get_ll_attr(lower, "a", &err);
+    ls->psize = get_ll_attr(lower, "psize", &err);
+    ls->end_time = get_ll_attr(lower, "end_time", &err);
+    ls->ws = get_ll_attr(lower, "ws", &err);
+    ls->we = get_ll_attr(lower, "we", &err);
+    ls->num_nodes = get_ll_attr(lower, "num_nodes", &err);
+    si_base = get_ll_attr(lower, "si_base", &err);
+    sf_base = get_ll_attr(lower, "sf_base", &err);
+    if (err)
+        goto fail;
+    item = PyObject_GetAttrString(lower, "log_q");
+    if (item == NULL)
+        goto fail;
+    if (item == Py_None)
+        ls->has_log_q = 0;
+    else {
+        ls->log_q = PyFloat_AsDouble(item);
+        if (ls->log_q == -1.0 && PyErr_Occurred())
+            goto fail;
+        ls->has_log_q = 1;
+    }
+    Py_CLEAR(item);
+
+    if ((ls->ms_table =
+             (int64_t *)lstate_map(lower, "ms_table", &ls->ms_view))
+            == NULL
+        || (ls->si = (int64_t *)lstate_map(lower, "si", &ls->si_view))
+               == NULL
+        || (ls->sf = (double *)lstate_map(lower, "sf", &ls->sf_view))
+               == NULL
+        || (ls->inj_router =
+                (int64_t *)lstate_map(lower, "inj_router", &ls->inj_view))
+               == NULL
+        || (ls->del_router =
+                (int64_t *)lstate_map(lower, "del_router", &ls->del_view))
+               == NULL)
+        goto fail;
+    if (ls->ms_view.len != ls->R * ls->R * 8) {
+        PyErr_SetString(PyExc_TypeError,
+                        "LowerState.ms_table has the wrong shape");
+        goto fail;
+    }
+    ls->si += si_base;
+    ls->sf += sf_base;
+
+    /* descriptor */
+    ls->kind = (int)get_ll_attr(lower, "_kind", &err);
+    ls->n1 = get_ll_attr(lower, "_n1", &err);
+    ls->n1_bits = (int)get_ll_attr(lower, "_n1_bits", &err);
+    ls->offset = get_ll_attr(lower, "_offset", &err);
+    ls->per_group = get_ll_attr(lower, "_per_group", &err);
+    ls->pg_bits = (int)get_ll_attr(lower, "_pg_bits", &err);
+    ls->groups = get_ll_attr(lower, "_groups", &err);
+    ls->off_bits = (int)get_ll_attr(lower, "_off_bits", &err);
+    if (err)
+        goto fail;
+    if ((ls->offsets = lstate_ints(lower, "_offsets", &ls->n_off)) == NULL)
+        goto fail;
+    {
+        Py_ssize_t n_perm;
+        if ((ls->perm = lstate_ints(lower, "_perm", &n_perm)) == NULL)
+            goto fail;
+        if (ls->kind == 3 && n_perm != (Py_ssize_t)ls->num_nodes) {
+            PyErr_SetString(PyExc_TypeError,
+                            "LowerState._perm has the wrong length");
+            goto fail;
+        }
+    }
+    /* The draws below shift by (32 - bits): descriptors guarantee
+     * 1 <= bits <= 32 (patterns refuse to lower wider draws). */
+    if (ls->kind < 0 || ls->kind > 3
+        || (ls->kind == 0 && (ls->n1_bits < 1 || ls->n1_bits > 32))
+        || ((ls->kind == 1 || ls->kind == 2)
+            && (ls->pg_bits < 1 || ls->pg_bits > 32))
+        || (ls->kind == 2 && (ls->off_bits < 1 || ls->off_bits > 32))) {
+        PyErr_SetString(PyExc_ValueError,
+                        "malformed pattern lowering descriptor");
+        goto fail;
+    }
+
+    ls->psize_obj = PyLong_FromLongLong((long long)ls->psize);
+    if (ls->psize_obj == NULL)
+        goto fail;
+    mod = PyImport_ImportModule("repro.hardware.packet");
+    if (mod == NULL)
+        goto fail;
+    ls->packet_type = PyObject_GetAttrString(mod, "Packet");
+    Py_CLEAR(mod);
+    if (ls->packet_type == NULL)
+        goto fail;
+    return ls;
+
+fail:
+    Py_XDECREF(mod);
+    Py_XDECREF(item);
+    lstate_free(ls);
+    return NULL;
+}
+
+/* Copy rng_traffic's MT19937 state (and the owner's packet-id counter)
+ * into the kernel at drain entry. */
+static int
+lstate_sync_in(LState *ls)
+{
+    PyObject *state, *inner;
+    Py_ssize_t i;
+    int err = 0;
+    state = PyObject_CallFunctionObjArgs(ls->rng_getstate, NULL);
+    if (state == NULL)
+        return -1;
+    if (!PyTuple_CheckExact(state) || PyTuple_GET_SIZE(state) != 3
+        || !PyTuple_CheckExact(PyTuple_GET_ITEM(state, 1))
+        || PyTuple_GET_SIZE(PyTuple_GET_ITEM(state, 1)) != MT_N + 1) {
+        Py_DECREF(state);
+        PyErr_SetString(PyExc_TypeError,
+                        "unexpected random.Random state layout");
+        return -1;
+    }
+    inner = PyTuple_GET_ITEM(state, 1);
+    for (i = 0; i < MT_N; i++) {
+        unsigned long w =
+            PyLong_AsUnsignedLong(PyTuple_GET_ITEM(inner, i));
+        if (w == (unsigned long)-1 && PyErr_Occurred()) {
+            Py_DECREF(state);
+            return -1;
+        }
+        ls->mt.mt[i] = (uint32_t)w;
+    }
+    ls->mt.mti = (int)as_ll(PyTuple_GET_ITEM(inner, MT_N));
+    if (ls->mt.mti == -1 && PyErr_Occurred()) {
+        Py_DECREF(state);
+        return -1;
+    }
+    Py_INCREF(PyTuple_GET_ITEM(state, 2));
+    Py_XSETREF(ls->gauss_next, PyTuple_GET_ITEM(state, 2));
+    Py_DECREF(state);
+    ls->pid = get_ll_attr(ls->owner, "_pid", &err);
+    return err ? -1 : 0;
+}
+
+/* Write the kernel's MT19937 state and packet-id counter back to the
+ * Python side at drain exit. */
+static int
+lstate_sync_out(LState *ls)
+{
+    PyObject *inner, *state, *res, *pid_obj;
+    Py_ssize_t i;
+    inner = PyTuple_New(MT_N + 1);
+    if (inner == NULL)
+        return -1;
+    for (i = 0; i < MT_N; i++) {
+        PyObject *w = PyLong_FromUnsignedLong((unsigned long)ls->mt.mt[i]);
+        if (w == NULL) {
+            Py_DECREF(inner);
+            return -1;
+        }
+        PyTuple_SET_ITEM(inner, i, w);
+    }
+    {
+        PyObject *mti = PyLong_FromLong((long)ls->mt.mti);
+        if (mti == NULL) {
+            Py_DECREF(inner);
+            return -1;
+        }
+        PyTuple_SET_ITEM(inner, MT_N, mti);
+    }
+    state = Py_BuildValue("(iOO)", 3, inner,
+                          ls->gauss_next ? ls->gauss_next : Py_None);
+    Py_DECREF(inner);
+    if (state == NULL)
+        return -1;
+    res = PyObject_CallFunctionObjArgs(ls->rng_setstate, state, NULL);
+    Py_DECREF(state);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    pid_obj = PyLong_FromLongLong((long long)ls->pid);
+    if (pid_obj == NULL)
+        return -1;
+    if (PyObject_SetAttrString(ls->owner, "_pid", pid_obj) < 0) {
+        Py_DECREF(pid_obj);
+        return -1;
+    }
+    Py_DECREF(pid_obj);
+    return 0;
+}
+
+/* Sync the RNG back after a drain, preserving a pending drain error. */
+static int
+lstate_exit(LState *ls, int rc)
+{
+    if (rc < 0) {
+        PyObject *et, *ev, *tb;
+        PyErr_Fetch(&et, &ev, &tb);
+        if (lstate_sync_out(ls) < 0)
+            PyErr_Clear();
+        PyErr_Restore(et, ev, tb);
+        return -1;
+    }
+    return lstate_sync_out(ls);
+}
+
+/* ------------------------------------------------------------------ */
 /* pointer hash: router PyObject* -> RState*                           */
 /* ------------------------------------------------------------------ */
 
@@ -452,13 +947,20 @@ ptr_lookup(KState *ks, void *p)
 static int
 ck_post(KState *ks, int64_t t, PyObject *rec)
 {
-    PyObject *key = PyLong_FromLongLong((long long)t);
-    PyObject *bucket;
+    PyObject *key, *bucket;
+    if (t == ks->post_cache_t)
+        return PyList_Append(ks->post_cache_bucket, rec);
+    key = PyLong_FromLongLong((long long)t);
     if (key == NULL)
         return -1;
     bucket = PyDict_GetItemWithError(ks->buckets, key);
     if (bucket != NULL) {
         int r = PyList_Append(bucket, rec);
+        if (r == 0) {
+            Py_INCREF(bucket);
+            Py_XSETREF(ks->post_cache_bucket, bucket);
+            ks->post_cache_t = t;
+        }
         Py_DECREF(key);
         return r;
     }
@@ -478,7 +980,8 @@ ck_post(KState *ks, int64_t t, PyObject *rec)
         Py_DECREF(key);
         return -1;
     }
-    Py_DECREF(bucket);
+    Py_XSETREF(ks->post_cache_bucket, bucket); /* steal the fresh ref */
+    ks->post_cache_t = t;
     if (heap_push(ks->times, key) < 0) {
         Py_DECREF(key);
         return -1;
@@ -501,6 +1004,199 @@ arm_step(KState *ks, RState *rs, int64_t target)
 }
 
 /* ------------------------------------------------------------------ */
+/* lowered OP_GEN / OP_DELIVER handlers (twins of LowerState.gen /     */
+/* LowerState.deliver in repro/engine/kernel.py)                       */
+/* ------------------------------------------------------------------ */
+
+static int
+c_gen(KState *ks, LState *ls, PyObject *rec, int64_t t, PyObject *t_obj)
+{
+    int64_t node, dst, src_router, dst_router, key, gap;
+    PyObject *pkt, *q;
+    RState *rs;
+
+    if (t >= ls->end_time)
+        return 0;
+    node = as_ll(PyTuple_GET_ITEM(rec, 1));
+
+    /* destination draw: same rejection sampling, same stream position */
+    switch (ls->kind) {
+    case 0: { /* uniform over the n1 foreign nodes */
+        int64_t d = (int64_t)mt_getrandbits(&ls->mt, ls->n1_bits);
+        while (d >= ls->n1)
+            d = (int64_t)mt_getrandbits(&ls->mt, ls->n1_bits);
+        dst = (d < node) ? d : d + 1;
+        break;
+    }
+    case 1: { /* adversarial: fixed group offset, random member */
+        int64_t tg =
+            pymod(node / ls->per_group + ls->offset, ls->groups);
+        int64_t d = (int64_t)mt_getrandbits(&ls->mt, ls->pg_bits);
+        while (d >= ls->per_group)
+            d = (int64_t)mt_getrandbits(&ls->mt, ls->pg_bits);
+        dst = tg * ls->per_group + d;
+        break;
+    }
+    case 2: { /* advc: random offset from the set, then random member */
+        int64_t i = (int64_t)mt_getrandbits(&ls->mt, ls->off_bits);
+        int64_t tg, d;
+        while (i >= (int64_t)ls->n_off)
+            i = (int64_t)mt_getrandbits(&ls->mt, ls->off_bits);
+        tg = pymod(node / ls->per_group + ls->offsets[i], ls->groups);
+        d = (int64_t)mt_getrandbits(&ls->mt, ls->pg_bits);
+        while (d >= ls->per_group)
+            d = (int64_t)mt_getrandbits(&ls->mt, ls->pg_bits);
+        dst = tg * ls->per_group + d;
+        break;
+    }
+    default: /* permutation: zero draws */
+        dst = ls->perm[node];
+        break;
+    }
+
+    src_router = node / ls->p;
+    dst_router = dst / ls->p;
+    ls->pid += 1;
+
+    {
+        /* Direct-slot twin of Packet.__init__(pid, size, src_node,
+         * src_router, src_group, dst_node, dst_router, dst_group,
+         * dst_local_router, dst_node_port, gen_time, base_latency):
+         * tp_alloc leaves every slot NULL, then each store below
+         * mirrors one assignment (including the derived defaults), so
+         * the object is indistinguishable from a constructor call
+         * without bouncing through the interpreted __init__ per
+         * packet. */
+        PyTypeObject *tp = (PyTypeObject *)ls->packet_type;
+        PyObject *sg_obj, *v;
+        pkt = tp->tp_alloc(tp, 0);
+        if (pkt == NULL)
+            return -1;
+#define PKT_SET(slot, expr)                                             \
+        do {                                                            \
+            v = (expr);                                                 \
+            if (v == NULL) {                                            \
+                Py_DECREF(pkt);                                         \
+                return -1;                                              \
+            }                                                           \
+            slot_set(pkt, ks->ps.slot, v);                              \
+        } while (0)
+        PKT_SET(pid, PyLong_FromLongLong((long long)ls->pid));
+        PKT_SET(size, Py_NewRef(ls->psize_obj));
+        PKT_SET(src_node, Py_NewRef(PyTuple_GET_ITEM(rec, 1)));
+        PKT_SET(src_router, PyLong_FromLongLong((long long)src_router));
+        sg_obj = PyLong_FromLongLong((long long)(src_router / ls->a));
+        PKT_SET(src_group, sg_obj);
+        PKT_SET(current_group, Py_NewRef(sg_obj));
+        PKT_SET(dst_node, PyLong_FromLongLong((long long)dst));
+        PKT_SET(dst_router, PyLong_FromLongLong((long long)dst_router));
+        PKT_SET(dst_group,
+                PyLong_FromLongLong((long long)(dst_router / ls->a)));
+        PKT_SET(dst_local_router,
+                PyLong_FromLongLong((long long)(dst_router % ls->a)));
+        PKT_SET(dst_node_port,
+                PyLong_FromLongLong((long long)(dst % ls->p)));
+        PKT_SET(gen_time, Py_NewRef(t_obj));
+        PKT_SET(t_enq, Py_NewRef(t_obj));
+        PKT_SET(base_latency,
+                PyLong_FromLongLong(
+                    (long long)ls->ms_table[src_router * ls->R
+                                            + dst_router]));
+        PKT_SET(inject_time, PyLong_FromLong(-1));
+        PKT_SET(inter_router, PyLong_FromLong(-1));
+        PKT_SET(inter_group, PyLong_FromLong(-1));
+        PKT_SET(wait_local, PyLong_FromLong(0));
+        PKT_SET(wait_global, PyLong_FromLong(0));
+        PKT_SET(service_sum, PyLong_FromLong(0));
+        PKT_SET(local_hops, PyLong_FromLong(0));
+        PKT_SET(global_hops, PyLong_FromLong(0));
+        PKT_SET(group_local_hops, PyLong_FromLong(0));
+        PKT_SET(plan, PyLong_FromLong(0));
+#undef PKT_SET
+        /* Every slot holds an int for the packet's whole life, so it
+         * can never close a reference cycle: untrack it and the young
+         * generation stops paying a traversal per live packet. */
+        PyObject_GC_UnTrack(pkt);
+    }
+
+    ls->si[SI_TOTAL_GENERATED] += 1;
+    if (t >= ls->ws && t < ls->we) {
+        ls->si[SI_GEN_PHITS] += ls->psize;
+        ls->si[SI_GEN_PACKETS] += 1;
+    }
+
+    /* inlined Router.inject(node % p, pkt, t); Packet.__init__ already
+     * set t_enq = gen_time = t */
+    rs = &ks->routers[ls->soa_base + src_router];
+    key = (node % ls->p) * rs->max_vcs;
+    q = PyList_GET_ITEM(ks->in_q, rs->kb + key);
+    {
+        int ar = PyList_Append(q, pkt);
+        Py_DECREF(pkt);
+        if (ar < 0)
+            return -1;
+    }
+    if (PySet_Add(rs->active_keys, ks->key_objs[key]) < 0)
+        return -1;
+    if (arm_step(ks, rs, t) < 0)
+        return -1;
+
+    /* inlined geometric_gap over the precomputed log(1 - p) */
+    if (!ls->has_log_q)
+        gap = 1;
+    else {
+        double u = mt_random(&ls->mt);
+        if (u == 0.0)
+            gap = 1;
+        else {
+            gap = (int64_t)(log(u) / ls->log_q) + 1;
+            if (gap < 1)
+                gap = 1;
+        }
+    }
+    return ck_post(ks, t + gap, rec);
+}
+
+static int
+c_deliver(KState *ks, LState *ls, PyObject *pkt, int64_t t)
+{
+    int64_t n, xi;
+    double x, mean, delta;
+
+    ls->si[SI_TOTAL_DELIVERED] += 1;
+    if (!(t >= ls->ws && t < ls->we))
+        return 0;
+    ls->si[SI_DEL_PHITS] += slot_ll(pkt, ks->ps.size);
+    n = ls->si[SI_DEL_PACKETS] + 1;
+    ls->si[SI_DEL_PACKETS] = n;
+    ls->del_router[ls->soa_base + slot_ll(pkt, ks->ps.dst_router)] += 1;
+
+    xi = t - slot_ll(pkt, ks->ps.gen_time);
+    x = (double)xi;
+    /* Welford update in OnlineStats.add's exact operation order */
+    mean = ls->sf[SF_LAT_MEAN];
+    delta = x - mean;
+    mean += delta / (double)n;
+    ls->sf[SF_LAT_MEAN] = mean;
+    ls->sf[SF_LAT_M2] += delta * (x - mean);
+    if (x < ls->sf[SF_LAT_MIN])
+        ls->sf[SF_LAT_MIN] = x;
+    if (x > ls->sf[SF_LAT_MAX])
+        ls->sf[SF_LAT_MAX] = x;
+    {
+        int64_t base = slot_ll(pkt, ks->ps.base_latency);
+        ls->sf[SF_BD_INJ] += (double)(slot_ll(pkt, ks->ps.inject_time)
+                                      - slot_ll(pkt, ks->ps.gen_time));
+        ls->sf[SF_BD_LOCAL] += (double)slot_ll(pkt, ks->ps.wait_local);
+        ls->sf[SF_BD_GLOBAL] += (double)slot_ll(pkt, ks->ps.wait_global);
+        ls->sf[SF_BD_BASE] += (double)base;
+        ls->sf[SF_BD_MIS] +=
+            (double)(slot_ll(pkt, ks->ps.service_sum) - base);
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
 /* decision memo (mirrors the inlined cache blocks in kernel.step)     */
 /* ------------------------------------------------------------------ */
 
@@ -515,6 +1211,78 @@ set_memo(KState *ks, Py_ssize_t gk, PyObject *pkt, PyObject *dec,
     PyList_SetItem(ks->dc_dec, gk, dec);
     PyList_SetItem(ks->dc_cond, gk, cond);
     return 0;
+}
+
+/* C twin of MinimalRouting.decide (repro/routing/minimal.py): a pure
+ * function of the packet's frozen fields and router/topology constants,
+ * so the decision is identical by construction.  Returns a new
+ * (out_port, vc, 0, 0) tuple; NULL with *no* error set means a
+ * VC-overflow path was hit and the (raising) Python reference must run
+ * instead for its exact exception. */
+static PyObject *
+c_min_decide(KState *ks, RState *rs, PyObject *pkt)
+{
+    static const int64_t pos_base[3] = {0, 1, 3}; /* vc._POSITION_BASE */
+    int64_t dst_router = slot_ll(pkt, ks->ps.dst_router);
+    int64_t out_port, vc;
+    PyObject *dec, *v;
+    int j;
+
+    if (rs->rid == dst_router) { /* eject_decision(pkt) */
+        out_port = slot_ll(pkt, ks->ps.dst_node_port);
+        vc = 0;
+    }
+    else {
+        int64_t tg = dst_router / rs->min_a;
+        int64_t ti = dst_router % rs->min_a;
+        int64_t pos = rs->min_pos;
+        int64_t gh;
+        if (rs->group == tg)
+            out_port = rs->first_local + ((ti < pos) ? ti : ti - 1);
+        else {
+            int64_t delta = pymod(tg - rs->group, rs->min_groups);
+            int64_t gw_pos = rs->gw_router[delta];
+            if (pos == gw_pos)
+                out_port = rs->gw_port[delta];
+            else
+                out_port = rs->first_local
+                           + ((gw_pos < pos) ? gw_pos : gw_pos - 1);
+        }
+        gh = slot_ll(pkt, ks->ps.global_hops);
+        if (out_port >= rs->first_global) {
+            vc = gh;
+            if (vc >= rs->n_global_vcs)
+                return NULL; /* position_global_vc raises */
+        }
+        else {
+            if (gh < 0 || gh > 2)
+                return NULL; /* _POSITION_BASE[gh] raises IndexError */
+            vc = pos_base[gh] + slot_ll(pkt, ks->ps.group_local_hops);
+            if (vc >= rs->n_local_vcs)
+                return NULL; /* position_local_vc raises */
+        }
+    }
+    dec = PyTuple_New(4);
+    if (dec == NULL)
+        return NULL; /* error set: caller checks PyErr_Occurred */
+    v = PyLong_FromLongLong((long long)out_port);
+    if (v == NULL)
+        goto fail;
+    PyTuple_SET_ITEM(dec, 0, v);
+    v = PyLong_FromLongLong((long long)vc);
+    if (v == NULL)
+        goto fail;
+    PyTuple_SET_ITEM(dec, 1, v);
+    for (j = 2; j < 4; j++) {
+        v = PyLong_FromLong(0);
+        if (v == NULL)
+            goto fail;
+        PyTuple_SET_ITEM(dec, j, v);
+    }
+    return dec;
+fail:
+    Py_DECREF(dec);
+    return NULL;
 }
 
 /* The memoized decision for the head `pkt` at flat key `gk`, or a fresh
@@ -546,7 +1314,17 @@ cached_or_decide(KState *ks, RState *rs, Py_ssize_t gk, PyObject *pkt,
             return dec;
         }
     }
-    dec = PyObject_CallFunctionObjArgs(rs->decide, pkt, rs->router, NULL);
+    if (rs->min_low && ks->low != NULL) {
+        dec = c_min_decide(ks, rs, pkt);
+        if (dec == NULL) {
+            if (PyErr_Occurred())
+                return NULL;
+            /* VC overflow: run the reference for its exact exception */
+            dec = call2(rs->decide, pkt, rs->router);
+        }
+    }
+    else
+        dec = call2(rs->decide, pkt, rs->router);
     if (dec == NULL)
         return NULL;
     switch (rs->cache_policy) {
@@ -623,13 +1401,10 @@ c_commit(KState *ks, RState *rs, int64_t out_port, int64_t gout,
     int64_t out_vc = as_ll(PyTuple_GET_ITEM(dec, 1));
     int64_t size = slot_ll(pkt, ks->ps.size);
     PyObject *q = PyList_GET_ITEM(ks->in_q, gk);
-    PyObject *popped =
-        PyObject_CallFunctionObjArgs(ks->deque_popleft, q, NULL);
     Py_ssize_t qlen;
-    if (popped == NULL)
+    if (PyList_SetSlice(q, 0, 1, NULL) < 0)
         return -1;
-    Py_DECREF(popped);
-    qlen = PyObject_Length(q);
+    qlen = PyList_GET_SIZE(q);
     if (qlen < 0)
         return -1;
     if (qlen == 0
@@ -642,14 +1417,23 @@ c_commit(KState *ks, RState *rs, int64_t out_port, int64_t gout,
     ks->out_occ[gout] += size;
 
     if (in_port < rs->num_node_ports) {
-        PyObject *res;
         Py_INCREF(now_obj);
         slot_set(pkt, ks->ps.inject_time, now_obj);
-        res = PyObject_CallFunctionObjArgs(rs->on_injection, rs->rid_obj,
-                                           now_obj, NULL);
-        if (res == NULL)
-            return -1;
-        Py_DECREF(res);
+        if (ks->low != NULL) {
+            /* inlined LowerState.on_injection (which is what
+             * rs->on_injection is bound to on a lowered run) */
+            LState *ls = ks->low;
+            ls->si[SI_TOTAL_INJECTED] += 1;
+            if (now >= ls->ws && now < ls->we)
+                ls->inj_router[rs->erid] += 1;
+        }
+        else {
+            PyObject *res = PyObject_CallFunctionObjArgs(
+                rs->on_injection, rs->rid_obj, now_obj, NULL);
+            if (res == NULL)
+                return -1;
+            Py_DECREF(res);
+        }
     }
     else {
         int64_t wait = now - slot_ll(pkt, ks->ps.t_enq);
@@ -786,8 +1570,18 @@ c_step(KState *ks, RState *rs, int64_t now, PyObject *now_obj)
 
     /* Snapshot the active keys in the set's own iteration order (the
      * Python kernel iterates the live set; nothing mutates it during
-     * the scan, so the snapshot order is identical). */
-    {
+     * the scan, so the snapshot order is identical).  _PySet_NextEntry
+     * walks the same table in the same order as the set iterator,
+     * without the iterator object or per-item calls. */
+    if (PySet_CheckExact(set)) {
+        Py_ssize_t pos = 0, j = 0;
+        PyObject *k;
+        Py_hash_t hash;
+        while (_PySet_NextEntry(set, &pos, &k, &hash))
+            ks->scr_keys[j++] = as_ll(k);
+        n_act = j;
+    }
+    else {
         PyObject *it = PyObject_GetIter(set);
         PyObject *k;
         Py_ssize_t j = 0;
@@ -808,12 +1602,10 @@ c_step(KState *ks, RState *rs, int64_t now, PyObject *now_obj)
         int64_t key = ks->scr_keys[i];
         Py_ssize_t gk = (Py_ssize_t)(rs->kb + key);
         PyObject *q = PyList_GET_ITEM(ks->in_q, gk);
-        Py_ssize_t qlen = PyObject_Length(q);
+        Py_ssize_t qlen = PyList_GET_SIZE(q);
         int is_transit;
         int64_t t_free, out_port, gout, t_sw, size;
         PyObject *pkt, *dec;
-        if (qlen < 0)
-            goto done;
         if (qlen == 0) {
             ks->scr_dead[n_dead++] = key;
             continue;
@@ -825,9 +1617,7 @@ c_step(KState *ks, RState *rs, int64_t now, PyObject *now_obj)
                 next_time = t_free;
             if (is_transit && rs->transit_priority) {
                 /* still assert this head's demand for priority masking */
-                pkt = PySequence_GetItem(q, 0);
-                if (pkt == NULL)
-                    goto done;
+                pkt = Py_NewRef(PyList_GET_ITEM(q, 0));
                 dec = cached_or_decide(ks, rs, gk, pkt, epoch);
                 Py_DECREF(pkt);
                 if (dec == NULL)
@@ -838,9 +1628,7 @@ c_step(KState *ks, RState *rs, int64_t now, PyObject *now_obj)
             }
             continue;
         }
-        pkt = PySequence_GetItem(q, 0);
-        if (pkt == NULL)
-            goto done;
+        pkt = Py_NewRef(PyList_GET_ITEM(q, 0));
         dec = cached_or_decide(ks, rs, gk, pkt, epoch);
         if (dec == NULL) {
             Py_DECREF(pkt);
@@ -1029,10 +1817,8 @@ c_arrive(KState *ks, RState *rs, int64_t port, int64_t vc, PyObject *pkt,
             return -1;
         Py_DECREF(res);
     }
-    res = PyObject_CallFunctionObjArgs(ks->deque_append, q, pkt, NULL);
-    if (res == NULL)
+    if (PyList_Append(q, pkt) < 0)
         return -1;
-    Py_DECREF(res);
     if (PySet_Add(rs->active_keys, ks->key_objs[key]) < 0)
         return -1;
     wake = ks->in_port_free[rs->pb + port];
@@ -1046,14 +1832,21 @@ c_send(KState *ks, RState *rs, int64_t port, int64_t now, PyObject *now_obj)
 {
     int64_t gp = rs->pb + port;
     PyObject *fifo = PyList_GET_ITEM(ks->out_fifo, gp);
-    PyObject *entry =
-        PyObject_CallFunctionObjArgs(ks->deque_popleft, fifo, NULL);
+    PyObject *entry;
     PyObject *pkt, *vc, *rec, *peer;
     int64_t t_arr, wait, size, free_t;
     Py_ssize_t flen;
     int r;
-    if (entry == NULL)
+    if (PyList_GET_SIZE(fifo) == 0) {
+        PyErr_SetString(PyExc_IndexError, "pop from empty output fifo");
         return -1;
+    }
+    entry = PyList_GET_ITEM(fifo, 0);
+    Py_INCREF(entry);
+    if (PyList_SetSlice(fifo, 0, 1, NULL) < 0) {
+        Py_DECREF(entry);
+        return -1;
+    }
     pkt = PyTuple_GET_ITEM(entry, 0);
     vc = PyTuple_GET_ITEM(entry, 1);
     t_arr = as_ll(PyTuple_GET_ITEM(entry, 2));
@@ -1067,9 +1860,7 @@ c_send(KState *ks, RState *rs, int64_t port, int64_t now, PyObject *now_obj)
     size = slot_ll(pkt, ks->ps.size);
     free_t = now + size;
     ks->link_free[gp] = free_t;
-    flen = PyObject_Length(fifo);
-    if (flen < 0)
-        goto fail;
+    flen = PyList_GET_SIZE(fifo);
     if (flen > 0) {
         /* busy link: merged tail release + next transmission */
         if (size == rs->psize) {
@@ -1134,15 +1925,15 @@ c_output_enqueue(KState *ks, RState *rs, int64_t port, PyObject *pkt,
     int64_t gp = rs->pb + port;
     PyObject *fifo = PyList_GET_ITEM(ks->out_fifo, gp);
     PyObject *entry = PyTuple_Pack(3, pkt, vc, now_obj);
-    PyObject *res;
     int64_t dep;
     if (entry == NULL)
         return -1;
-    res = PyObject_CallFunctionObjArgs(ks->deque_append, fifo, entry, NULL);
-    Py_DECREF(entry);
-    if (res == NULL)
-        return -1;
-    Py_DECREF(res);
+    {
+        int ar = PyList_Append(fifo, entry);
+        Py_DECREF(entry);
+        if (ar < 0)
+            return -1;
+    }
     if (ks->out_pumping[gp])
         return 0;
     dep = ks->link_free[gp];
@@ -1302,8 +2093,11 @@ dispatch(KState *ks, PyObject *eq, PyObject *rec, int64_t t,
         return 0;
     }
     if (op == 9) { /* OP_GEN */
-        PyObject *gen = slot_get(eq, ks->eq_gen);
-        PyObject *res = PyObject_CallFunctionObjArgs(
+        PyObject *gen, *res;
+        if (ks->low != NULL)
+            return c_gen(ks, ks->low, rec, t, t_obj);
+        gen = slot_get(eq, ks->eq_gen);
+        res = PyObject_CallFunctionObjArgs(
             gen, PyTuple_GET_ITEM(rec, 1), NULL);
         if (res == NULL)
             return -1;
@@ -1311,8 +2105,11 @@ dispatch(KState *ks, PyObject *eq, PyObject *rec, int64_t t,
         return 0;
     }
     if (op == 8) { /* OP_DELIVER */
-        PyObject *sink = slot_get(eq, ks->eq_sink);
-        PyObject *res = PyObject_CallFunctionObjArgs(
+        PyObject *sink, *res;
+        if (ks->low != NULL)
+            return c_deliver(ks, ks->low, PyTuple_GET_ITEM(rec, 1), t);
+        sink = slot_get(eq, ks->eq_sink);
+        res = PyObject_CallFunctionObjArgs(
             sink, PyTuple_GET_ITEM(rec, 1), t_obj, NULL);
         if (res == NULL)
             return -1;
@@ -1376,9 +2173,48 @@ dispatch(KState *ks, PyObject *eq, PyObject *rec, int64_t t,
 /* KState construction                                                 */
 /* ------------------------------------------------------------------ */
 
+static int64_t *
+attr_ints(PyObject *obj, const char *name, Py_ssize_t n)
+{
+    /* Copy an int-sequence attribute into a fresh int64 array of
+     * exactly `n` entries. */
+    PyObject *seq = PyObject_GetAttrString(obj, name);
+    PyObject *fast;
+    int64_t *out;
+    Py_ssize_t i;
+    if (seq == NULL)
+        return NULL;
+    fast = PySequence_Fast(seq, "gateway table is not a sequence");
+    Py_DECREF(seq);
+    if (fast == NULL)
+        return NULL;
+    if (PySequence_Fast_GET_SIZE(fast) != n) {
+        Py_DECREF(fast);
+        PyErr_Format(PyExc_ValueError, "%s has unexpected length", name);
+        return NULL;
+    }
+    out = PyMem_Malloc((size_t)(n > 0 ? n : 1) * sizeof(int64_t));
+    if (out == NULL) {
+        Py_DECREF(fast);
+        PyErr_NoMemory();
+        return NULL;
+    }
+    for (i = 0; i < n; i++) {
+        out[i] = as_ll(PySequence_Fast_GET_ITEM(fast, i));
+        if (out[i] == -1 && PyErr_Occurred()) {
+            Py_DECREF(fast);
+            PyMem_Free(out);
+            return NULL;
+        }
+    }
+    Py_DECREF(fast);
+    return out;
+}
+
 static int
 build_rstate(KState *ks, RState *rs, PyObject *r, PyObject *kernel_step)
 {
+    (void)ks;
     int err = 0;
     PyObject *hot2, *hot_in, *step_attr, *item;
     memset(rs, 0, sizeof(*rs));
@@ -1419,6 +2255,34 @@ build_rstate(KState *ks, RState *rs, PyObject *r, PyObject *kernel_step)
     rs->cache_policy = get_ll_attr(rs->routing, "cache_policy", &err);
     if (err)
         return -1;
+    /* MinimalRouting: decide() has a C twin (see c_min_decide), used on
+     * lowered runs.  Everything read here is a frozen constant of the
+     * mechanism / topology / router position. */
+    item = PyObject_GetAttrString(rs->routing, "name");
+    if (item == NULL)
+        return -1;
+    rs->min_low = (PyUnicode_Check(item)
+                   && PyUnicode_CompareWithASCIIString(item, "min") == 0);
+    Py_DECREF(item);
+    if (rs->min_low) {
+        rs->min_a = get_ll_attr(rs->routing, "_a", &err);
+        rs->min_groups = get_ll_attr(rs->routing, "_groups", &err);
+        rs->first_local = get_ll_attr(rs->routing, "_first_local", &err);
+        rs->first_global = get_ll_attr(rs->routing, "_first_global", &err);
+        rs->n_local_vcs = get_ll_attr(rs->routing, "n_local_vcs", &err);
+        rs->n_global_vcs = get_ll_attr(rs->routing, "n_global_vcs", &err);
+        rs->min_pos = get_ll_attr(r, "pos", &err);
+        if (err)
+            return -1;
+        rs->gw_router =
+            attr_ints(rs->routing, "_gw_router", (Py_ssize_t)rs->min_groups);
+        if (rs->gw_router == NULL)
+            return -1;
+        rs->gw_port =
+            attr_ints(rs->routing, "_gw_port", (Py_ssize_t)rs->min_groups);
+        if (rs->gw_port == NULL)
+            return -1;
+    }
     /* Overridden hooks were detected by _bind_hot: _hot2[16] is the
      * commit override (or None), _hot_in[2] the arrival override. */
     hot2 = PyObject_GetAttrString(r, "_hot2");
@@ -1596,7 +2460,19 @@ kstate_build(PyObject *eq, PyObject *store)
             || (ps->inter_router = slot_offset(pkt_tp, "inter_router")) < 0
             || (ps->inter_group = slot_offset(pkt_tp, "inter_group")) < 0
             || (ps->dst_group = slot_offset(pkt_tp, "dst_group")) < 0
-            || (ps->pid = slot_offset(pkt_tp, "pid")) < 0) {
+            || (ps->pid = slot_offset(pkt_tp, "pid")) < 0
+            || (ps->gen_time = slot_offset(pkt_tp, "gen_time")) < 0
+            || (ps->base_latency =
+                    slot_offset(pkt_tp, "base_latency")) < 0
+            || (ps->dst_router = slot_offset(pkt_tp, "dst_router")) < 0
+            || (ps->src_node = slot_offset(pkt_tp, "src_node")) < 0
+            || (ps->src_router = slot_offset(pkt_tp, "src_router")) < 0
+            || (ps->src_group = slot_offset(pkt_tp, "src_group")) < 0
+            || (ps->dst_node = slot_offset(pkt_tp, "dst_node")) < 0
+            || (ps->dst_local_router =
+                    slot_offset(pkt_tp, "dst_local_router")) < 0
+            || (ps->dst_node_port =
+                    slot_offset(pkt_tp, "dst_node_port")) < 0) {
             Py_CLEAR(tmp);
             goto fail;
         }
@@ -1604,18 +2480,6 @@ kstate_build(PyObject *eq, PyObject *store)
     Py_CLEAR(tmp);
 
     /* cached objects */
-    mod = PyImport_ImportModule("collections");
-    if (mod == NULL)
-        goto fail;
-    tmp = PyObject_GetAttrString(mod, "deque");
-    Py_CLEAR(mod);
-    if (tmp == NULL)
-        goto fail;
-    ks->deque_append = PyObject_GetAttrString(tmp, "append");
-    ks->deque_popleft = PyObject_GetAttrString(tmp, "popleft");
-    Py_CLEAR(tmp);
-    if (ks->deque_append == NULL || ks->deque_popleft == NULL)
-        goto fail;
     mod = PyImport_ImportModule("repro.errors");
     if (mod == NULL)
         goto fail;
@@ -1734,6 +2598,17 @@ kstate_build(PyObject *eq, PyObject *store)
     }
     Py_CLEAR(routers);
     Py_CLEAR(kernel_step);
+
+    /* lowered OP_GEN / OP_DELIVER fast path: bound per event queue */
+    tmp = PyObject_GetAttrString(eq, "_lower");
+    if (tmp == NULL)
+        goto fail;
+    if (tmp != Py_None) {
+        ks->low = lstate_build(tmp);
+        if (ks->low == NULL)
+            goto fail;
+    }
+    Py_CLEAR(tmp);
     return ks;
 
 fail:
@@ -1811,6 +2686,9 @@ get_kstate(PyObject *eq, KState **out)
 static int
 drain_core(KState *ks, PyObject *eq, int64_t t_end)
 {
+    /* Python code may have rebuilt buckets since the last drain. */
+    ks->post_cache_t = INT64_MIN;
+    Py_CLEAR(ks->post_cache_bucket);
     while (PyList_GET_SIZE(ks->times) > 0
            && as_ll(PyList_GET_ITEM(ks->times, 0)) <= t_end) {
         PyObject *t_obj = heap_pop(ks->times);
@@ -1861,6 +2739,10 @@ drain_core(KState *ks, PyObject *eq, int64_t t_end)
         slot_set_ll(eq, ks->eq_activations,
                     slot_ll(eq, ks->eq_activations) + i);
         if (i == PyList_GET_SIZE(bucket)) {
+            if (t == ks->post_cache_t) {
+                ks->post_cache_t = INT64_MIN;
+                Py_CLEAR(ks->post_cache_bucket);
+            }
             if (PyDict_DelItem(ks->buckets, t_obj) < 0)
                 failed = 1;
         }
@@ -1914,7 +2796,15 @@ ck_drain(PyObject *self, PyObject *args)
         return NULL;
     if (got == 1)
         return fallback_py_drain(eq, t_end_obj);
-    if (drain_core(ks, eq, t_end) < 0)
+    if (ks->low != NULL) {
+        int rc;
+        if (lstate_sync_in(ks->low) < 0)
+            return NULL;
+        rc = drain_core(ks, eq, t_end);
+        if (lstate_exit(ks->low, rc) < 0)
+            return NULL;
+    }
+    else if (drain_core(ks, eq, t_end) < 0)
         return NULL;
     Py_INCREF(t_end_obj);
     slot_set(eq, ks->eq_now, t_end_obj);
@@ -1969,7 +2859,15 @@ ck_drain_batch(PyObject *self, PyObject *args)
         }
     }
     for (j = 0; j < k; j++) {
-        if (drain_core(kss[j], eqs[j], t_end) < 0)
+        if (kss[j]->low != NULL) {
+            int rc;
+            if (lstate_sync_in(kss[j]->low) < 0)
+                goto done;
+            rc = drain_core(kss[j], eqs[j], t_end);
+            if (lstate_exit(kss[j]->low, rc) < 0)
+                goto done;
+        }
+        else if (drain_core(kss[j], eqs[j], t_end) < 0)
             goto done;
     }
     for (j = 0; j < k; j++) {
@@ -1986,6 +2884,101 @@ done:
     Py_RETURN_NONE;
 }
 
+/* Test hook: replay a sequence of RNG operations on the in-kernel
+ * MT19937 and return the drawn values plus the resulting state, so the
+ * RNG-stream equivalence suite can compare against random.Random
+ * without running a simulation.  `ops` items: None -> random(), an int
+ * k in [1, 32] -> getrandbits(k). */
+static PyObject *
+ck_mt_ops(PyObject *self, PyObject *args)
+{
+    PyObject *state, *ops, *seq = NULL, *results = NULL, *inner = NULL,
+             *out_state = NULL, *ret = NULL;
+    MtState mt;
+    Py_ssize_t i, n;
+
+    if (!PyArg_ParseTuple(args, "OO:mt_ops", &state, &ops))
+        return NULL;
+    if (!PyTuple_Check(state) || PyTuple_GET_SIZE(state) != 3
+        || !PyTuple_Check(PyTuple_GET_ITEM(state, 1))
+        || PyTuple_GET_SIZE(PyTuple_GET_ITEM(state, 1)) != MT_N + 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "mt_ops expects a random.Random getstate() tuple");
+        return NULL;
+    }
+    inner = PyTuple_GET_ITEM(state, 1);
+    for (i = 0; i < MT_N; i++) {
+        unsigned long w =
+            PyLong_AsUnsignedLong(PyTuple_GET_ITEM(inner, i));
+        if (w == (unsigned long)-1 && PyErr_Occurred())
+            return NULL;
+        mt.mt[i] = (uint32_t)w;
+    }
+    mt.mti = (int)as_ll(PyTuple_GET_ITEM(inner, MT_N));
+    if (mt.mti == -1 && PyErr_Occurred())
+        return NULL;
+    inner = NULL;
+
+    seq = PySequence_Fast(ops, "mt_ops expects a sequence of operations");
+    if (seq == NULL)
+        return NULL;
+    n = PySequence_Fast_GET_SIZE(seq);
+    results = PyList_New(n);
+    if (results == NULL)
+        goto done;
+    for (i = 0; i < n; i++) {
+        PyObject *op = PySequence_Fast_GET_ITEM(seq, i);
+        PyObject *v;
+        if (op == Py_None)
+            v = PyFloat_FromDouble(mt_random(&mt));
+        else {
+            int64_t k = as_ll(op);
+            if ((k == -1 && PyErr_Occurred()) || k < 1 || k > 32) {
+                if (!PyErr_Occurred())
+                    PyErr_SetString(PyExc_ValueError,
+                                    "mt_ops: getrandbits width must be "
+                                    "in [1, 32]");
+                Py_CLEAR(results);
+                goto done;
+            }
+            v = PyLong_FromUnsignedLong(
+                (unsigned long)mt_getrandbits(&mt, (int)k));
+        }
+        if (v == NULL) {
+            Py_CLEAR(results);
+            goto done;
+        }
+        PyList_SET_ITEM(results, i, v);
+    }
+
+    inner = PyTuple_New(MT_N + 1);
+    if (inner == NULL)
+        goto done;
+    for (i = 0; i < MT_N; i++) {
+        PyObject *w = PyLong_FromUnsignedLong((unsigned long)mt.mt[i]);
+        if (w == NULL)
+            goto done;
+        PyTuple_SET_ITEM(inner, i, w);
+    }
+    {
+        PyObject *mti = PyLong_FromLong((long)mt.mti);
+        if (mti == NULL)
+            goto done;
+        PyTuple_SET_ITEM(inner, MT_N, mti);
+    }
+    out_state = Py_BuildValue("(iOO)", 3, inner,
+                              PyTuple_GET_ITEM(state, 2));
+    if (out_state == NULL)
+        goto done;
+    ret = PyTuple_Pack(2, results, out_state);
+done:
+    Py_XDECREF(seq);
+    Py_XDECREF(results);
+    Py_XDECREF(inner);
+    Py_XDECREF(out_state);
+    return ret;
+}
+
 static PyMethodDef ckernel_methods[] = {
     {"drain", ck_drain, METH_VARARGS,
      "drain(eq, t_end): process activations with time <= t_end on the "
@@ -1993,6 +2986,11 @@ static PyMethodDef ckernel_methods[] = {
     {"drain_batch", ck_drain_batch, METH_VARARGS,
      "drain_batch(eqs, t_end): fused drain of K independent calendars "
      "(bit-identical to repro.engine.kernel.py_drain_batch)."},
+    {"mt_ops", ck_mt_ops, METH_VARARGS,
+     "mt_ops(state, ops): replay RNG operations (None -> random(), "
+     "int k -> getrandbits(k)) on the in-kernel MT19937; returns "
+     "(values, new_state).  Test hook for the RNG-stream equivalence "
+     "suite."},
     {NULL, NULL, 0, NULL},
 };
 

@@ -131,6 +131,7 @@ class EventQueue:
         "_drain",
         "_soa",
         "_ckstate",
+        "_lower",
         "schedule",
         "schedule_at",
     )
@@ -153,6 +154,7 @@ class EventQueue:
         self._drain = None
         self._soa = None
         self._ckstate = None
+        self._lower = None
         # The dict is never reassigned, so its bound .get is safe to cache
         # (one attribute load fewer per post).
         self._get_bucket = self._buckets.get
@@ -178,6 +180,28 @@ class EventQueue:
     def bind_gen(self, fn: Callable) -> None:
         """Set the generator handler called for ``OP_GEN`` records."""
         self._gen = fn
+
+    def bind_lower(self, lower) -> None:
+        """Attach a :class:`repro.engine.kernel.LowerState` to this queue.
+
+        Re-points the OP_GEN / OP_DELIVER handlers at the lowered
+        mirrors, so the pure-Python kernel runs them with zero dispatch
+        changes; the compiled kernel additionally reads ``_lower`` when
+        building its cached state and runs the C twins instead.
+        """
+        self._lower = lower
+        self._gen = lower.gen
+        self._sink = lower.deliver
+
+    def unbind_lower(self, gen: Callable, sink: Callable) -> None:
+        """Detach the lowered mirrors and restore callback handlers.
+
+        Must happen before the first drain: the compiled kernel freezes
+        ``_lower`` into its cached state when that is built.
+        """
+        self._lower = None
+        self._gen = gen
+        self._sink = sink
 
     def bind_backend(self, backend, store) -> None:
         """Attach an engine backend and its SoA *store* to this queue.

@@ -49,19 +49,45 @@ from __future__ import annotations
 
 import os
 from heapq import heappop, heappush
+from math import log
 
 from repro.engine.events import OP_CREDIT, OP_OUT_ARRIVE
+from repro.engine.soa import (
+    NSTAT_F,
+    NSTAT_I,
+    SF_BD_BASE,
+    SF_BD_GLOBAL,
+    SF_BD_INJ,
+    SF_BD_LOCAL,
+    SF_BD_MIS,
+    SF_LAT_M2,
+    SF_LAT_MAX,
+    SF_LAT_MEAN,
+    SF_LAT_MIN,
+    SI_DEL_PACKETS,
+    SI_DEL_PHITS,
+    SI_GEN_PACKETS,
+    SI_GEN_PHITS,
+    SI_TOTAL_DELIVERED,
+    SI_TOTAL_GENERATED,
+    SI_TOTAL_INJECTED,
+)
 from repro.errors import ConfigurationError, FlowControlError, RoutingError
 from repro.hardware.allocator import select_winner
+from repro.hardware.packet import Packet
 
 __all__ = [
     "BACKEND_ENV",
     "ENGINE_BACKEND_CHOICES",
+    "ENGINE_LOWER_CHOICES",
+    "LOWER_ENV",
     "EngineBackend",
+    "LowerState",
     "available_backends",
     "py_drain",
     "py_drain_batch",
     "resolve_backend",
+    "resolve_lower",
     "step",
 ]
 
@@ -70,6 +96,27 @@ BACKEND_ENV = "REPRO_ENGINE_BACKEND"
 
 #: Valid values for --engine-backend / REPRO_ENGINE_BACKEND.
 ENGINE_BACKEND_CHOICES = ("auto", "python", "compiled")
+
+#: Environment variable gating the lowered OP_GEN / OP_DELIVER fast path.
+LOWER_ENV = "REPRO_ENGINE_LOWER"
+
+#: Valid values for REPRO_ENGINE_LOWER.  "auto" and "1" both lower
+#: whenever the run is lowerable (static pattern, no oracle); "0" never
+#: does.  "1" is not a *force* — non-lowerable configurations silently
+#: keep the callback path (both values exist so CI can pin the intent).
+ENGINE_LOWER_CHOICES = ("auto", "0", "1")
+
+
+def resolve_lower(mode: str | None = None) -> str:
+    """Resolve the lowering mode (explicit argument wins over the env)."""
+    if mode is None:
+        mode = os.environ.get(LOWER_ENV) or "auto"
+    if mode not in ENGINE_LOWER_CHOICES:
+        raise ConfigurationError(
+            f"unknown engine lowering mode {mode!r}; choose from "
+            f"{', '.join(ENGINE_LOWER_CHOICES)}"
+        )
+    return mode
 
 # The router module injects itself here at import time (it imports this
 # module for `step`, so importing it back at module level would cycle);
@@ -171,6 +218,300 @@ def py_drain_batch(eqs, t_end: int) -> None:
     """
     for eq in eqs:
         py_drain(eq, t_end)
+
+
+# ----------------------------------------------------------------------
+# lowered OP_GEN / OP_DELIVER fast path (reference mirror)
+# ----------------------------------------------------------------------
+class LowerState:
+    """Lowered traffic generator + delivery sink for one simulation cell.
+
+    This class is the *reference implementation* of the lowering the C
+    kernel performs natively: when a run is lowerable (static pattern
+    with a :meth:`~repro.traffic.base.TrafficPattern.lower` descriptor,
+    no oracle, no decomposition checking), the simulation builds one
+    ``LowerState`` and binds it via :meth:`EventQueue.bind_lower
+    <repro.engine.events.EventQueue.bind_lower>`:
+
+    * the pure-Python kernel then dispatches OP_GEN / OP_DELIVER into
+      :meth:`gen` / :meth:`deliver` below — interpreting the pattern
+      descriptor instead of calling ``pattern.dest`` and accumulating
+      window statistics into the flat ``stat_*`` buffers of the SoA
+      store instead of per-event ``StatsCollector`` calls;
+    * the compiled kernel detects ``eq._lower`` when building its cached
+      state and runs C twins of the same two methods, with an in-kernel
+      MT19937 seeded from ``rng_traffic.getstate()`` at drain entry and
+      written back at drain exit — so RNG consumption, packet fields and
+      accumulated statistics are bit-identical across all four
+      backend x lowering combinations (pinned by the equivalence suite).
+
+    ``Simulation._collect`` commits the accumulated buffers back into
+    the :class:`~repro.metrics.collector.StatsCollector` exactly once.
+    """
+
+    __slots__ = (
+        "owner",
+        "eq",
+        "rng",
+        "descriptor",
+        "end_time",
+        "ws",
+        "we",
+        "psize",
+        "log_q",
+        "p",
+        "a",
+        "R",
+        "num_nodes",
+        "soa_base",
+        "cell",
+        "ms_table",
+        "gen_recs",
+        "inject_map",
+        "si",
+        "sf",
+        "inj_router",
+        "del_router",
+        "si_base",
+        "sf_base",
+        "_kind",
+        "_n1",
+        "_n1_bits",
+        "_offset",
+        "_per_group",
+        "_pg_bits",
+        "_groups",
+        "_offsets",
+        "_n_off",
+        "_off_bits",
+        "_perm",
+        "_committed",
+    )
+
+    def __init__(self, sim, descriptor: tuple) -> None:
+        store = sim.soa
+        self.owner = sim
+        self.eq = sim.engine
+        self.rng = sim.rng_traffic
+        self.descriptor = descriptor
+        self.end_time = sim._end_time
+        self.ws = sim.stats.window_start
+        self.we = sim.stats.window_end
+        self.psize = sim._psize
+        self.log_q = sim._log_q
+        self.p = sim.topo.p
+        self.a = sim.topo.a
+        self.R = sim.topo.num_routers
+        self.num_nodes = sim.topo.num_nodes
+        self.soa_base = sim.soa_base
+        self.cell = sim.soa_base // sim.topo.num_routers
+        self.ms_table = sim._ms_table
+        self.gen_recs = sim._gen_recs
+        self.inject_map = sim._inject_map
+        self.si = store.stat_i64
+        self.sf = store.stat_f64
+        self.inj_router = store.stat_inj_router
+        self.del_router = store.stat_del_router
+        self.si_base = self.cell * NSTAT_I
+        self.sf_base = self.cell * NSTAT_F
+        self._committed = False
+        # Unpack the descriptor into flat slots (one tuple load per draw
+        # saved; the C twin does the same into struct fields).
+        kind = descriptor[0]
+        self._n1 = self._n1_bits = 0
+        self._offset = self._per_group = self._pg_bits = self._groups = 0
+        self._offsets = self._perm = ()
+        self._n_off = self._off_bits = 0
+        if kind == "uniform":
+            self._kind = 0
+            _, self._n1, self._n1_bits = descriptor
+        elif kind == "adversarial":
+            self._kind = 1
+            (_, self._offset, self._per_group, self._pg_bits, self._groups) = (
+                descriptor
+            )
+        elif kind == "advc":
+            self._kind = 2
+            (
+                _,
+                self._offsets,
+                self._n_off,
+                self._off_bits,
+                self._per_group,
+                self._pg_bits,
+                self._groups,
+            ) = descriptor
+        elif kind == "permutation":
+            self._kind = 3
+            _, self._perm = descriptor
+        else:
+            raise ConfigurationError(
+                f"unknown pattern lowering descriptor kind {kind!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def gen(self, node: int) -> None:
+        """Lowered OP_GEN handler: mirrors ``Simulation._gen_event``.
+
+        Identical control flow, RNG draws and packet construction as the
+        callback path — minus the destination-contract validation, which
+        lowered descriptors make true by construction (patterns are
+        total, foreign-destination, always active).
+        """
+        eq = self.eq
+        now = eq.now
+        if now >= self.end_time:
+            return
+        rng = self.rng
+        kind = self._kind
+        if kind == 0:  # uniform
+            gb = rng.getrandbits
+            n1 = self._n1
+            d = gb(self._n1_bits)
+            while d >= n1:
+                d = gb(self._n1_bits)
+            dst = d if d < node else d + 1
+        elif kind == 1:  # adversarial
+            per_group = self._per_group
+            tg = (node // per_group + self._offset) % self._groups
+            gb = rng.getrandbits
+            d = gb(self._pg_bits)
+            while d >= per_group:
+                d = gb(self._pg_bits)
+            dst = tg * per_group + d
+        elif kind == 2:  # advc
+            per_group = self._per_group
+            gb = rng.getrandbits
+            n_off = self._n_off
+            i = gb(self._off_bits)
+            while i >= n_off:
+                i = gb(self._off_bits)
+            tg = (node // per_group + self._offsets[i]) % self._groups
+            d = gb(self._pg_bits)
+            while d >= per_group:
+                d = gb(self._pg_bits)
+            dst = tg * per_group + d
+        else:  # permutation: zero draws
+            dst = self._perm[node]
+        p = self.p
+        a = self.a
+        src_router = node // p
+        dst_router = dst // p
+        owner = self.owner
+        owner._pid = pid = owner._pid + 1
+        pkt = Packet(
+            pid,
+            self.psize,
+            node,
+            src_router,
+            src_router // a,
+            dst,
+            dst_router,
+            dst_router // a,
+            dst_router % a,
+            dst % p,
+            now,
+            self.ms_table[src_router * self.R + dst_router],
+        )
+        si = self.si
+        b = self.si_base
+        si[b + SI_TOTAL_GENERATED] += 1
+        if self.ws <= now < self.we:
+            si[b + SI_GEN_PHITS] += self.psize
+            si[b + SI_GEN_PACKETS] += 1
+        router, node_port = self.inject_map[node]
+        router.inject(node_port, pkt, now)
+        # Inlined geometric_gap over the precomputed log(1 - p), exactly
+        # as in the callback path.
+        log_q = self.log_q
+        if log_q is None:
+            gap = 1
+        else:
+            u = rng.random()
+            if u == 0.0:
+                gap = 1
+            else:
+                gap = int(log(u) / log_q) + 1
+                if gap < 1:
+                    gap = 1
+        eq.post(now + gap, self.gen_recs[node])
+
+    # ------------------------------------------------------------------
+    def deliver(self, pkt, now: int) -> None:
+        """Lowered OP_DELIVER sink: mirrors ``StatsCollector.on_delivery``.
+
+        Accumulates into the flat stat buffers; the Welford update is
+        written with the same operation order as ``OnlineStats.add`` so
+        the committed mean/M2 are bit-identical floats.
+        """
+        si = self.si
+        b = self.si_base
+        si[b + SI_TOTAL_DELIVERED] += 1
+        if not (self.ws <= now < self.we):
+            return
+        si[b + SI_DEL_PHITS] += pkt.size
+        n = si[b + SI_DEL_PACKETS] + 1
+        si[b + SI_DEL_PACKETS] = n
+        self.del_router[self.soa_base + pkt.dst_router] += 1
+        sf = self.sf
+        fb = self.sf_base
+        x = now - pkt.gen_time
+        mean = sf[fb + SF_LAT_MEAN]
+        delta = x - mean
+        mean += delta / n
+        sf[fb + SF_LAT_MEAN] = mean
+        sf[fb + SF_LAT_M2] += delta * (x - mean)
+        if x < sf[fb + SF_LAT_MIN]:
+            sf[fb + SF_LAT_MIN] = x
+        if x > sf[fb + SF_LAT_MAX]:
+            sf[fb + SF_LAT_MAX] = x
+        base = pkt.base_latency
+        sf[fb + SF_BD_INJ] += pkt.inject_time - pkt.gen_time
+        sf[fb + SF_BD_LOCAL] += pkt.wait_local
+        sf[fb + SF_BD_GLOBAL] += pkt.wait_global
+        sf[fb + SF_BD_BASE] += base
+        sf[fb + SF_BD_MIS] += pkt.service_sum - base
+
+    # ------------------------------------------------------------------
+    def on_injection(self, rid: int, now: int) -> None:
+        """Lowered commit-phase hook: mirrors ``StatsCollector.on_injection``.
+
+        Installed as every member router's ``_on_injection`` *before*
+        ``_bind_hot`` freezes it, so both kernels' commit phases call it
+        (the C kernel additionally inlines the equivalent accumulation).
+        """
+        si = self.si
+        si[self.si_base + SI_TOTAL_INJECTED] += 1
+        if self.ws <= now < self.we:
+            self.inj_router[self.soa_base + rid] += 1
+
+    # ------------------------------------------------------------------
+    # mid-run reads (deadlock watchdog) and the end-of-run commit
+    # ------------------------------------------------------------------
+    def total_delivered(self) -> int:
+        """All-time delivered count (watchdog progress signal)."""
+        return self.si[self.si_base + SI_TOTAL_DELIVERED]
+
+    def in_flight(self) -> int:
+        """Packets injected but not yet delivered."""
+        b = self.si_base
+        return self.si[b + SI_TOTAL_INJECTED] - self.si[b + SI_TOTAL_DELIVERED]
+
+    def commit(self, stats) -> None:
+        """Fold the accumulated window into *stats* (idempotent)."""
+        if self._committed:
+            return
+        self._committed = True
+        b = self.si_base
+        fb = self.sf_base
+        s = self.soa_base
+        R = self.R
+        stats.absorb_window(
+            self.si[b : b + NSTAT_I],
+            self.sf[fb : fb + NSTAT_F],
+            self.inj_router[s : s + R],
+            self.del_router[s : s + R],
+        )
 
 
 # ----------------------------------------------------------------------
@@ -607,7 +948,7 @@ def _commit(r, out_port, gout, key, gk, pkt, dec, now) -> None:
     out_vc = dec[1]
     size = pkt.size
     q = in_q[gk]
-    q.popleft()
+    del q[0]
     if not q:
         active_keys.discard(key)
     dc_pkt[gk] = None  # head changed: decision no longer valid

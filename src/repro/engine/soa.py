@@ -45,9 +45,36 @@ flat Python lists in both modes.
 from __future__ import annotations
 
 from array import array
-from collections import deque
 
 __all__ = ["SoAStore"]
+
+# ---- lowered-sink stat layout -------------------------------------------
+# When traffic generation and the delivery sink are lowered into the
+# kernel (REPRO_ENGINE_LOWER, see repro.engine.kernel.LowerState), the
+# window accounting that StatsCollector would do per event accumulates
+# instead into two flat per-cell blocks on the store — stat_i64 (integer
+# counters) and stat_f64 (latency Welford state + breakdown sums) — and
+# is committed back into the collector once, at Simulation._collect().
+# Slot indices within a cell's block:
+SI_TOTAL_GENERATED = 0
+SI_TOTAL_INJECTED = 1
+SI_TOTAL_DELIVERED = 2
+SI_GEN_PHITS = 3
+SI_GEN_PACKETS = 4
+SI_DEL_PHITS = 5
+SI_DEL_PACKETS = 6
+NSTAT_I = 7
+
+SF_LAT_MEAN = 0
+SF_LAT_M2 = 1
+SF_LAT_MIN = 2
+SF_LAT_MAX = 3
+SF_BD_INJ = 4
+SF_BD_LOCAL = 5
+SF_BD_GLOBAL = 6
+SF_BD_BASE = 7
+SF_BD_MIS = 8
+NSTAT_F = 9
 
 
 def _int_buffer(n: int, typed: bool, fill: int = 0) -> "array | list[int]":
@@ -58,6 +85,12 @@ def _int_buffer(n: int, typed: bool, fill: int = 0) -> "array | list[int]":
                 buf[i] = fill
         return buf
     return [fill] * n
+
+
+def _float_buffer(n: int, typed: bool) -> "array | list[float]":
+    if typed:
+        return array("d", bytes(8 * n))
+    return [0.0] * n
 
 
 class SoAStore:
@@ -106,6 +139,11 @@ class SoAStore:
         "hop_cost",
         # per-router
         "cong_epoch",
+        # lowered-sink stat accumulators (see module-level SI_*/SF_*)
+        "stat_i64",
+        "stat_f64",
+        "stat_inj_router",
+        "stat_del_router",
     )
 
     def __init__(
@@ -134,10 +172,13 @@ class SoAStore:
 
         # ---- per-key ---------------------------------------------------
         # in_q[gk] is the input FIFO (None for VC slots a port class does
-        # not credit); in_occ/in_cap count phits; key_port[gk] is the
+        # not credit); plain lists, not deques — queue depth is bounded by
+        # the buffer capacity, so a front-pop's memmove is a few pointers
+        # while the compiled kernel gets macro-level list access instead
+        # of method calls.  in_occ/in_cap count phits; key_port[gk] is the
         # *flat* input-port index (router_id * radix + port) so the scan
         # resolves key -> port with one load and no division.
-        self.in_q: list[deque | None] = [None] * K
+        self.in_q: list[list | None] = [None] * K
         self.in_occ = _int_buffer(K, typed)
         self.in_cap = _int_buffer(K, typed)
         self.key_port = _int_buffer(K, typed)
@@ -157,7 +198,7 @@ class SoAStore:
 
         # ---- per-port --------------------------------------------------
         self.in_port_free = _int_buffer(P, typed)
-        self.out_fifo: list[deque] = [deque() for _ in range(P)]
+        self.out_fifo: list[list] = [[] for _ in range(P)]
         self.out_occ = _int_buffer(P, typed)
         self.out_cap = _int_buffer(P, typed)
         self.switch_free = _int_buffer(P, typed)
@@ -179,3 +220,15 @@ class SoAStore:
         # (commit, output release, credit release) — the invalidation
         # signal for epoch-conditioned cached decisions.
         self.cong_epoch = _int_buffer(num_routers, typed)
+
+        # ---- lowered-sink accumulators (per cell / per engine row) -----
+        # One NSTAT_I / NSTAT_F block per batch cell, plus per-engine-row
+        # injected/delivered packet counts.  Always allocated (tiny) so
+        # lowering can be decided per member after store construction.
+        self.stat_i64 = _int_buffer(cells * NSTAT_I, typed)
+        self.stat_f64 = _float_buffer(cells * NSTAT_F, typed)
+        self.stat_inj_router = _int_buffer(num_routers, typed)
+        self.stat_del_router = _int_buffer(num_routers, typed)
+        for c in range(cells):
+            self.stat_f64[c * NSTAT_F + SF_LAT_MIN] = float("inf")
+            self.stat_f64[c * NSTAT_F + SF_LAT_MAX] = float("-inf")

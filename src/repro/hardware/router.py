@@ -84,7 +84,6 @@ Hot-path layout (the allocation pass dominates simulation wall-clock):
 from __future__ import annotations
 
 import sys
-from collections import deque
 from heapq import heappush
 
 from repro.engine import kernel as _kernel
@@ -224,7 +223,7 @@ class Router:
             self.vcs_of_port[port] = nvc
             for vc in range(nvc):
                 gk = kb + port * self.max_vcs + vc
-                self.in_q[gk] = deque()
+                self.in_q[gk] = []
                 self.in_cap[gk] = cap
         self.in_port_free = store.in_port_free
         self.active_keys: set[int] = set()
@@ -700,7 +699,7 @@ class Router:
         ) = self._hot3
         gp = pb + port
         fifo = out_fifo[gp]
-        pkt, vc, t_arr = fifo.popleft()
+        pkt, vc, t_arr = fifo.pop(0)
         wait = now - t_arr
         if wait:
             if global_out[gp]:

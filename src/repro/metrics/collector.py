@@ -25,6 +25,24 @@ and conservation checks.
 
 from __future__ import annotations
 
+from repro.engine.soa import (
+    SF_BD_BASE,
+    SF_BD_GLOBAL,
+    SF_BD_INJ,
+    SF_BD_LOCAL,
+    SF_BD_MIS,
+    SF_LAT_M2,
+    SF_LAT_MAX,
+    SF_LAT_MEAN,
+    SF_LAT_MIN,
+    SI_DEL_PACKETS,
+    SI_DEL_PHITS,
+    SI_GEN_PACKETS,
+    SI_GEN_PHITS,
+    SI_TOTAL_DELIVERED,
+    SI_TOTAL_GENERATED,
+    SI_TOTAL_INJECTED,
+)
 from repro.hardware.packet import Packet
 from repro.metrics.latency import LatencyBreakdown
 from repro.utils.stats import OnlineStats
@@ -125,6 +143,73 @@ class StatsCollector:
                     f"{parts} != {total} (inj={inj}, l={pkt.wait_local}, "
                     f"g={pkt.wait_global}, base={base}, mis={mis})"
                 )
+
+    # ------------------------------------------------------------------
+    def absorb_window(self, stat_i, stat_f, injected, delivered) -> None:
+        """Fold a lowered run's flat accumulators into this collector.
+
+        The engine's lowered OP_GEN / OP_DELIVER fast path (see
+        :class:`repro.engine.kernel.LowerState`) accumulates the window
+        statistics this collector would normally build per event into
+        flat int64/float64 blocks on the SoA store; ``Simulation.
+        _collect`` hands this cell's slices here exactly once.  The fold
+        is bit-exact: counters add, the latency Welford state transfers
+        by direct field assignment (this collector saw no per-event adds
+        in a lowered run, and ``merge`` of an empty accumulator is *not*
+        an IEEE identity), and integer-valued min/max re-integerise so
+        serialized results stay byte-identical to unlowered runs.
+        """
+        self.total_generated += stat_i[SI_TOTAL_GENERATED]
+        self.total_injected += stat_i[SI_TOTAL_INJECTED]
+        self.total_delivered += stat_i[SI_TOTAL_DELIVERED]
+        self.generated_phits += stat_i[SI_GEN_PHITS]
+        self.generated_packets += stat_i[SI_GEN_PACKETS]
+        self.delivered_phits += stat_i[SI_DEL_PHITS]
+        n = stat_i[SI_DEL_PACKETS]
+        self.delivered_packets += n
+        ipr = self.injected_per_router
+        for rid, c in enumerate(injected):
+            if c:
+                ipr[rid] += c
+        dpr = self.delivered_per_router
+        for rid, c in enumerate(delivered):
+            if c:
+                dpr[rid] += c
+        if not n:
+            return
+        mn = stat_f[SF_LAT_MIN]
+        mx = stat_f[SF_LAT_MAX]
+        imn = int(mn)
+        imx = int(mx)
+        lat = self.latency
+        if lat.n == 0:
+            lat.n = n
+            lat._mean = stat_f[SF_LAT_MEAN]
+            lat._m2 = stat_f[SF_LAT_M2]
+            lat._min = imn if imn == mn else mn
+            lat._max = imx if imx == mx else mx
+        else:
+            # Mixed per-event + lowered accounting (not produced by the
+            # engine, but keep the fold total rather than silently wrong).
+            other = OnlineStats()
+            other.n = n
+            other._mean = stat_f[SF_LAT_MEAN]
+            other._m2 = stat_f[SF_LAT_M2]
+            other._min = imn if imn == mn else mn
+            other._max = imx if imx == mx else mx
+            merged = lat.merge(other)
+            lat.n = merged.n
+            lat._mean = merged._mean
+            lat._m2 = merged._m2
+            lat._min = merged._min
+            lat._max = merged._max
+        bd = self.breakdown
+        bd.packets += n
+        bd.injection += stat_f[SF_BD_INJ]
+        bd.local += stat_f[SF_BD_LOCAL]
+        bd.global_ += stat_f[SF_BD_GLOBAL]
+        bd.base += stat_f[SF_BD_BASE]
+        bd.misroute += stat_f[SF_BD_MIS]
 
     # ------------------------------------------------------------------
     @property

@@ -16,6 +16,7 @@ else ``l + 1`` (the complete graph with self omitted).  Global port
 
 from __future__ import annotations
 
+from array import array
 from functools import cached_property
 
 from repro.config import NetworkConfig
@@ -251,6 +252,48 @@ class DragonflyTopology:
                 "palmtree arrangement; pass bottleneck= for others"
             )
         return self.global_neighbor_groups(bottleneck)
+
+    # ------------------------------------------------------------------
+    def min_service_table(self, c_local: int, c_global: int, c_eject: int) -> array:
+        """Dense R x R table of minimal-path base latencies (phit cost).
+
+        ``table[src_router * R + dst_router]`` is the zero-load latency
+        lower bound of a packet between the two routers under minimal
+        routing with the given per-hop costs (local hop, global hop,
+        ejection) — the same quantity :meth:`Simulation._min_service`
+        historically memoised pairwise in a dict.  Built once per
+        (cost-triple, topology) and memoised on the instance, so every
+        cell warm-started from the shared ``_TOPO_CACHE`` entry reuses
+        one table; the engine's lowered generator indexes it directly.
+        """
+        key = (c_local, c_global, c_eject)
+        cache = getattr(self, "_ms_tables", None)
+        if cache is None:
+            cache = self._ms_tables = {}
+        table = cache.get(key)
+        if table is not None:
+            return table
+        R = self.num_routers
+        a = self.a
+        table = array("q", bytes(8 * R * R))
+        for src in range(R):
+            sg, si = src // a, src % a
+            for dst in range(R):
+                tg, ti = dst // a, dst % a
+                cost = c_eject
+                g, i = sg, si
+                if g != tg:
+                    gw_pos, _port = self.gateway(g, tg)
+                    if i != gw_pos:
+                        cost += c_local
+                    cost += c_global
+                    i = self.landing_router(g, tg)
+                    g = tg
+                if i != ti:
+                    cost += c_local
+                table[src * R + dst] = cost
+        cache[key] = table
+        return table
 
     # ------------------------------------------------------------------
     @cached_property

@@ -67,6 +67,34 @@ class TrafficPattern(ABC):
         """
         return None
 
+    def lower(self) -> tuple | None:
+        """Lowering descriptor for the in-kernel generator, or ``None``.
+
+        A pattern that can be evaluated without Python — stationary,
+        total (never returns ``None`` from :meth:`dest`), every node
+        ``active()``, and whose RNG consumption is a fixed recipe over
+        ``random()`` / ``getrandbits`` — may return a flat tuple whose
+        first element names the recipe; the engine's lowered generator
+        (Python mirror in :class:`repro.engine.kernel.LowerState`, C
+        twin in ``engine/_ckernel.c``) interprets it and must reproduce
+        :meth:`dest` bit-exactly, draw for draw.  Recognised shapes:
+
+        * ``("uniform", n1, n1_bits)`` — rejection-sample ``d`` from
+          ``getrandbits(n1_bits)`` until ``d < n1``; destination is
+          ``d if d < src else d + 1``.
+        * ``("adversarial", offset, per_group, pg_bits, groups)`` —
+          target group ``(src // per_group + offset) % groups`` (Python
+          modulo semantics), then one bounded draw over ``per_group``.
+        * ``("advc", offsets, n_off, off_bits, per_group, pg_bits,
+          groups)`` — bounded draw picks an offset, then as above.
+        * ``("permutation", perm)`` — table lookup, zero RNG draws.
+
+        The default — any time-varying, partial, or otherwise
+        non-static pattern — is ``None``: keep the per-record Python
+        callback path.
+        """
+        return None
+
     def describe(self) -> str:
         """Readable name for reports."""
         return self.name

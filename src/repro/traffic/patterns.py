@@ -78,6 +78,11 @@ class UniformTraffic(TrafficPattern):
             d = gb(self._n1_bits)
         return d if d < src_node else d + 1
 
+    def lower(self) -> tuple | None:
+        if self._n1_bits > 32:
+            return None
+        return ("uniform", self._n1, self._n1_bits)
+
 
 class AdversarialTraffic(TrafficPattern):
     """ADV+k: group ``g`` sends to random nodes of group ``g+k``.
@@ -111,6 +116,17 @@ class AdversarialTraffic(TrafficPattern):
         while d >= per_group:
             d = gb(self._pg_bits)
         return tg * per_group + d
+
+    def lower(self) -> tuple | None:
+        if self._pg_bits > 32:
+            return None
+        return (
+            "adversarial",
+            self.offset,
+            self._per_group,
+            self._pg_bits,
+            self.topo.groups,
+        )
 
 
 class AdversarialConsecutiveTraffic(TrafficPattern):
@@ -152,6 +168,19 @@ class AdversarialConsecutiveTraffic(TrafficPattern):
             d = gb(self._pg_bits)
         return tg * per_group + d
 
+    def lower(self) -> tuple | None:
+        if self._pg_bits > 32 or self._off_bits > 32:
+            return None
+        return (
+            "advc",
+            tuple(self.offsets),
+            self._n_off,
+            self._off_bits,
+            self._per_group,
+            self._pg_bits,
+            self.topo.groups,
+        )
+
 
 class PermutationTraffic(TrafficPattern):
     """Fixed random node permutation (every node has one destination).
@@ -181,6 +210,9 @@ class PermutationTraffic(TrafficPattern):
 
     def dest(self, src_node: int, rng: random.Random) -> int:
         return self.perm[src_node]
+
+    def lower(self) -> tuple | None:
+        return ("permutation", tuple(self.perm))
 
 
 class HotspotTraffic(TrafficPattern):

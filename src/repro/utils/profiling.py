@@ -15,6 +15,14 @@ Since the phase-batched engine rewrite, the harness reports two rates:
 * **activations/s** — dispatched activation records per second.  The
   events/activations ratio measures how much per-event dispatch the
   batched engine avoided.
+
+Since the OP_GEN / OP_DELIVER lowering (``REPRO_ENGINE_LOWER``), it also
+reports the **python-callback share**: the cumulative profiled time
+spent inside the traffic-generation and delivery-sink callbacks
+(``Simulation._gen_event`` and the bound sink).  On a lowered run both
+disappear from the profile and the share drops to ~0 — the number is
+the direct witness of what the lowering removed, and of what a
+non-lowerable configuration (oracle, scenario patterns) still pays.
 """
 
 from __future__ import annotations
@@ -33,6 +41,31 @@ __all__ = ["PROFILE_SORTS", "profile_simulation", "render_profile"]
 #: pstats sort keys exposed on the CLI (a useful, validated subset).
 PROFILE_SORTS = ("tottime", "cumulative", "ncalls", "pcalls")
 
+#: (filename suffix, function name) pairs counted as the per-event
+#: traffic/delivery callbacks: the generator activation, the two sink
+#: bindings, and the interpreted LowerState mirrors (so a python-backend
+#: lowered run still reports what its gen/sink frames cost; the compiled
+#: lowered path has no Python frames at all and the share reads ~0).
+_CALLBACK_FUNCS = (
+    ("simulation.py", "_gen_event"),
+    ("simulation.py", "deliver"),
+    ("collector.py", "on_delivery"),
+    ("kernel.py", "gen"),
+    ("kernel.py", "deliver"),
+)
+
+
+def _callback_seconds(profiler: cProfile.Profile) -> float:
+    """Cumulative profiled seconds spent in the gen/sink callbacks."""
+    total = 0.0
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    for (filename, _lineno, funcname), row in stats.stats.items():
+        for suffix, name in _CALLBACK_FUNCS:
+            if funcname == name and filename.endswith(suffix):
+                total += row[3]  # cumulative time
+                break
+    return total
+
 
 def profile_simulation(
     config: SimulationConfig,
@@ -48,8 +81,11 @@ def profile_simulation(
     engine rates (``wall_s``, ``events``, ``activations``,
     ``events_per_s``, ``activations_per_s`` — wall time measured *under
     the profiler*, so the rates are only comparable to other profiled
-    runs).  With *dump_path* the raw profile is additionally written for
-    offline viewers (snakeviz, pstats).
+    runs) plus the python-callback share (``callback_s``,
+    ``callback_share``: cumulative profiled time in the traffic-gen and
+    delivery-sink callbacks, as seconds and as a fraction of the wall).
+    With *dump_path* the raw profile is additionally written for offline
+    viewers (snakeviz, pstats).
     """
     from repro.core.simulation import Simulation
 
@@ -67,12 +103,15 @@ def profile_simulation(
     if dump_path is not None:
         profiler.dump_stats(dump_path)
     engine = sim.engine
+    callback_s = _callback_seconds(profiler)
     metrics = {
         "wall_s": wall,
         "events": engine.processed,
         "activations": engine.activations,
         "events_per_s": engine.processed / wall if wall else 0.0,
         "activations_per_s": engine.activations / wall if wall else 0.0,
+        "callback_s": callback_s,
+        "callback_share": callback_s / wall if wall else 0.0,
     }
     return result, render_profile(profiler, sort=sort, limit=limit), metrics
 

@@ -1,0 +1,276 @@
+"""The lowered OP_GEN / OP_DELIVER fast path is bit-identical.
+
+``REPRO_ENGINE_LOWER`` moves traffic generation and the delivery sink
+out of per-event Python callbacks and into the kernel (interpreted
+``LowerState`` on the python backend, native C twins — including an
+in-kernel MT19937 — on the compiled backend).  The contract is the same
+as for the backends themselves: *bit-identical is the contract*.  This
+module pins it four ways:
+
+* the lowering **decision** — which configurations lower and which fall
+  back (oracle, decomposition checking, non-static patterns, ``"0"``);
+* the **equivalence matrix** — lowered vs unlowered runs compared
+  field-by-field (result, event/activation counts, and the traffic RNG
+  state after the run) across backends, patterns and the batch axis;
+* the golden-trace digests replayed under every backend x lowering
+  combination;
+* the **RNG stream** — a hypothesis property test driving the compiled
+  kernel's MT19937 from arbitrary ``random.Random`` states and checking
+  every draw and the resulting state word-for-word; and the
+  ``Simulation._make_packet`` reference constructor pinned
+  field-by-field against the construction the generator inlines.
+
+Compiled parameterizations skip cleanly when the extension is not
+built.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import small_config, tiny_config
+from repro.core.batch import run_simulation_batch
+from repro.core.simulation import Simulation, run_simulation
+from repro.engine.kernel import (
+    ENGINE_LOWER_CHOICES,
+    LOWER_ENV,
+    available_backends,
+    resolve_lower,
+)
+from repro.errors import ConfigurationError
+from repro.exec.serialize import result_to_dict
+from repro.hardware.packet import Packet
+from repro.hardware.router import Router
+from test_determinism_matrix import _result_fields
+from test_golden_trace import (
+    BURSTY_CONFIG,
+    BURSTY_DIGEST,
+    STATIC_CONFIG,
+    STATIC_DIGEST,
+    _run_digest,
+)
+
+HAVE_COMPILED = "compiled" in available_backends()
+
+needs_compiled = pytest.mark.skipif(
+    not HAVE_COMPILED,
+    reason="compiled engine backend not built "
+    "(python setup.py build_ext --inplace)",
+)
+
+BACKENDS = [
+    "python",
+    pytest.param("compiled", marks=needs_compiled),
+]
+
+#: Statically lowerable patterns (total, always-active, foreign-dest).
+LOWERABLE = ["uniform", "adversarial", "advc", "permutation"]
+
+
+def _payload(result) -> str:
+    return json.dumps(
+        result_to_dict(result), sort_keys=True, separators=(",", ":")
+    )
+
+
+def _run(cfg, backend, lower):
+    sim = Simulation(cfg, engine_backend=backend, engine_lower=lower)
+    result = sim.run()
+    return sim, result
+
+
+# ----------------------------------------------------------------------
+# the lowering decision
+# ----------------------------------------------------------------------
+def test_resolve_lower_choices(monkeypatch):
+    monkeypatch.delenv(LOWER_ENV, raising=False)
+    assert resolve_lower() == "auto"
+    for mode in ENGINE_LOWER_CHOICES:
+        assert resolve_lower(mode) == mode
+        monkeypatch.setenv(LOWER_ENV, mode)
+        assert resolve_lower() == mode
+    # explicit argument wins over the environment
+    monkeypatch.setenv(LOWER_ENV, "0")
+    assert resolve_lower("1") == "1"
+    with pytest.raises(ConfigurationError):
+        resolve_lower("yes")
+
+
+@pytest.mark.parametrize("pattern", LOWERABLE)
+def test_static_patterns_lower(pattern):
+    cfg = tiny_config().with_traffic(pattern=pattern, load=0.3)
+    for mode in ("auto", "1"):
+        assert Simulation(cfg, engine_lower=mode)._lower is not None
+    assert Simulation(cfg, engine_lower="0")._lower is None
+
+
+def test_non_lowerable_configurations_fall_back():
+    # hotspot draws a bernoulli before the destination: no descriptor
+    hotspot = tiny_config().with_traffic(pattern="hotspot", load=0.3)
+    assert Simulation(hotspot, engine_lower="1")._lower is None
+    # oracle audits every delivery: the callback sink must stay
+    oracle = tiny_config(oracle=True).with_traffic(
+        pattern="uniform", load=0.3
+    )
+    assert Simulation(oracle, engine_lower="1")._lower is None
+    # decomposition checking needs the per-packet sink assertions
+    plain = tiny_config().with_traffic(pattern="uniform", load=0.3)
+    assert (
+        Simulation(plain, engine_lower="1", check_decomposition=True)._lower
+        is None
+    )
+    # bursty scenarios gate activity per cycle: no static descriptor
+    bursty = tiny_config().with_traffic(
+        pattern="adversarial", load=0.3, burst_on=120, burst_off=80
+    )
+    assert Simulation(bursty, engine_lower="1")._lower is None
+
+
+# ----------------------------------------------------------------------
+# equivalence matrix: lowered vs unlowered, per backend and pattern
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("pattern", LOWERABLE + ["hotspot"])
+def test_lowering_is_bit_identical(backend, pattern):
+    cfg = tiny_config(seed=11, routing="in-trns-mm").with_traffic(
+        pattern=pattern, load=0.35
+    )
+    off_sim, off = _run(cfg, backend, "0")
+    on_sim, on = _run(cfg, backend, "1")
+    assert (on_sim._lower is not None) == (pattern != "hotspot")
+    assert _result_fields(off) == _result_fields(on)
+    assert _payload(off) == _payload(on)
+    assert off_sim.engine.processed == on_sim.engine.processed
+    assert off_sim.engine.activations == on_sim.engine.activations
+    # the traffic RNG consumed exactly the same stream prefix
+    assert off_sim.rng_traffic.getstate() == on_sim.rng_traffic.getstate()
+    assert off_sim._pid == on_sim._pid
+
+
+@needs_compiled
+def test_lowering_matrix_agrees_across_backends():
+    """All four backend x lowering combinations, one payload."""
+    cfg = tiny_config(seed=4, routing="obl-rrg").with_traffic(
+        pattern="advc", load=0.4
+    )
+    payloads = {
+        (backend, mode): _payload(_run(cfg, backend, mode)[1])
+        for backend in ("python", "compiled")
+        for mode in ("0", "1")
+    }
+    assert len(set(payloads.values())) == 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_lowering_is_bit_identical_batched(backend):
+    cfgs = [
+        tiny_config(seed=s).with_traffic(pattern="adversarial", load=load)
+        for s, load in [(3, 0.2), (4, 0.35), (5, 0.5)]
+    ]
+    on = run_simulation_batch(cfgs, engine_backend=backend, engine_lower="1")
+    off = run_simulation_batch(cfgs, engine_backend=backend, engine_lower="0")
+    solo = [
+        run_simulation(c, engine_backend=backend, engine_lower="1")
+        for c in cfgs
+    ]
+    for a, b, c in zip(on, off, solo):
+        assert _payload(a) == _payload(b) == _payload(c)
+
+
+@pytest.mark.parametrize("mode", ["0", "1"])
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_golden_traces_per_backend_and_lowering(backend, mode, monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_BACKEND", backend)
+    monkeypatch.setenv(LOWER_ENV, mode)
+    assert _run_digest(STATIC_CONFIG) == STATIC_DIGEST
+    assert _run_digest(BURSTY_CONFIG) == BURSTY_DIGEST
+
+
+# ----------------------------------------------------------------------
+# _make_packet is the generator's construction, field by field
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "make_cfg", [tiny_config, small_config], ids=["tiny", "small"]
+)
+@pytest.mark.parametrize("pattern", LOWERABLE)
+def test_make_packet_matches_gen_event(make_cfg, pattern, monkeypatch):
+    """``Simulation._make_packet`` (the documented reference constructor)
+    and the construction inlined into ``_gen_event`` / ``LowerState.gen``
+    produce identical packets for the same (source, destination, cycle)
+    over random node pairs of real topologies."""
+    cfg = make_cfg(seed=23).with_traffic(pattern=pattern, load=0.5)
+    sim = Simulation(cfg, engine_lower="0")
+    captured = []
+    original = Router.inject
+
+    def recording_inject(self, node_port, pkt, now=None):
+        captured.append(pkt)
+        return original(self, node_port, pkt, now)
+
+    monkeypatch.setattr(Router, "inject", recording_inject)
+    rng = random.Random(99)
+    for _ in range(40):
+        node = rng.randrange(sim.topo.num_nodes)
+        before = len(captured)
+        sim._gen_event(node)
+        if len(captured) == before:
+            continue  # pattern generated nothing this cycle
+        pkt = captured[-1]
+        ref = sim._make_packet(node, pkt.dst_node, pkt.gen_time)
+        for field in Packet.__slots__:
+            if field == "pid":
+                # _make_packet drew the next id after the captured one
+                assert ref.pid == pkt.pid + 1
+            else:
+                assert getattr(ref, field) == getattr(pkt, field), field
+    assert captured, "no packets generated"
+
+
+# ----------------------------------------------------------------------
+# the in-kernel MT19937 is CPython's random.Random, word for word
+# ----------------------------------------------------------------------
+_ops = st.lists(
+    st.one_of(st.none(), st.integers(min_value=1, max_value=32)),
+    min_size=1,
+    max_size=200,
+)
+
+
+@needs_compiled
+@given(seed=st.integers(min_value=0, max_value=2**63 - 1), ops=_ops)
+@settings(max_examples=60, deadline=None)
+def test_mt_stream_equivalence(seed, ops):
+    """From an arbitrary Random state, N lowered draws return the same
+    values and leave the same state as N interpreted draws on a fork."""
+    from repro.engine import _ckernel
+
+    ref = random.Random(seed)
+    # wander to an arbitrary mid-stream position (odd index included,
+    # which exercises the res53 two-word draw straddling regenerations)
+    for _ in range(seed % 7):
+        ref.random()
+    if seed % 2:
+        ref.getrandbits(17)
+    state = ref.getstate()
+    values, out_state = _ckernel.mt_ops(state, ops)
+    expected = [
+        ref.random() if op is None else ref.getrandbits(op) for op in ops
+    ]
+    assert values == expected
+    assert out_state == ref.getstate()
+
+
+@needs_compiled
+def test_mt_ops_validates_width():
+    from repro.engine import _ckernel
+
+    state = random.Random(1).getstate()
+    with pytest.raises(ValueError):
+        _ckernel.mt_ops(state, [0])
+    with pytest.raises(ValueError):
+        _ckernel.mt_ops(state, [33])
